@@ -1,0 +1,94 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (see DESIGN.md section 3 for the index). Each
+// benchmark regenerates its experiment through internal/experiments and
+// logs the rendered table, so `go test -bench=. -benchmem` both times the
+// reproduction and records the measured numbers.
+//
+// Scale: benchmarks default to a six-workload subset and sub-millisecond
+// timing windows so the full suite completes on a laptop. Environment
+// variables widen them to paper scale:
+//
+//	MIRZA_WORKLOADS=""            (empty = all 24 Table IV workloads)
+//	MIRZA_MEASURE_MS=1.5 MIRZA_WARMUP_MS=0.5 MIRZA_REPLAY_WINDOWS=3
+package mirza_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/experiments"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+)
+
+// benchRunner returns the shared Runner so per-workload calibrations and
+// baselines amortize across benchmarks.
+func benchRunner() *experiments.Runner {
+	runnerOnce.Do(func() {
+		opts := experiments.DefaultOptions()
+		if os.Getenv("MIRZA_MEASURE_MS") == "" {
+			opts.Measure = dram.Millisecond / 2
+		}
+		if os.Getenv("MIRZA_WARMUP_MS") == "" {
+			opts.Warmup = dram.Millisecond / 4
+		}
+		if os.Getenv("MIRZA_WORKLOADS") == "" {
+			opts.Workloads = []string{"fotonik3d", "lbm", "mcf", "bc", "xz", "cam4"}
+		}
+		runner = experiments.NewRunner(opts)
+	})
+	return runner
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", table.Render())
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkFig3(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkTable4(b *testing.B)  { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkFig11a(b *testing.B)  { benchExperiment(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B)  { benchExperiment(b, "fig11b") }
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+func BenchmarkFig13(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+func BenchmarkFig1c(b *testing.B)   { benchExperiment(b, "fig1c") }
+
+// BenchmarkMINTModelSweep is the DESIGN.md ablation for the MINT security
+// model: the tolerated threshold across window sizes.
+func BenchmarkMINTModelSweep(b *testing.B) {
+	r := benchRunner()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command mirza-bench regenerates the tables and figures of the MIRZA paper
+// (HPCA 2026) from the simulator in this repository.
+//
+// Usage:
+//
+//	mirza-bench -list
+//	mirza-bench -exp table8
+//	mirza-bench -exp all -measure-ms 1.5 -workloads fotonik3d,lbm,mcf
+//
+// Scale flags trade fidelity for time; with no flags the full 24-workload
+// Table IV set and the default windows are used (see DESIGN.md for the
+// methodology and EXPERIMENTS.md for recorded paper-vs-measured results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mirza/internal/dram"
+	"mirza/internal/experiments"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "experiment id to run, or 'all'")
+		measureMS = flag.Float64("measure-ms", 0, "timing-simulation measurement window in ms (0 = default)")
+		warmupMS  = flag.Float64("warmup-ms", 0, "timing-simulation warmup in ms (0 = default)")
+		windows   = flag.Int("replay-windows", 0, "replayed tREFW windows incl. warmup (0 = default)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 24)")
+		quick     = flag.Bool("quick", false, "tiny windows and a 3-workload subset (smoke run)")
+		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *measureMS > 0 {
+		opts.Measure = dram.Time(*measureMS * float64(dram.Millisecond))
+	}
+	if *warmupMS > 0 {
+		opts.Warmup = dram.Time(*warmupMS * float64(dram.Millisecond))
+	}
+	if *windows >= 2 {
+		opts.ReplayWindows = *windows
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	runner := experiments.NewRunner(opts)
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,160 @@
+// Command mirza-sim runs one workload on the full-system simulator (8
+// out-of-order cores, shared DDR5 channel) under a selectable Rowhammer
+// mitigation and reports performance and memory-system statistics.
+//
+// Usage:
+//
+//	mirza-sim -workload fotonik3d -mitigation mirza -trhd 1000 -ms 2
+//	mirza-sim -workload mcf -mitigation prac -trhd 500
+//	mirza-sim -workload bc -mitigation mint-rfm -trhd 1000
+//	mirza-sim -list-workloads
+//
+// Mitigations: none, mirza, naive-mirza, prac, mint-rfm, trr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mirza/internal/core"
+	"mirza/internal/cpu"
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/security"
+	"mirza/internal/trace"
+	"mirza/internal/track"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "fotonik3d", "workload name (see -list-workloads)")
+		mitigation = flag.String("mitigation", "mirza", "none | mirza | naive-mirza | prac | mint-rfm | trr")
+		trhd       = flag.Int("trhd", 1000, "target double-sided Rowhammer threshold")
+		ms         = flag.Float64("ms", 2, "simulated milliseconds")
+		warmMS     = flag.Float64("warmup-ms", 0.5, "warmup before measurement")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		listWl     = flag.Bool("list-workloads", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *listWl {
+		for _, w := range trace.Workloads() {
+			fmt.Printf("%-10s %-4s MPKI=%-5.1f ACT-PKI=%-5.1f footprint=%dMB\n",
+				w.Name, w.Suite, w.MPKI, w.ACTPKI, w.FootprintMB)
+		}
+		return
+	}
+
+	spec, err := trace.Lookup(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	gens, err := trace.PerCore(spec, 8, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	timing := dram.DDR5()
+	bat := 0
+	var factory func(sub int, sink track.Sink) track.Mitigator
+	g := dram.Default()
+	switch *mitigation {
+	case "none":
+	case "mirza", "naive-mirza":
+		cfg, err := core.ForTRHD(*trhd)
+		if err != nil {
+			fatal(err)
+		}
+		if *mitigation == "naive-mirza" {
+			cfg.FTH = 0
+		}
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			c := cfg
+			c.Seed = *seed + uint64(sub)
+			return core.MustNew(c, sink)
+		}
+	case "prac":
+		timing = dram.PRAC()
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			return track.NewPRAC(track.PRACConfig{
+				Geometry: g, Mapping: dram.StridedR2SA,
+				AlertThreshold: track.ATHForTRHD(*trhd),
+			}, sink)
+		}
+	case "mint-rfm":
+		w := security.DefaultMINTModel().WindowForTRHD(*trhd)
+		bat = w
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			return track.NewMINT(track.MINTConfig{
+				Geometry: g, Mapping: dram.StridedR2SA,
+				Window: w, MitigateOnRFM: true, Seed: *seed + uint64(sub),
+			}, sink)
+		}
+	case "trr":
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			return track.NewTRR(track.TRRConfig{
+				Geometry: g, Mapping: dram.StridedR2SA,
+				Entries: 28, MitigateEveryREFs: 4,
+			}, sink)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
+	}
+
+	sys, err := cpu.NewSystem(cpu.SystemConfig{
+		Core: cpu.CoreConfig{MSHR: spec.MLPLimit()},
+		Mem: mem.Config{
+			Timing:       timing,
+			Mapping:      dram.StridedR2SA,
+			RFMBAT:       bat,
+			NewMitigator: factory,
+		},
+	}, gens)
+	if err != nil {
+		fatal(err)
+	}
+
+	warm := dram.Time(*warmMS * float64(dram.Millisecond))
+	horizon := warm + dram.Time(*ms*float64(dram.Millisecond))
+	sys.Run(warm)
+	sys.Snapshot()
+	sys.Run(horizon)
+
+	st := sys.MemStats()
+	ipcs := sys.IPCs()
+	var sum float64
+	for _, v := range ipcs {
+		sum += v
+	}
+	fmt.Printf("workload   : %s (%s)\n", spec.Name, spec.Suite)
+	fmt.Printf("mitigation : %s (TRHD=%d)\n", *mitigation, *trhd)
+	fmt.Printf("window     : %v measured after %v warmup\n", sys.Window(), warm)
+	fmt.Printf("IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
+	fmt.Printf("bus util   : %.1f%%\n", sys.BusUtilization())
+	fmt.Printf("reads      : %d   writes: %d\n", st.Reads, st.Writes)
+	fmt.Printf("ACTs       : %d (ACT-PKI %.1f)\n", st.ACTs, actPKI(st.ACTs, ipcs, sys.Window()))
+	fmt.Printf("REFs       : %d   RFMs: %d\n", st.REFs, st.RFMs)
+	fmt.Printf("ALERTs     : %d (stall %v)\n", st.Alerts, st.AlertStall)
+	fmt.Printf("mitigations: %d aggressor rows (%d victim refreshes)\n", st.Mitigations, st.VictimRows)
+	if st.DemandRefreshRows > 0 {
+		fmt.Printf("refresh pwr: +%.2f%% (victim rows / demand rows)\n",
+			100*float64(st.VictimRows)/float64(st.DemandRefreshRows))
+	}
+}
+
+func actPKI(acts int64, ipcs []float64, window dram.Time) float64 {
+	var instr float64
+	for _, ipc := range ipcs {
+		instr += ipc * float64(window) / 250
+	}
+	if instr == 0 {
+		return 0
+	}
+	return float64(acts) / instr * 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mirza-sim:", err)
+	os.Exit(1)
+}

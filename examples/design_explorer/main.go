@@ -1,0 +1,81 @@
+// Design explorer: sweep MIRZA's design space analytically. For a target
+// Rowhammer threshold, the security model (Section VI) couples the filter
+// threshold FTH to the MINT window W; this example walks the trade-off
+// curve — filtering effectiveness versus ALERT frequency versus SRAM — the
+// way Table IX does, and prints the area comparison against PRAC and
+// counter trackers.
+//
+//	go run ./examples/design_explorer -trhd 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mirza/internal/areamodel"
+	"mirza/internal/attack"
+	"mirza/internal/core"
+	"mirza/internal/dram"
+	"mirza/internal/energy"
+	"mirza/internal/security"
+)
+
+func main() {
+	trhd := flag.Int("trhd", 1000, "target double-sided Rowhammer threshold")
+	flag.Parse()
+
+	model := security.DefaultMINTModel()
+	pm := attack.NewPerfAttackModel(dram.DDR5())
+
+	fmt.Printf("MIRZA design space for TRHD=%d\n\n", *trhd)
+	fmt.Printf("%-7s %-6s %-10s %-12s %-14s %-12s\n",
+		"MINT-W", "FTH", "SRAM/bank", "SafeTRHD", "worst attack", "MINT budget")
+	base, err := core.ForTRHD(*trhd)
+	if err != nil {
+		base, _ = core.ForTRHD(1000)
+		base.TargetTRHD = *trhd
+	}
+	for _, w := range []int{4, 8, 12, 16, 24} {
+		fth := security.FTHForTRHD(*trhd, w, base.QueueSize, base.QTH, model)
+		if fth <= 0 {
+			fmt.Printf("%-7d (window too large: MINT alone exceeds the threshold budget)\n", w)
+			continue
+		}
+		cfg := base
+		cfg.MINTWindow = w
+		cfg.FTH = fth
+		fmt.Printf("%-7d %-6d %-10d %-12d %-14s %-12d\n",
+			w, fth, cfg.SRAMBytesPerBank(), security.SafeTRHD(cfg, model),
+			fmt.Sprintf("%.2fx", pm.Slowdown(w)), model.ToleratedTRHD(w))
+	}
+
+	fmt.Println("\nhow the threshold budget splits (Section VI.B):")
+	fmt.Printf("  TRHD > FTH/2 + MINT_TRHD(W) + QTH + ABO_ACTS\n")
+	cfg := base
+	fmt.Printf("  %d  > %d   + %d          + %d  + %d\n",
+		*trhd, cfg.FTH/2, model.ToleratedTRHD(cfg.MINTWindow), cfg.QTH,
+		security.ABOActs(cfg.QueueSize))
+
+	fmt.Println("\narea against the alternatives:")
+	bits := areamodel.CounterBits(cfg.FTH+1) * maxi(1, cfg.Regions/cfg.Geometry.Subarrays())
+	cmp := areamodel.CompareSubarray(*trhd, bits, cfg.Geometry.SubarrayRows)
+	fmt.Printf("  PRAC    : %d DRAM bits/subarray -> %.1fx MIRZA's area\n",
+		cmp.PRACDRAMBits, cmp.AreaRatio)
+	fmt.Printf("  Mithril : %d bytes/bank (2K entries) vs MIRZA %d bytes/bank\n",
+		areamodel.MithrilBytesPerBank(2048), cfg.SRAMBytesPerBank())
+
+	fmt.Println("\nproactive-mitigation cost MIRZA avoids (Table II):")
+	tm := dram.DDR5()
+	for _, refs := range []int{1, 4, 8} {
+		w := security.WindowPerREFs(tm, refs)
+		fmt.Printf("  1 mitigation per %d REF: tolerates TRHD %d, cannibalizes %.1f%% of REF time\n",
+			refs, model.ToleratedTRHD(w), 100*energy.Cannibalization(tm, float64(refs)))
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module mirza
+
+go 1.22

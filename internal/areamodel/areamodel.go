@@ -1,0 +1,78 @@
+// Package areamodel implements the cell-area comparison the paper uses for
+// Table X and the storage accounting of Tables VII and XII: DRAM cells cost
+// 6F^2 and SRAM cells 120F^2 (F = feature size), per the simple model of
+// Dorrance et al. and Weste & Harris that the paper cites.
+package areamodel
+
+import "math/bits"
+
+// Cell areas in units of F^2.
+const (
+	DRAMCellF2 = 6
+	SRAMCellF2 = 120
+)
+
+// DRAMBitsArea returns the area of n DRAM cells in F^2.
+func DRAMBitsArea(n int) float64 { return float64(n) * DRAMCellF2 }
+
+// SRAMBitsArea returns the area of n SRAM cells in F^2.
+func SRAMBitsArea(n int) float64 { return float64(n) * SRAMCellF2 }
+
+// CounterBits returns the number of bits needed to represent values
+// 0..maxValue.
+func CounterBits(maxValue int) int {
+	if maxValue <= 0 {
+		return 1
+	}
+	return bits.Len(uint(maxValue))
+}
+
+// PRACBitsPerRow returns the PRAC counter width provisioned per DRAM row
+// for a given Rowhammer threshold: the counter must count up to the ALERT
+// threshold, which scales with TRH. The paper's Table X uses 10 bits at
+// TRHD=1K, 9 bits at 500, and 8 bits at 250 — one bit per halving.
+func PRACBitsPerRow(trhd int) int {
+	return CounterBits(trhd - 1)
+}
+
+// SubarrayComparison is one row of Table X: the per-subarray area of
+// MIRZA's filter state versus PRAC's per-row counters.
+type SubarrayComparison struct {
+	TRHD          int
+	MIRZASRAMBits int     // RCT bits serving one subarray
+	PRACDRAMBits  int     // counter bits across the subarray's rows
+	AreaRatio     float64 // PRAC area / MIRZA area
+}
+
+// CompareSubarray computes the Table X comparison for a target TRHD, given
+// MIRZA's RCT bits per subarray (counter width x counters-per-subarray) and
+// the subarray's row count.
+func CompareSubarray(trhd, mirzaBitsPerSubarray, rowsPerSubarray int) SubarrayComparison {
+	pracBits := PRACBitsPerRow(trhd) * rowsPerSubarray
+	return SubarrayComparison{
+		TRHD:          trhd,
+		MIRZASRAMBits: mirzaBitsPerSubarray,
+		PRACDRAMBits:  pracBits,
+		AreaRatio:     DRAMBitsArea(pracBits) / SRAMBitsArea(mirzaBitsPerSubarray),
+	}
+}
+
+// MithrilBytesPerBank returns the SRAM bytes of a Mithril-style tracker
+// with the given entries (28 bits each per the paper: row id + counter).
+func MithrilBytesPerBank(entries int) int {
+	return (entries*28 + 7) / 8
+}
+
+// TRRBytesPerBank returns the SRAM bytes of the DDR4 TRR comparison point
+// in Table XII: 3 bytes per entry (row id + counter).
+func TRRBytesPerBank(entries int) int { return entries * 3 }
+
+// MINTBytesPerBank returns the SRAM bytes of MINT with a Delayed Mitigation
+// Queue as configured for Table XII (20 bytes per bank in the paper).
+func MINTBytesPerBank(queueEntries, rowBits int) int {
+	// Sampler state (window counter, target, selected row) plus the
+	// delayed-mitigation queue entries.
+	samplerBits := 2*16 + rowBits + 1
+	queueBits := queueEntries * (rowBits + 1)
+	return (samplerBits + queueBits + 7) / 8
+}

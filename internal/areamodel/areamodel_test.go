@@ -1,0 +1,67 @@
+package areamodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterBits(t *testing.T) {
+	cases := map[int]int{1500: 11, 1501: 11, 3331: 12, 661: 10, 8187: 13, 0: 1, 1: 1}
+	for v, want := range cases {
+		if got := CounterBits(v); got != want {
+			t.Errorf("CounterBits(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPRACBitsPerRow(t *testing.T) {
+	// Table X: 10 bits at 1K, 9 at 500, 8 at 250.
+	cases := map[int]int{1000: 10, 500: 9, 250: 8}
+	for trhd, want := range cases {
+		if got := PRACBitsPerRow(trhd); got != want {
+			t.Errorf("PRACBitsPerRow(%d) = %d, want %d", trhd, got, want)
+		}
+	}
+}
+
+func TestCompareSubarrayMatchesTableX(t *testing.T) {
+	// TRHD=1K: 11-bit SRAM vs 10Kb DRAM => 45.45x.
+	cmp := CompareSubarray(1000, 11, 1024)
+	if cmp.PRACDRAMBits != 10240 {
+		t.Errorf("PRAC bits = %d", cmp.PRACDRAMBits)
+	}
+	if math.Abs(cmp.AreaRatio-46.5) > 1.5 {
+		t.Errorf("ratio = %v, want ~45-46x", cmp.AreaRatio)
+	}
+	// TRHD=500: 20-bit SRAM vs 9Kb DRAM => 23x.
+	cmp = CompareSubarray(500, 20, 1024)
+	if math.Abs(cmp.AreaRatio-23) > 1 {
+		t.Errorf("ratio = %v, want ~22.5-23x", cmp.AreaRatio)
+	}
+	// TRHD=250: 36-bit SRAM vs 8Kb DRAM => 11.4x.
+	cmp = CompareSubarray(250, 36, 1024)
+	if math.Abs(cmp.AreaRatio-11.3) > 0.7 {
+		t.Errorf("ratio = %v, want ~11.2-11.4x", cmp.AreaRatio)
+	}
+}
+
+func TestCellAreas(t *testing.T) {
+	if DRAMBitsArea(100) != 600 {
+		t.Error("DRAM cell must be 6F^2")
+	}
+	if SRAMBitsArea(100) != 12000 {
+		t.Error("SRAM cell must be 120F^2")
+	}
+}
+
+func TestStorageHelpers(t *testing.T) {
+	if got := MithrilBytesPerBank(2048); got != 7168 {
+		t.Errorf("Mithril 2K entries = %d bytes, want 7168 (7KB, Section VIII.A)", got)
+	}
+	if got := TRRBytesPerBank(28); got != 84 {
+		t.Errorf("TRR 28 entries = %d bytes, want 84 (Table XII)", got)
+	}
+	if got := MINTBytesPerBank(6, 17); got != 20 {
+		t.Errorf("MINT+DMQ = %d bytes, want 20 (Table XII)", got)
+	}
+}

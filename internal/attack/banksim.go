@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+	"mirza/internal/track"
+)
+
+// BankSimConfig configures an attack run against one bank of one
+// sub-channel.
+type BankSimConfig struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	Mapping  dram.R2SAMapping
+	Bank     int // the attacked bank
+
+	// NewMitigator builds the defense under test, wired to the provided
+	// sink (the simulator adds its own disturbance bookkeeping around it).
+	NewMitigator func(sink track.Sink) track.Mitigator
+}
+
+// BankSimResult summarizes one attack run.
+type BankSimResult struct {
+	ACTs           int64
+	REFs           int64
+	Alerts         int64
+	Mitigations    int64
+	MaxSingleSided int
+	MaxDoubleSided int
+	Elapsed        dram.Time
+}
+
+func (r BankSimResult) String() string {
+	return fmt.Sprintf("acts=%d refs=%d alerts=%d mitig=%d maxSS=%d maxDS=%d over %v",
+		r.ACTs, r.REFs, r.Alerts, r.Mitigations, r.MaxSingleSided, r.MaxDoubleSided, r.Elapsed)
+}
+
+// BankSim drives a Pattern's activation stream into a mitigator at the
+// fastest rate DRAM timing permits — one ACT per tRC to the attacked bank —
+// while honoring the REF schedule (REF every tREFI, tRFC execution) and the
+// ABO protocol (3 prologue ACTs, a 350ns stall, one mandatory epilogue ACT
+// between ALERTs). It is the security-evaluation counterpart of the
+// full-system simulator: both drive the identical Mitigator interface.
+type BankSim struct {
+	cfg  BankSimConfig
+	mit  track.Mitigator
+	dist *Disturbance
+
+	now           dram.Time
+	refDue        dram.Time
+	refIndex      int
+	actSinceAlert bool
+
+	res BankSimResult
+}
+
+// NewBankSim builds an attack simulator.
+func NewBankSim(cfg BankSimConfig) *BankSim {
+	s := &BankSim{
+		cfg:           cfg,
+		dist:          NewDisturbance(cfg.Geometry, cfg.Mapping),
+		refDue:        cfg.Timing.TREFI,
+		actSinceAlert: true,
+	}
+	sink := track.FuncSink(func(bank, row, victims int, now dram.Time) {
+		s.res.Mitigations++
+		if bank == cfg.Bank {
+			s.dist.OnMitigate(row)
+		}
+	})
+	s.mit = cfg.NewMitigator(sink)
+	return s
+}
+
+// Mitigator exposes the defense under test.
+func (s *BankSim) Mitigator() track.Mitigator { return s.mit }
+
+// Result returns the accumulated counters.
+func (s *BankSim) Result() BankSimResult {
+	r := s.res
+	r.Elapsed = s.now
+	r.MaxSingleSided = s.dist.MaxSingleSided()
+	r.MaxDoubleSided = s.dist.MaxDoubleSided()
+	return r
+}
+
+// Run advances the attack until the given absolute time.
+func (s *BankSim) Run(pattern Pattern, until dram.Time) BankSimResult {
+	t := s.cfg.Timing
+	for s.now < until {
+		// Demand refresh has priority.
+		if s.now >= s.refDue {
+			s.executeREF()
+			continue
+		}
+
+		// Reactive ALERT (after the mandatory epilogue ACT).
+		if s.actSinceAlert && s.mit.WantsALERT() {
+			s.runALERT(pattern)
+			continue
+		}
+
+		// One attacker activation; next ACT to the same bank after tRC.
+		s.activate(pattern.Next())
+		s.now += t.TRC
+	}
+	return s.Result()
+}
+
+// RunWindows runs for n full refresh windows.
+func (s *BankSim) RunWindows(pattern Pattern, n int) BankSimResult {
+	return s.Run(pattern, s.now+dram.Time(n)*s.cfg.Timing.TREFW)
+}
+
+func (s *BankSim) executeREF() {
+	g := s.cfg.Geometry
+	s.res.REFs++
+	// The REF refreshes RowsPerREF physical rows in every bank; clear the
+	// disturbance of the attacked bank's refreshed rows.
+	target := g.RefreshTargetOf(s.refIndex)
+	for idx := target.FirstIdx; idx <= target.LastIdx; idx++ {
+		s.dist.OnRefreshRow(g.RowAt(s.cfg.Mapping, target.Subarray, idx))
+	}
+	s.mit.OnREF(s.refIndex, s.now) // 0-based position in the refresh walk
+	s.refIndex++
+	if s.now < s.refDue {
+		s.now = s.refDue
+	}
+	s.now += s.cfg.Timing.TRFC
+	s.refDue += s.cfg.Timing.TREFI
+}
+
+// runALERT models Figure 4: the attacker squeezes up to 3 more activations
+// into the 180ns prologue, the DRAM is then unavailable for 350ns while the
+// back-off RFM performs the mitigation, and one normal ACT must occur
+// before the next ALERT can be raised.
+func (s *BankSim) runALERT(pattern Pattern) {
+	t := s.cfg.Timing
+	s.res.Alerts++
+	start := s.now
+	stallAt := start + t.ABOPrologue
+	for s.now+t.TRC <= stallAt && s.now+t.TRC <= s.refDue {
+		s.activate(pattern.Next())
+		s.now += t.TRC
+	}
+	s.now = start + t.ABOPrologue + t.ABOStall
+	s.mit.ServiceALERT(s.now)
+	s.actSinceAlert = false
+}
+
+func (s *BankSim) activate(row int) {
+	s.res.ACTs++
+	s.actSinceAlert = true
+	s.dist.OnActivate(row)
+	s.mit.OnActivate(s.cfg.Bank, row, s.now)
+}

@@ -1,0 +1,110 @@
+// Package attack implements the adversarial side of the evaluation: a
+// bank-level attack simulator that drives worst-case activation streams
+// into any track.Mitigator at DRAM-speed-limited rates (honoring tRC, REF
+// and the ABO protocol), Rowhammer attack patterns (single-sided,
+// double-sided, many-sided circular, queue-feinting, and the RCT-priming
+// performance-attack kernel of Figure 12), a victim-centric disturbance
+// tracker that measures the security metric of Section II.A — the maximum
+// number of unmitigated activations any row accrues — and the analytic
+// performance-attack models of Section IX and Appendix A.
+package attack
+
+import (
+	"mirza/internal/dram"
+)
+
+// victimState accumulates per-victim disturbance: activations by the
+// physically adjacent aggressor on each side since the victim was last
+// refreshed (by demand refresh or by a mitigation's victim refresh).
+type victimState struct {
+	left  int // ACTs by the aggressor at physical index -1
+	right int // ACTs by the aggressor at physical index +1
+}
+
+// Disturbance tracks unmitigated activations victim-by-victim for one
+// bank. A successful attack is one where some victim's single side exceeds
+// the single-sided threshold, or both sides exceed the double-sided
+// threshold (the paper's success criterion).
+type Disturbance struct {
+	g       dram.Geometry
+	mapping dram.R2SAMapping
+	victims map[int]*victimState // keyed by logical victim row
+
+	maxSingle int // max over victims of max(left, right)
+	maxDouble int // max over victims of min(left, right)
+}
+
+// NewDisturbance creates a tracker for one bank.
+func NewDisturbance(g dram.Geometry, mapping dram.R2SAMapping) *Disturbance {
+	return &Disturbance{g: g, mapping: mapping, victims: make(map[int]*victimState)}
+}
+
+// OnActivate records an activation of an aggressor row.
+func (d *Disturbance) OnActivate(row int) {
+	sa := d.g.Subarray(d.mapping, row)
+	idx := d.g.PhysicalIndex(d.mapping, row)
+	if idx+1 < d.g.SubarrayRows {
+		v := d.victim(d.g.RowAt(d.mapping, sa, idx+1))
+		v.left++ // the aggressor sits on this victim's left side
+		d.update(v)
+	}
+	if idx-1 >= 0 {
+		v := d.victim(d.g.RowAt(d.mapping, sa, idx-1))
+		v.right++
+		d.update(v)
+	}
+}
+
+// OnRefreshRow clears the disturbance of a refreshed victim row.
+func (d *Disturbance) OnRefreshRow(row int) {
+	delete(d.victims, row)
+}
+
+// OnMitigate clears the victims refreshed by mitigating aggressor row:
+// two rows on either side (Section V.A).
+func (d *Disturbance) OnMitigate(row int) {
+	for dist := 1; dist <= 2; dist++ {
+		for _, v := range d.g.PhysicalNeighbors(d.mapping, row, dist) {
+			delete(d.victims, v)
+		}
+	}
+}
+
+func (d *Disturbance) victim(row int) *victimState {
+	v, ok := d.victims[row]
+	if !ok {
+		v = &victimState{}
+		d.victims[row] = v
+	}
+	return v
+}
+
+func (d *Disturbance) update(v *victimState) {
+	single := v.left
+	if v.right > single {
+		single = v.right
+	}
+	if single > d.maxSingle {
+		d.maxSingle = single
+	}
+	double := v.left
+	if v.right < double {
+		double = v.right
+	}
+	if double > d.maxDouble {
+		d.maxDouble = double
+	}
+}
+
+// MaxSingleSided returns the highest one-sided unmitigated activation count
+// any victim has experienced; it must stay below the single-sided
+// Rowhammer threshold for the design to be secure.
+func (d *Disturbance) MaxSingleSided() int { return d.maxSingle }
+
+// MaxDoubleSided returns the highest per-side count any victim accrued
+// from both sides simultaneously; it must stay below the double-sided
+// threshold.
+func (d *Disturbance) MaxDoubleSided() int { return d.maxDouble }
+
+// TrackedVictims returns the number of victims with live disturbance.
+func (d *Disturbance) TrackedVictims() int { return len(d.victims) }

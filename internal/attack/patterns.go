@@ -1,0 +1,120 @@
+package attack
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+)
+
+// Pattern is an adversarial activation stream for one bank: Next returns
+// the logical row of the attacker's next activation. Patterns are
+// deterministic — the threat model grants the attacker knowledge of the
+// defense algorithm but not of its random numbers, so the strongest
+// deterministic strategy is the right benchmark.
+type Pattern interface {
+	Next() int
+	Name() string
+}
+
+// Rotation cycles through a fixed list of rows — the building block of
+// single-sided, double-sided, many-sided and circular patterns.
+type Rotation struct {
+	rows  []int
+	i     int
+	label string
+}
+
+// NewRotation builds a cyclic pattern over rows.
+func NewRotation(label string, rows ...int) *Rotation {
+	if len(rows) == 0 {
+		panic("attack: rotation needs at least one row")
+	}
+	return &Rotation{rows: rows, label: label}
+}
+
+// Next implements Pattern.
+func (r *Rotation) Next() int {
+	row := r.rows[r.i]
+	r.i = (r.i + 1) % len(r.rows)
+	return row
+}
+
+// Name implements Pattern.
+func (r *Rotation) Name() string { return r.label }
+
+// Rows returns the pattern's row set.
+func (r *Rotation) Rows() []int { return append([]int(nil), r.rows...) }
+
+// SingleSided hammers one aggressor row continuously. The victim rows on
+// either side each see the full activation stream from one side.
+func SingleSided(g dram.Geometry, m dram.R2SAMapping, sa, physIdx int) *Rotation {
+	return NewRotation("single-sided", g.RowAt(m, sa, physIdx))
+}
+
+// DoubleSided alternates between the two aggressors sandwiching the victim
+// at (sa, victimIdx): physical indices victimIdx-1 and victimIdx+1.
+func DoubleSided(g dram.Geometry, m dram.R2SAMapping, sa, victimIdx int) *Rotation {
+	if victimIdx < 1 || victimIdx+1 >= g.SubarrayRows {
+		panic(fmt.Sprintf("attack: victim index %d has no neighbors on both sides", victimIdx))
+	}
+	return NewRotation("double-sided",
+		g.RowAt(m, sa, victimIdx-1),
+		g.RowAt(m, sa, victimIdx+1))
+}
+
+// Circular builds the worst-case pattern of Section II.F / Figure 12: K
+// aggressor rows in the same subarray (hence the same RCT region), spaced
+// two physical rows apart so none shares a victim, hammered in a loop.
+// Against MIRZA, the loop first primes the region counter past FTH and then
+// keeps every activation participating in randomized selection.
+func Circular(g dram.Geometry, m dram.R2SAMapping, sa, k int) *Rotation {
+	if k < 1 || 2*k >= g.SubarrayRows {
+		panic(fmt.Sprintf("attack: circular pattern of %d rows does not fit a subarray", k))
+	}
+	rows := make([]int, k)
+	for i := range rows {
+		rows[i] = g.RowAt(m, sa, 1+2*i)
+	}
+	return NewRotation(fmt.Sprintf("circular-%d", k), rows...)
+}
+
+// DoubleSidedMany interleaves p double-sided pairs within one subarray —
+// the multi-victim escalation the analysis of Section VI.B covers.
+func DoubleSidedMany(g dram.Geometry, m dram.R2SAMapping, sa, pairs int) *Rotation {
+	if pairs < 1 || 4*pairs+2 >= g.SubarrayRows {
+		panic(fmt.Sprintf("attack: %d double-sided pairs do not fit a subarray", pairs))
+	}
+	var rows []int
+	for p := 0; p < pairs; p++ {
+		base := 1 + 4*p
+		rows = append(rows, g.RowAt(m, sa, base), g.RowAt(m, sa, base+2))
+	}
+	return NewRotation(fmt.Sprintf("double-sided-x%d", pairs), rows...)
+}
+
+// Feinting approximates the queue-drain attack of Figure 10 against
+// MIRZA-Q: queueSize+1 aggressors in one region rotated so that queued
+// entries keep accruing tardiness while the attacker forces one ALERT per
+// drained entry, maximizing the Phase-D activations of the last entry.
+func Feinting(g dram.Geometry, m dram.R2SAMapping, sa, queueSize int) *Rotation {
+	rows := make([]int, queueSize+1)
+	for i := range rows {
+		rows[i] = g.RowAt(m, sa, 1+2*i)
+	}
+	return NewRotation(fmt.Sprintf("feinting-%d", queueSize), rows...)
+}
+
+// EdgeDoubleSided targets a victim on an intra-subarray region boundary:
+// the two aggressors fall in different RCT regions, the case footnote 3 of
+// Section VI.B defends with the edge-row double increment. regionRows is
+// the number of physical rows per region within the subarray.
+func EdgeDoubleSided(g dram.Geometry, m dram.R2SAMapping, sa, regionRows int) *Rotation {
+	if regionRows < 2 || regionRows >= g.SubarrayRows {
+		panic(fmt.Sprintf("attack: bad regionRows %d", regionRows))
+	}
+	// Victim at the last row of region 0; aggressors at regionRows-2
+	// (region 0) and regionRows (region 1).
+	return NewRotation("edge-double-sided",
+		g.RowAt(m, sa, regionRows-2),
+		g.RowAt(m, sa, regionRows))
+}

@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"mirza/internal/dram"
+)
+
+// PerfAttackModel is the analytic ACT-throughput model of Section IX: a
+// benign application striping reads over 16 banks (one activation per 3ns
+// of bus time) shares the channel with an attacker running the Figure 12
+// kernel — a circular pattern inside one primed RCT region that forces one
+// ALERT per MINT-W escaping activations, doing 3 activations in each ALERT
+// prologue and W-3 outside it (paced by tRC on the attacked bank).
+type PerfAttackModel struct {
+	Timing dram.Timing
+	// BenignACTTime is the benign workload's steady-state time per
+	// activation when unattacked (3ns: bus-limited).
+	BenignACTTime dram.Time
+}
+
+// NewPerfAttackModel returns the model with the paper's parameters.
+func NewPerfAttackModel(t dram.Timing) PerfAttackModel {
+	return PerfAttackModel{Timing: t, BenignACTTime: 3 * dram.Nanosecond}
+}
+
+// AlertOnlySlowdown returns the slowdown of the benign application when the
+// channel sustains back-to-back ALERTs (Section IX.A): the application can
+// activate during the first prologue portion (180ns - tRC) and stalls for
+// the remaining 350ns, i.e. ~44.7 activations per 530ns instead of one per
+// 3ns — a ~3.8x slowdown.
+func (m PerfAttackModel) AlertOnlySlowdown() float64 {
+	usable := m.Timing.ABOPrologue - m.Timing.TRC
+	period := m.Timing.ALERTLatency()
+	actsPerPeriod := float64(usable) / float64(m.BenignACTTime)
+	base := float64(period) / float64(m.BenignACTTime)
+	return base / actsPerPeriod
+}
+
+// RelativeThroughput returns the benign application's ACT throughput under
+// the Figure 12 attack with MINT window w, relative to its unattacked
+// throughput (Table XI: ~63%/56%/45% for W = 16/12/8).
+func (m PerfAttackModel) RelativeThroughput(w int) float64 {
+	if w < 4 {
+		w = 4
+	}
+	t := m.Timing
+	// One attack period: the 530ns ALERT (attacker lands 3 prologue ACTs)
+	// plus W-3 attacker activations paced at tRC on its bank.
+	outside := dram.Time(w-3) * t.TRC
+	period := t.ALERTLatency() + outside
+
+	// Benign activations: during the usable prologue, plus the outside
+	// phase minus the attacker's own bus slots.
+	prologueActs := float64(t.ABOPrologue-t.TRC) / float64(m.BenignACTTime)
+	outsideActs := float64(outside-dram.Time(w-3)*m.BenignACTTime) / float64(m.BenignACTTime)
+	unattacked := float64(period) / float64(m.BenignACTTime)
+	return (prologueActs + outsideActs) / unattacked
+}
+
+// Slowdown returns the worst-case slowdown factor under the performance
+// attack (the reciprocal of RelativeThroughput).
+func (m PerfAttackModel) Slowdown(w int) float64 {
+	rt := m.RelativeThroughput(w)
+	if rt <= 0 {
+		return 0
+	}
+	return 1 / rt
+}
+
+// PrimingACTs returns the number of activations the Figure 12 kernel spends
+// priming the RCT region counter past FTH, and PrimingFraction that cost as
+// a fraction of the refresh window's activation budget (the paper notes it
+// is under 1% of tREFW).
+func PrimingACTs(fth int) int { return fth + 1 }
+
+// PrimingFraction returns priming cost relative to the single-bank
+// activation budget of one tREFW.
+func PrimingFraction(t dram.Timing, fth int) float64 {
+	return float64(PrimingACTs(fth)) / float64(t.MaxACTsPerBankPerTREFW())
+}
+
+// BaselineAttackSlowdowns returns the Appendix A (Table XIII) worst-case
+// slowdown factors for the PRAC+ABO and MINT+RFM baselines at a target
+// TRHD. These are closed forms calibrated to the paper's reported points
+// (PRAC: 1.2x/1.1x/1.05x and MINT+RFM: 1.4x/1.2x/1.1x at 500/1K/2K): both
+// designs' attack overhead halves as the threshold doubles because the
+// attacker needs proportionally more activations per forced stall.
+func BaselineAttackSlowdowns(trhd int) (prac, mintRFM float64) {
+	if trhd <= 0 {
+		return 1, 1
+	}
+	return 1 + 100/float64(trhd), 1 + 200/float64(trhd)
+}

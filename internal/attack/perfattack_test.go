@@ -1,0 +1,93 @@
+package attack
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+func TestAlertOnlySlowdown(t *testing.T) {
+	m := NewPerfAttackModel(dram.DDR5())
+	// Section IX.A: ~44.7 ACTs per 530ns instead of 1 per 3ns = ~3.8x.
+	s := m.AlertOnlySlowdown()
+	if s < 3.5 || s > 4.2 {
+		t.Errorf("ALERT-saturated slowdown = %.2f, want ~3.8x", s)
+	}
+}
+
+func TestRelativeThroughputMatchesTableXI(t *testing.T) {
+	m := NewPerfAttackModel(dram.DDR5())
+	cases := []struct {
+		w    int
+		want float64 // Table XI
+	}{
+		{16, 0.634},
+		{12, 0.559},
+		{8, 0.445},
+	}
+	for _, c := range cases {
+		got := m.RelativeThroughput(c.w)
+		if got < c.want-0.05 || got > c.want+0.05 {
+			t.Errorf("W=%d: relative throughput %.3f, want %.3f +/- 0.05", c.w, got, c.want)
+		}
+	}
+	// Monotone: larger windows leave more throughput.
+	if m.RelativeThroughput(16) <= m.RelativeThroughput(8) {
+		t.Error("throughput must grow with W")
+	}
+}
+
+func TestSlowdownMatchesTableXI(t *testing.T) {
+	m := NewPerfAttackModel(dram.DDR5())
+	cases := []struct {
+		w    int
+		want float64
+	}{
+		{16, 1.6}, {12, 1.8}, {8, 2.25},
+	}
+	for _, c := range cases {
+		got := m.Slowdown(c.w)
+		if got < c.want*0.9 || got > c.want*1.12 {
+			t.Errorf("W=%d: slowdown %.2fx, want ~%.2fx", c.w, got, c.want)
+		}
+	}
+}
+
+func TestPrimingCostIsSmall(t *testing.T) {
+	tm := dram.DDR5()
+	// Section IX.B: priming the RCT past FTH costs less than 1% of the
+	// refresh window's activation budget.
+	for _, fth := range []int{660, 1500, 3330} {
+		if f := PrimingFraction(tm, fth); f >= 0.01 {
+			t.Errorf("FTH=%d: priming fraction %.4f, want < 1%%", fth, f)
+		}
+	}
+	if PrimingACTs(1500) != 1501 {
+		t.Error("priming needs FTH+1 activations")
+	}
+}
+
+func TestBaselineAttackSlowdowns(t *testing.T) {
+	// Appendix A, Table XIII.
+	cases := []struct {
+		trhd       int
+		prac, mint float64
+	}{
+		{500, 1.2, 1.4},
+		{1000, 1.1, 1.2},
+		{2000, 1.05, 1.1},
+	}
+	for _, c := range cases {
+		prac, mint := BaselineAttackSlowdowns(c.trhd)
+		if prac != c.prac || mint != c.mint {
+			t.Errorf("TRHD=%d: got %.2f/%.2f, want %.2f/%.2f", c.trhd, prac, mint, c.prac, c.mint)
+		}
+	}
+	// MIRZA's worst case (Table XIII) comes from the Table XI model and
+	// must exceed the baselines' — the documented trade-off.
+	m := NewPerfAttackModel(dram.DDR5())
+	prac, mint := BaselineAttackSlowdowns(1000)
+	if s := m.Slowdown(12); s <= mint || s <= prac {
+		t.Errorf("MIRZA attack slowdown %.2f should exceed the baselines %.2f/%.2f", s, prac, mint)
+	}
+}

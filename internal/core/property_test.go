@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mirza/internal/stats"
+	"mirza/internal/track"
+)
+
+// TestPropertyAccountingInvariant: for any activation stream, every ACT is
+// either filtered or escaped, and escaped splits into queue hits, window
+// observations and (selections + drops) consistently.
+func TestPropertyAccountingInvariant(t *testing.T) {
+	f := func(seed uint64, serviceMod uint8) bool {
+		cfg, _ := ForTRHD(1000)
+		cfg.FTH = 20
+		cfg.Seed = seed
+		m := MustNew(cfg, track.NopSink{})
+		rng := stats.NewRNG(seed)
+		mod := int(serviceMod%7) + 2
+		for i := 0; i < 5000; i++ {
+			row := m.cfg.Geometry.RowAt(cfg.Mapping, rng.Intn(16), rng.Intn(64))
+			m.OnActivate(0, row, 0)
+			if i%mod == 0 && m.WantsALERT() {
+				m.ServiceALERT(0)
+			}
+			if i%97 == 0 {
+				m.OnREF(i/97%8192, 0)
+			}
+		}
+		s := m.Stats
+		if s.Filtered+s.Escaped != s.ACTs {
+			return false
+		}
+		if s.Selections+s.DroppedSel+s.QueueHits > s.Escaped {
+			return false
+		}
+		return s.Mitigations <= s.Selections
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRCTNeverExceedsSaturation: RCT counters are bounded by FTH+1
+// under any stream and reset policy.
+func TestPropertyRCTNeverExceedsSaturation(t *testing.T) {
+	f := func(seed uint64, policy uint8) bool {
+		cfg, _ := ForTRHD(1000)
+		cfg.FTH = 50
+		cfg.Seed = seed
+		cfg.ResetPolicy = ResetPolicy(policy % 3)
+		m := MustNew(cfg, track.NopSink{})
+		rng := stats.NewRNG(seed ^ 7)
+		ref := 0
+		for i := 0; i < 8000; i++ {
+			row := m.cfg.Geometry.RowAt(cfg.Mapping, rng.Intn(4), rng.Intn(1024))
+			m.OnActivate(0, row, 0)
+			if rng.Intn(10) == 0 {
+				m.OnREF(ref%8192, 0)
+				ref++
+			}
+			if m.WantsALERT() {
+				m.ServiceALERT(0)
+			}
+		}
+		for region := 0; region < cfg.Regions; region++ {
+			if m.RegionCount(0, region) > cfg.FTH+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyQueueUniqueAndBounded: MIRZA-Q never holds duplicates and
+// never exceeds its capacity; tardiness only grows while queued.
+func TestPropertyQueueUniqueAndBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg, _ := ForTRHD(1000)
+		cfg.FTH = 0
+		cfg.Seed = seed
+		m := MustNew(cfg, track.NopSink{})
+		rng := stats.NewRNG(seed ^ 99)
+		for i := 0; i < 6000; i++ {
+			row := m.cfg.Geometry.RowAt(cfg.Mapping, rng.Intn(8), rng.Intn(32))
+			m.OnActivate(0, row, 0)
+			if rng.Intn(20) == 0 && m.WantsALERT() {
+				m.ServiceALERT(0)
+			}
+			snap := m.QueueSnapshot(0)
+			if len(snap) > cfg.QueueSize {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, e := range snap {
+				if seen[e.Row] || e.Tardiness < 1 {
+					return false
+				}
+				seen[e.Row] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterminism: identical seeds and streams give identical
+// statistics regardless of when they run.
+func TestPropertyDeterminism(t *testing.T) {
+	run := func(seed uint64) MirzaStats {
+		cfg, _ := ForTRHD(500)
+		cfg.FTH = 50 // engage the randomized stage heavily
+		cfg.Seed = seed
+		m := MustNew(cfg, track.NopSink{})
+		rng := stats.NewRNG(123)
+		for i := 0; i < 20000; i++ {
+			row := m.cfg.Geometry.RowAt(cfg.Mapping, rng.Intn(4), rng.Intn(64))
+			m.OnActivate(rng.Intn(4), row, 0)
+			if m.WantsALERT() {
+				m.ServiceALERT(0)
+			}
+		}
+		return m.Stats
+	}
+	if run(7) != run(7) {
+		t.Error("same seed must reproduce identical stats")
+	}
+	if run(7) == run(8) {
+		t.Error("different seeds should diverge")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+// QueueEntry is one MIRZA-Q slot: a row selected by MINT awaiting
+// mitigation, with a tardiness counter tracking the activations the row has
+// received since entering the queue.
+type QueueEntry struct {
+	Row       int
+	Tardiness int
+	Valid     bool
+}
+
+// Queue is the per-bank MIRZA-Q: a small buffer (default 4 entries) that
+// decouples MINT's selections from ALERT servicing, so one channel-wide
+// ALERT can mitigate one row in every bank (Section IV.A). Rows are unique
+// within the queue.
+type Queue struct {
+	entries []QueueEntry
+	valid   int
+}
+
+// NewQueue creates a queue with n slots.
+func NewQueue(n int) *Queue {
+	return &Queue{entries: make([]QueueEntry, n)}
+}
+
+// Len returns the number of valid entries.
+func (q *Queue) Len() int { return q.valid }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return len(q.entries) }
+
+// Full reports whether every slot is occupied.
+func (q *Queue) Full() bool { return q.valid == len(q.entries) }
+
+// Touch increments the tardiness counter of row if it is queued, returning
+// the updated counter and true; otherwise it returns 0, false.
+func (q *Queue) Touch(row int) (tardiness int, ok bool) {
+	for i := range q.entries {
+		if q.entries[i].Valid && q.entries[i].Row == row {
+			q.entries[i].Tardiness++
+			return q.entries[i].Tardiness, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether row is queued.
+func (q *Queue) Contains(row int) bool {
+	for i := range q.entries {
+		if q.entries[i].Valid && q.entries[i].Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds row with an initial tardiness of 1 (Section V.A). It returns
+// false if the queue is full or the row is already present.
+func (q *Queue) Insert(row int) bool {
+	if q.Contains(row) {
+		return false
+	}
+	for i := range q.entries {
+		if !q.entries[i].Valid {
+			q.entries[i] = QueueEntry{Row: row, Tardiness: 1, Valid: true}
+			q.valid++
+			return true
+		}
+	}
+	return false
+}
+
+// MaxTardiness returns the largest tardiness among valid entries (0 if
+// empty).
+func (q *Queue) MaxTardiness() int {
+	max := 0
+	for i := range q.entries {
+		if q.entries[i].Valid && q.entries[i].Tardiness > max {
+			max = q.entries[i].Tardiness
+		}
+	}
+	return max
+}
+
+// TakeMax removes and returns the valid entry with the highest tardiness
+// counter — the entry mitigated on an ALERT (Section V.A).
+func (q *Queue) TakeMax() (QueueEntry, bool) {
+	best := -1
+	for i := range q.entries {
+		if !q.entries[i].Valid {
+			continue
+		}
+		if best < 0 || q.entries[i].Tardiness > q.entries[best].Tardiness {
+			best = i
+		}
+	}
+	if best < 0 {
+		return QueueEntry{}, false
+	}
+	e := q.entries[best]
+	q.entries[best] = QueueEntry{}
+	q.valid--
+	return e, true
+}
+
+// Entries returns a snapshot of the valid entries (for tests and tools).
+func (q *Queue) Entries() []QueueEntry {
+	out := make([]QueueEntry, 0, q.valid)
+	for _, e := range q.entries {
+		if e.Valid {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package cpu
+
+import (
+	"math"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/trace"
+)
+
+// CoreConfig parameterizes one out-of-order core (Table III defaults).
+type CoreConfig struct {
+	Width     int       // retire width, instructions per cycle (4)
+	ROB       int       // reorder-buffer entries (392)
+	MSHR      int       // maximum outstanding misses (16)
+	CycleTime dram.Time // clock period (250ps at 4GHz)
+}
+
+func (c *CoreConfig) setDefaults() {
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	if c.ROB == 0 {
+		c.ROB = 392
+	}
+	if c.MSHR == 0 {
+		c.MSHR = 16
+	}
+	if c.CycleTime == 0 {
+		c.CycleTime = 250 * dram.Picosecond
+	}
+}
+
+type missEntry struct {
+	pos  int64
+	done bool
+}
+
+// Core is a trace-driven core with an ROB-occupancy stall model: it issues
+// instructions at Width per cycle, sends loads that miss the LLC to the
+// memory controller, and stalls when the oldest incomplete load falls ROB
+// instructions behind the issue point (or when MSHRs are exhausted).
+type Core struct {
+	id  int
+	cfg CoreConfig
+	k   *sim.Kernel
+	gen trace.Generator
+
+	translate func(core int, vaddr uint64) uint64
+	submit    func(r *mem.Request)
+	llc       *LLC
+
+	pos   int64     // instructions issued (our retirement proxy)
+	posAt dram.Time // simulation time at which pos was reached
+
+	outstanding []*missEntry
+	waiting     bool // stalled on ROB head or MSHRs
+	sleeping    bool // a timed wake event is pending
+
+	haveOp bool
+	op     trace.Op
+	opPos  int64
+
+	Reads  int64
+	Writes int64
+}
+
+// NewCore builds a core. translate maps a core-virtual byte address to a
+// physical one; submit hands requests to the memory channel; llc may be nil
+// to drive the generator's miss stream directly at the controller (the
+// calibrated mode used for the paper's workloads, whose Table IV MPKI
+// already reflects a shared 16MB LLC).
+func NewCore(id int, cfg CoreConfig, k *sim.Kernel, gen trace.Generator,
+	translate func(core int, vaddr uint64) uint64, submit func(r *mem.Request), llc *LLC) *Core {
+	cfg.setDefaults()
+	return &Core{id: id, cfg: cfg, k: k, gen: gen, translate: translate, submit: submit, llc: llc}
+}
+
+// Start begins execution.
+func (c *Core) Start() { c.run() }
+
+// Retired returns the number of instructions issued/retired.
+func (c *Core) Retired() int64 { return c.pos }
+
+// IPC returns instructions per cycle over the period from start to now.
+func (c *Core) IPC(now dram.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	cycles := float64(now) / float64(c.cfg.CycleTime)
+	return float64(c.pos) / cycles
+}
+
+// issueTime returns the front-end time to issue n instructions.
+func (c *Core) issueTime(n int64) dram.Time {
+	return dram.Time(n) * c.cfg.CycleTime / dram.Time(c.cfg.Width)
+}
+
+func (c *Core) run() {
+	now := c.k.Now()
+	c.waiting = false
+	for {
+		c.popDone()
+		if !c.haveOp {
+			c.gen.Next(&c.op)
+			c.opPos = c.pos + c.op.Gap + 1 // the access is an instruction too
+			c.haveOp = true
+		}
+
+		limit := int64(math.MaxInt64)
+		if len(c.outstanding) > 0 {
+			limit = c.outstanding[0].pos + int64(c.cfg.ROB)
+		}
+		target := c.opPos
+		if limit < target {
+			target = limit
+		}
+		if target > c.pos {
+			readyAt := c.posAt + c.issueTime(target-c.pos)
+			if readyAt > now {
+				// Issuing up to target takes front-end time: advance only
+				// the instructions that fit by now (so IPC accounting is
+				// exact at any instant) and continue at a timed wake.
+				fit := int64(now-c.posAt) * int64(c.cfg.Width) / int64(c.cfg.CycleTime)
+				if fit > 0 {
+					c.pos += fit
+					c.posAt += c.issueTime(fit)
+				}
+				if !c.sleeping {
+					c.sleeping = true
+					c.k.Schedule(readyAt, c.timedWake)
+				}
+				return
+			}
+			c.pos = target
+			c.posAt = readyAt
+		}
+		if c.pos < c.opPos {
+			// ROB full: resume when the oldest miss returns.
+			c.waiting = true
+			return
+		}
+
+		// At the memory operation.
+		if !c.op.Write && len(c.outstanding) >= c.cfg.MSHR {
+			c.waiting = true
+			return
+		}
+		c.issueMemOp(now)
+		c.haveOp = false
+	}
+}
+
+// SyncClock advances the retirement accounting to time now (applying any
+// issue progress since the last event) without changing scheduling. Called
+// at measurement boundaries, where the clock may sit between core events.
+func (c *Core) SyncClock(now dram.Time) {
+	if c.waiting || c.sleeping == false || !c.haveOp || now <= c.posAt {
+		return
+	}
+	limit := int64(math.MaxInt64)
+	if len(c.outstanding) > 0 {
+		limit = c.outstanding[0].pos + int64(c.cfg.ROB)
+	}
+	target := c.opPos
+	if limit < target {
+		target = limit
+	}
+	fit := int64(now-c.posAt) * int64(c.cfg.Width) / int64(c.cfg.CycleTime)
+	if c.pos+fit > target {
+		fit = target - c.pos
+	}
+	if fit > 0 {
+		c.pos += fit
+		c.posAt += c.issueTime(fit)
+	}
+}
+
+func (c *Core) timedWake() {
+	c.sleeping = false
+	c.run()
+}
+
+func (c *Core) issueMemOp(now dram.Time) {
+	phys := c.translate(c.id, c.op.Line*trace.LineBytes)
+	write := c.op.Write
+
+	if c.llc != nil {
+		res := c.llc.Access(phys, write)
+		if res.Writeback {
+			c.Writes++
+			c.submit(&mem.Request{Addr: res.WritebackPhys, Write: true})
+		}
+		if res.Hit {
+			return // hit latency is hidden by the OoO window
+		}
+		write = false // fills are reads; the dirty bit lives in the cache
+	}
+
+	if write {
+		// Posted write (writeback traffic): no ROB occupancy.
+		c.Writes++
+		c.submit(&mem.Request{Addr: phys, Write: true})
+		return
+	}
+
+	c.Reads++
+	entry := &missEntry{pos: c.pos}
+	c.outstanding = append(c.outstanding, entry)
+	c.submit(&mem.Request{
+		Addr: phys,
+		Done: func(at dram.Time) {
+			entry.done = true
+			if !c.waiting {
+				return
+			}
+			// The front-end was stalled; its issue clock resumes now.
+			resume := func() {
+				if c.posAt < at {
+					c.posAt = at
+				}
+				c.run()
+			}
+			if c.outstanding[0].done {
+				resume()
+				return
+			}
+			// MSHR-stalled cores can resume on any completion.
+			c.popDone()
+			if len(c.outstanding) < c.cfg.MSHR {
+				resume()
+			}
+		},
+	})
+}
+
+func (c *Core) popDone() {
+	for len(c.outstanding) > 0 && c.outstanding[0].done {
+		c.outstanding = c.outstanding[1:]
+	}
+}

@@ -1,0 +1,193 @@
+package cpu
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/trace"
+)
+
+func TestLLCBasics(t *testing.T) {
+	l, err := NewLLC(LLCConfig{Bytes: 1 << 20, Ways: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := l.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := l.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if l.Stats.Hits != 1 || l.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", l.Stats)
+	}
+}
+
+func TestLLCWritebackOnDirtyEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, tiny cache so evictions are easy.
+	l, err := NewLLC(LLCConfig{Bytes: 8192, Ways: 2}) // 64 sets
+	if err != nil {
+		t.Fatal(err)
+	}
+	setStride := uint64(64 * 64) // same set every 4KB
+	l.Access(0, true)            // dirty
+	l.Access(setStride, false)
+	r := l.Access(2*setStride, false) // evicts line 0 (LRU)
+	if !r.Writeback || r.WritebackPhys != 0 {
+		t.Errorf("expected writeback of line 0: %+v", r)
+	}
+	if l.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", l.Stats.Writebacks)
+	}
+	// Clean evictions produce no writeback.
+	r = l.Access(3*setStride, false)
+	if r.Writeback {
+		t.Error("clean eviction must not write back")
+	}
+}
+
+func TestLLCLRU(t *testing.T) {
+	l, _ := NewLLC(LLCConfig{Bytes: 8192, Ways: 2})
+	setStride := uint64(64 * 64)
+	l.Access(0, false)
+	l.Access(setStride, false)
+	l.Access(0, false)           // refresh line 0
+	l.Access(2*setStride, false) // evicts setStride (LRU)
+	if r := l.Access(0, false); !r.Hit {
+		t.Error("LRU should have kept the recently used line")
+	}
+	if r := l.Access(setStride, false); r.Hit {
+		t.Error("LRU victim should be gone")
+	}
+}
+
+func TestLLCConfigValidation(t *testing.T) {
+	if _, err := NewLLC(LLCConfig{Bytes: 1000, Ways: 3}); err == nil {
+		t.Error("bad geometry must be rejected")
+	}
+}
+
+// fixedGen replays a fixed op sequence, then repeats the last op forever.
+type fixedGen struct {
+	ops []trace.Op
+	i   int
+}
+
+func (f *fixedGen) Next(op *trace.Op) {
+	if f.i < len(f.ops) {
+		*op = f.ops[f.i]
+		f.i++
+		return
+	}
+	*op = trace.Op{Gap: 1 << 20, Line: 0}
+}
+func (f *fixedGen) Name() string { return "fixed" }
+
+func TestCoreROBStall(t *testing.T) {
+	// One core issuing two dependent far-apart misses: the second miss is
+	// beyond the ROB from the first, so the core must stall until the
+	// first returns.
+	k := &sim.Kernel{}
+	ch, err := mem.NewChannel(k, mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &fixedGen{ops: []trace.Op{
+		{Gap: 0, Line: 0},
+		{Gap: 1000, Line: 1 << 20}, // > 392 instructions later
+	}}
+	core := NewCore(0, CoreConfig{}, k, gen,
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch.Submit(r) }, nil)
+	core.Start()
+	k.RunUntil(dram.Microsecond)
+	// Both ops issued; retirement includes the gap instructions.
+	if core.Reads != 2 {
+		t.Fatalf("reads = %d", core.Reads)
+	}
+	if core.Retired() < 1000 {
+		t.Errorf("retired = %d", core.Retired())
+	}
+}
+
+func TestCoreIPCBoundedByWidth(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, _ := mem.NewChannel(k, mem.Config{})
+	// Pure compute: gigantic gaps, no memory pressure -> IPC ~ Width.
+	gen := &fixedGen{}
+	core := NewCore(0, CoreConfig{}, k, gen,
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch.Submit(r) }, nil)
+	core.Start()
+	k.RunUntil(100 * dram.Microsecond)
+	core.SyncClock(k.Now())
+	ipc := core.IPC(k.Now())
+	if ipc < 3.8 || ipc > 4.05 {
+		t.Errorf("compute-bound IPC = %.2f, want ~4", ipc)
+	}
+}
+
+func TestSystemWeightedWindows(t *testing.T) {
+	spec, err := trace.Lookup("xz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := trace.PerCore(spec, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{Mem: mem.Config{}}, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200 * dram.Microsecond)
+	sys.Snapshot()
+	sys.Run(400 * dram.Microsecond)
+	ipcs := sys.IPCs()
+	for i, v := range ipcs {
+		if v <= 0 || v > 4 {
+			t.Errorf("core %d IPC = %v", i, v)
+		}
+	}
+	st := sys.MemStats()
+	if st.ACTs <= 0 || st.REFs <= 0 {
+		t.Errorf("window stats: %+v", st)
+	}
+	if sys.Window() != 200*dram.Microsecond {
+		t.Errorf("window = %v", sys.Window())
+	}
+	if bu := sys.BusUtilization(); bu <= 0 || bu > 100 {
+		t.Errorf("bus util = %v", bu)
+	}
+}
+
+func TestSystemWithLLC(t *testing.T) {
+	spec, _ := trace.Lookup("xalancbmk")
+	gens, _ := trace.PerCore(spec, 2, 3)
+	sys, err := NewSystem(SystemConfig{
+		Cores:  2,
+		Mem:    mem.Config{},
+		UseLLC: true,
+		LLC:    LLCConfig{Bytes: 1 << 20},
+	}, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * dram.Microsecond)
+	if sys.LLC.Stats.Hits == 0 || sys.LLC.Stats.Misses == 0 {
+		t.Errorf("LLC unused: %+v", sys.LLC.Stats)
+	}
+	// Memory traffic must be the miss stream, not the access stream.
+	st := sys.Channel.Stats()
+	if st.Reads > sys.LLC.Stats.Misses {
+		t.Errorf("reads %d > misses %d", st.Reads, sys.LLC.Stats.Misses)
+	}
+}
+
+func TestGeneratorMismatchRejected(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Cores: 8}, nil); err == nil {
+		t.Error("missing generators must be rejected")
+	}
+}

@@ -1,0 +1,141 @@
+// Package cpu models the processor side of the baseline system (Table III):
+// eight 4-wide out-of-order cores with 392-entry reorder buffers driven by
+// trace generators, a shared 16MB 16-way last-level cache, and the glue
+// that turns cache misses into memory-controller requests. Slowdown in the
+// MIRZA evaluation is a memory-system effect — the ROB-occupancy model
+// captures how much memory latency the cores can hide, which is what
+// converts RFM/ALERT stalls and PRAC timing inflation into IPC loss.
+package cpu
+
+import (
+	"fmt"
+)
+
+// LLCConfig configures the shared last-level cache.
+type LLCConfig struct {
+	Bytes     int // total capacity (default 16 MiB)
+	Ways      int // associativity (default 16)
+	LineBytes int // line size (default 64)
+}
+
+func (c *LLCConfig) setDefaults() {
+	if c.Bytes == 0 {
+		c.Bytes = 16 << 20
+	}
+	if c.Ways == 0 {
+		c.Ways = 16
+	}
+	if c.LineBytes == 0 {
+		c.LineBytes = 64
+	}
+}
+
+// LLCStats counts cache activity.
+type LLCStats struct {
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+type llcLine struct {
+	tag   uint64
+	stamp uint64
+	valid bool
+	dirty bool
+}
+
+// LLC is a set-associative writeback cache with LRU replacement, shared by
+// all cores (single-threaded simulation, so no locking).
+type LLC struct {
+	cfg   LLCConfig
+	sets  [][]llcLine
+	clock uint64
+	Stats LLCStats
+}
+
+// NewLLC builds a cache from cfg.
+func NewLLC(cfg LLCConfig) (*LLC, error) {
+	cfg.setDefaults()
+	lines := cfg.Bytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cpu: %d lines not divisible by %d ways", lines, cfg.Ways)
+	}
+	numSets := lines / cfg.Ways
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cpu: set count %d must be a power of two", numSets)
+	}
+	l := &LLC{cfg: cfg}
+	l.sets = make([][]llcLine, numSets)
+	backing := make([]llcLine, numSets*cfg.Ways)
+	for i := range l.sets {
+		l.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return l, nil
+}
+
+// AccessResult describes the outcome of a cache access.
+type AccessResult struct {
+	Hit           bool
+	Writeback     bool
+	WritebackPhys uint64 // physical byte address of the evicted dirty line
+}
+
+// Access performs a lookup/fill for the physical byte address phys. Misses
+// allocate; dirty evictions are reported for the caller to issue as write
+// requests.
+func (l *LLC) Access(phys uint64, write bool) AccessResult {
+	lineAddr := phys / uint64(l.cfg.LineBytes)
+	setIdx := lineAddr & uint64(len(l.sets)-1)
+	tag := lineAddr >> uint(log2(len(l.sets)))
+	set := l.sets[setIdx]
+	l.clock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].stamp = l.clock
+			if write {
+				set[i].dirty = true
+			}
+			l.Stats.Hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	l.Stats.Misses++
+
+	// Choose a victim: an invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	res := AccessResult{}
+	if set[victim].valid && set[victim].dirty {
+		l.Stats.Writebacks++
+		evicted := set[victim].tag<<uint(log2(len(l.sets))) | setIdx
+		res.Writeback = true
+		res.WritebackPhys = evicted * uint64(l.cfg.LineBytes)
+	}
+	set[victim] = llcLine{tag: tag, stamp: l.clock, valid: true, dirty: write}
+	return res
+}
+
+// MPKI returns misses per kilo-instruction given retired instructions.
+func (s LLCStats) MPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(instructions) * 1000
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	return k
+}

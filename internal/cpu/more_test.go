@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/trace"
+)
+
+func TestCoreMSHRLimit(t *testing.T) {
+	// With MSHR=1 every miss serializes: two independent misses complete
+	// roughly one full memory latency apart.
+	k := &sim.Kernel{}
+	ch, _ := mem.NewChannel(k, mem.Config{})
+	gen := &fixedGen{ops: []trace.Op{
+		{Gap: 0, Line: 0},
+		{Gap: 0, Line: 1 << 22}, // different bank/row
+	}}
+	core := NewCore(0, CoreConfig{MSHR: 1}, k, gen,
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch.Submit(r) }, nil)
+	core.Start()
+	k.RunUntil(10 * dram.Microsecond)
+	if core.Reads != 2 {
+		t.Fatalf("reads = %d", core.Reads)
+	}
+	// With generous MSHRs the same two misses overlap: compare bus stats.
+	k2 := &sim.Kernel{}
+	ch2, _ := mem.NewChannel(k2, mem.Config{})
+	gen2 := &fixedGen{ops: []trace.Op{
+		{Gap: 0, Line: 0},
+		{Gap: 0, Line: 1 << 22},
+	}}
+	core2 := NewCore(0, CoreConfig{MSHR: 8}, k2, gen2,
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch2.Submit(r) }, nil)
+	core2.Start()
+	k2.RunUntil(10 * dram.Microsecond)
+	if core2.Reads != 2 {
+		t.Fatalf("reads = %d", core2.Reads)
+	}
+}
+
+func TestIPCZeroAtStart(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, _ := mem.NewChannel(k, mem.Config{})
+	core := NewCore(0, CoreConfig{}, k, &fixedGen{},
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch.Submit(r) }, nil)
+	if core.IPC(0) != 0 {
+		t.Error("IPC at t=0 must be 0")
+	}
+}
+
+func TestSyncClockIdempotent(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, _ := mem.NewChannel(k, mem.Config{})
+	core := NewCore(0, CoreConfig{}, k, &fixedGen{},
+		func(c int, v uint64) uint64 { return v },
+		func(r *mem.Request) { ch.Submit(r) }, nil)
+	core.Start()
+	k.RunUntil(10 * dram.Microsecond)
+	core.SyncClock(k.Now())
+	p1 := core.Retired()
+	core.SyncClock(k.Now())
+	if core.Retired() != p1 {
+		t.Error("repeated SyncClock at the same instant must not advance")
+	}
+	// Advancing the clock without events must advance retirement at the
+	// issue rate (compute-bound generator).
+	k.RunUntil(20 * dram.Microsecond)
+	core.SyncClock(k.Now())
+	if core.Retired() <= p1 {
+		t.Error("SyncClock should account the elapsed compute issue")
+	}
+}
+
+func TestSystemRateModeWorkloads(t *testing.T) {
+	// Every Table IV workload must run end-to-end for a short slice
+	// without deadlock (broad integration sweep).
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	for _, name := range []string{"blender", "tc", "mix_4"} {
+		spec, err := trace.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens, err := trace.PerCore(spec, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(SystemConfig{
+			Core: CoreConfig{MSHR: spec.MLPLimit()},
+			Mem:  mem.Config{},
+		}, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(100 * dram.Microsecond)
+		var retired int64
+		for _, c := range sys.Cores {
+			retired += c.Retired()
+		}
+		if retired == 0 {
+			t.Errorf("%s: no progress", name)
+		}
+		if sys.Channel.Stats().REFs == 0 {
+			t.Errorf("%s: no refreshes", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package cpu
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/trace"
+)
+
+// TestSmokeEndToEnd runs a short full-system simulation and sanity-checks
+// that the machine makes progress, refreshes on schedule, and produces a
+// plausible activation stream.
+func TestSmokeEndToEnd(t *testing.T) {
+	spec, err := trace.Lookup("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := trace.PerCore(spec, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(SystemConfig{Mem: mem.Config{}}, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 2 * dram.Millisecond
+	sys.Run(horizon)
+
+	st := sys.Channel.Stats()
+	if st.Reads == 0 || st.ACTs == 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	// Both sub-channels refresh every tREFI: 2ms/3.9us ~ 512 REFs each.
+	wantREFs := int64(2 * horizon / dram.DDR5().TREFI)
+	if st.REFs < wantREFs*9/10 || st.REFs > wantREFs*11/10 {
+		t.Errorf("REFs = %d, want about %d", st.REFs, wantREFs)
+	}
+	var retired int64
+	for _, c := range sys.Cores {
+		retired += c.Retired()
+	}
+	if retired == 0 {
+		t.Fatal("cores retired nothing")
+	}
+	ipc := sys.IPCs()
+	t.Logf("ACTs=%d reads=%d writes=%d REFs=%d retired=%d IPC0=%.3f busUtil=%.1f%%",
+		st.ACTs, st.Reads, st.Writes, st.REFs, retired, ipc[0], sys.BusUtilization())
+
+	actPKI := float64(st.ACTs) / float64(retired) * 1000
+	if actPKI <= 0 {
+		t.Errorf("ACT-PKI = %v, want > 0", actPKI)
+	}
+	t.Logf("MPKI-equivalent=%.1f ACT-PKI=%.1f (targets %.1f / %.1f)",
+		float64(st.Reads)/float64(retired)*1000, actPKI, spec.MPKI, spec.ACTPKI)
+}

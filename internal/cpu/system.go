@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/trace"
+	"mirza/internal/vmap"
+)
+
+// SystemConfig assembles the full-system simulation.
+type SystemConfig struct {
+	Cores int        // number of cores (default 8)
+	Core  CoreConfig // per-core parameters
+	Mem   mem.Config // channel configuration
+
+	// UseLLC inserts the shared last-level cache between the cores and
+	// the memory controller. The calibrated Table IV workloads model the
+	// post-LLC miss stream directly, so experiments leave this false;
+	// raw-access studies and the cache examples set it.
+	UseLLC bool
+	LLC    LLCConfig
+}
+
+// System is a complete simulated machine: kernel, cores, optional LLC,
+// page mapper and one DDR5 channel.
+type System struct {
+	Kernel  *sim.Kernel
+	Channel *mem.Channel
+	Cores   []*Core
+	Mapper  *vmap.Mapper
+	LLC     *LLC
+
+	memSnapshot  mem.Stats
+	posSnapshot  []int64
+	snapshotTime dram.Time
+}
+
+// NewSystem builds a system running one generator per core.
+func NewSystem(cfg SystemConfig, gens []trace.Generator) (*System, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if len(gens) != cfg.Cores {
+		return nil, fmt.Errorf("cpu: %d generators for %d cores", len(gens), cfg.Cores)
+	}
+	cfg.Core.setDefaults()
+
+	k := &sim.Kernel{}
+	ch, err := mem.NewChannel(k, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Kernel:  k,
+		Channel: ch,
+		Mapper:  vmap.NewMapper(ch.Geometry().CapacityBytes()),
+	}
+	if cfg.UseLLC {
+		s.LLC, err = NewLLC(cfg.LLC)
+		if err != nil {
+			return nil, err
+		}
+	}
+	translate := func(core int, vaddr uint64) uint64 {
+		return s.Mapper.Translate(core, vaddr)
+	}
+	submit := func(r *mem.Request) { s.Channel.Submit(r) }
+	for i := 0; i < cfg.Cores; i++ {
+		prefault(s.Mapper, i, gens[i])
+		s.Cores = append(s.Cores, NewCore(i, cfg.Core, k, gens[i], translate, submit, s.LLC))
+	}
+	s.posSnapshot = make([]int64, cfg.Cores)
+	return s, nil
+}
+
+// prefault models the application's initialization sweep: the footprint is
+// touched in virtual-address order, so the clock-style allocator hands out
+// physically sequential blocks and virtual locality survives physically.
+func prefault(m *vmap.Mapper, asid int, gen trace.Generator) {
+	fp, ok := gen.(interface{ FootprintBytes() uint64 })
+	if !ok {
+		return
+	}
+	for off := uint64(0); off < fp.FootprintBytes(); off += vmap.SuperBytes {
+		m.Translate(asid, off)
+	}
+}
+
+// Run starts (or resumes) all cores and advances simulation to the given
+// absolute time.
+func (s *System) Run(until dram.Time) {
+	if s.Kernel.Now() == 0 && s.snapshotTime == 0 {
+		for _, c := range s.Cores {
+			c.Start()
+		}
+	}
+	s.Kernel.RunUntil(until)
+}
+
+// Snapshot marks the beginning of a measurement window: IPCs and MemStats
+// report deltas from the most recent snapshot.
+func (s *System) Snapshot() {
+	for _, c := range s.Cores {
+		c.SyncClock(s.Kernel.Now())
+	}
+	s.snapshotTime = s.Kernel.Now()
+	s.memSnapshot = s.Channel.Stats()
+	for i, c := range s.Cores {
+		s.posSnapshot[i] = c.Retired()
+	}
+}
+
+// IPCs returns each core's IPC over the current measurement window.
+func (s *System) IPCs() []float64 {
+	for _, c := range s.Cores {
+		c.SyncClock(s.Kernel.Now())
+	}
+	elapsed := s.Kernel.Now() - s.snapshotTime
+	out := make([]float64, len(s.Cores))
+	if elapsed <= 0 {
+		return out
+	}
+	for i, c := range s.Cores {
+		cycles := float64(elapsed) / float64(c.cfg.CycleTime)
+		out[i] = float64(c.Retired()-s.posSnapshot[i]) / cycles
+	}
+	return out
+}
+
+// MemStats returns channel counters accumulated over the current
+// measurement window.
+func (s *System) MemStats() mem.Stats {
+	cur := s.Channel.Stats()
+	snap := s.memSnapshot
+	return mem.Stats{
+		Reads:             cur.Reads - snap.Reads,
+		Writes:            cur.Writes - snap.Writes,
+		ACTs:              cur.ACTs - snap.ACTs,
+		REFs:              cur.REFs - snap.REFs,
+		RFMs:              cur.RFMs - snap.RFMs,
+		Alerts:            cur.Alerts - snap.Alerts,
+		DemandRefreshRows: cur.DemandRefreshRows - snap.DemandRefreshRows,
+		Mitigations:       cur.Mitigations - snap.Mitigations,
+		VictimRows:        cur.VictimRows - snap.VictimRows,
+		BusBusy:           cur.BusBusy - snap.BusBusy,
+		AlertStall:        cur.AlertStall - snap.AlertStall,
+		RefBusy:           cur.RefBusy - snap.RefBusy,
+		RFMBusy:           cur.RFMBusy - snap.RFMBusy,
+	}
+}
+
+// Window returns the length of the current measurement window.
+func (s *System) Window() dram.Time { return s.Kernel.Now() - s.snapshotTime }
+
+// BusUtilization returns the data-bus utilisation over the measurement
+// window, in percent, averaged across sub-channels.
+func (s *System) BusUtilization() float64 {
+	w := s.Window()
+	if w <= 0 {
+		return 0
+	}
+	st := s.MemStats()
+	subs := float64(s.Channel.Geometry().SubChannels)
+	return 100 * float64(st.BusBusy) / (float64(w) * subs)
+}

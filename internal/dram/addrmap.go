@@ -1,0 +1,91 @@
+package dram
+
+import "fmt"
+
+// AddressMapping selects how physical addresses spread over the channel's
+// banks and rows. The paper's baseline is Minimalist Open Page with 4 lines
+// per row visit (MOP4, Table III); the alternatives exist for the ablation
+// bench that justifies that choice.
+type AddressMapping int
+
+const (
+	// MOP4Mapping is the default: 4 consecutive lines per row visit, then
+	// stripe across sub-channels and banks (Kaseridis et al., MICRO'11).
+	MOP4Mapping AddressMapping = iota
+	// LineInterleaved stripes every single line across sub-channels and
+	// banks: maximal bank parallelism, minimal row-buffer locality.
+	LineInterleaved
+	// RowInterleaved keeps a whole DRAM row's worth of lines consecutive
+	// before switching banks: maximal locality, minimal parallelism (an
+	// open-page policy's best friend and a bank conflict's worst enemy).
+	RowInterleaved
+)
+
+// String implements fmt.Stringer.
+func (m AddressMapping) String() string {
+	switch m {
+	case MOP4Mapping:
+		return "mop4"
+	case LineInterleaved:
+		return "line-interleaved"
+	case RowInterleaved:
+		return "row-interleaved"
+	default:
+		return fmt.Sprintf("AddressMapping(%d)", int(m))
+	}
+}
+
+// DecomposeWith maps a physical line-aligned byte address to its DRAM
+// location under the chosen mapping. MOP4Mapping matches Decompose.
+func (g Geometry) DecomposeWith(m AddressMapping, phys uint64) Address {
+	group := g.MOPLines
+	switch m {
+	case LineInterleaved:
+		group = 1
+	case RowInterleaved:
+		group = g.LinesPerRow()
+	}
+	line := phys / uint64(g.LineBytes)
+
+	colLow := int(line % uint64(group))
+	line /= uint64(group)
+
+	sc := int(line % uint64(g.SubChannels))
+	line /= uint64(g.SubChannels)
+
+	bank := int(line % uint64(g.BanksPerSubChannel))
+	line /= uint64(g.BanksPerSubChannel)
+
+	groups := g.LinesPerRow() / group
+	colHigh := int(line % uint64(groups))
+	line /= uint64(groups)
+
+	row := int(line % uint64(g.RowsPerBank))
+	return Address{
+		SubChannel: sc,
+		Bank:       bank,
+		Row:        row,
+		Col:        colHigh*group + colLow,
+	}
+}
+
+// ComposeWith is the inverse of DecomposeWith.
+func (g Geometry) ComposeWith(m AddressMapping, a Address) uint64 {
+	group := g.MOPLines
+	switch m {
+	case LineInterleaved:
+		group = 1
+	case RowInterleaved:
+		group = g.LinesPerRow()
+	}
+	groups := g.LinesPerRow() / group
+	colHigh := a.Col / group
+	colLow := a.Col % group
+
+	line := uint64(a.Row)
+	line = line*uint64(groups) + uint64(colHigh)
+	line = line*uint64(g.BanksPerSubChannel) + uint64(a.Bank)
+	line = line*uint64(g.SubChannels) + uint64(a.SubChannel)
+	line = line*uint64(group) + uint64(colLow)
+	return line * uint64(g.LineBytes)
+}

@@ -1,0 +1,68 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeWithRoundTrip(t *testing.T) {
+	g := Default()
+	for _, m := range []AddressMapping{MOP4Mapping, LineInterleaved, RowInterleaved} {
+		m := m
+		f := func(raw uint64) bool {
+			phys := raw % g.CapacityBytes()
+			phys -= phys % uint64(g.LineBytes)
+			a := g.DecomposeWith(m, phys)
+			return g.ComposeWith(m, a) == phys &&
+				a.Row >= 0 && a.Row < g.RowsPerBank &&
+				a.Col >= 0 && a.Col < g.LinesPerRow()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestMappingLocalityCharacter(t *testing.T) {
+	g := Default()
+	sameRowRun := func(m AddressMapping) int {
+		base := g.DecomposeWith(m, 0)
+		run := 1
+		for i := 1; i < g.LinesPerRow()*4; i++ {
+			a := g.DecomposeWith(m, uint64(i*g.LineBytes))
+			if a.SubChannel == base.SubChannel && a.Bank == base.Bank && a.Row == base.Row {
+				run++
+			} else {
+				break
+			}
+		}
+		return run
+	}
+	if got := sameRowRun(MOP4Mapping); got != 4 {
+		t.Errorf("MOP4 run = %d, want 4", got)
+	}
+	if got := sameRowRun(LineInterleaved); got != 1 {
+		t.Errorf("line-interleaved run = %d, want 1", got)
+	}
+	if got := sameRowRun(RowInterleaved); got != g.LinesPerRow() {
+		t.Errorf("row-interleaved run = %d, want %d", got, g.LinesPerRow())
+	}
+}
+
+func TestMOP4MatchesDefaultDecompose(t *testing.T) {
+	g := Default()
+	f := func(raw uint64) bool {
+		phys := raw % g.CapacityBytes()
+		phys -= phys % uint64(g.LineBytes)
+		return g.DecomposeWith(MOP4Mapping, phys) == g.Decompose(phys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingStrings(t *testing.T) {
+	if MOP4Mapping.String() != "mop4" || LineInterleaved.String() != "line-interleaved" {
+		t.Error("mapping names wrong")
+	}
+}

@@ -1,0 +1,162 @@
+// Package dram models a DDR5 memory device at the timing level: geometry
+// (channels, banks, rows), the JEDEC timing parameters from Table I of the
+// MIRZA paper (including the PRAC overlay), per-bank state machines, the
+// refresh sequence, and the ALERT-Back-Off (ABO) protocol constants.
+//
+// All times are int64 picoseconds (type Time). Picoseconds keep every DDR5
+// parameter an exact integer (DDR5-6000 has a 333.3ps clock, so nanoseconds
+// would not divide evenly) while still giving ~106 days of simulated time
+// headroom in an int64.
+package dram
+
+import "fmt"
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// Nanoseconds returns t as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Milliseconds returns t as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time in a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Timing holds the DRAM timing parameters used by the simulator. The
+// defaults follow Table I of the paper (DDR5 specs for 6000AN) plus the
+// ALERT/mitigation constants from Sections II.F-II.G.
+type Timing struct {
+	TRCD Time // time for performing ACT (activate-to-read)
+	TRP  Time // time to precharge an open row
+	TRAS Time // minimum time between activate and precharge
+	TRC  Time // time between successive ACTs to the same bank
+	TRRD Time // activate-to-activate, different banks (bus-level pacing)
+	TFAW Time // four-activation window (per subchannel)
+
+	TREFW Time // refresh window: every row refreshed once per TREFW
+	TREFI Time // interval between REF commands
+	TRFC  Time // execution time of a REF command
+	TRFM  Time // execution time of an RFM command
+
+	TCL  Time // CAS latency (read command to first data)
+	TBUS Time // data-bus occupancy of one 64B transfer
+	TWR  Time // write recovery time
+
+	// TMitigation is the time to mitigate one aggressor row (refresh its
+	// victim rows) via bounded refresh, 280ns per the paper.
+	TMitigation Time
+
+	// ABOPrologue is the window after ALERT assertion during which the
+	// memory controller may keep operating normally (180ns).
+	ABOPrologue Time
+	// ABOStall is the period during which the DRAM is unavailable after
+	// the prologue (350ns). Total ALERT latency is prologue+stall = 530ns.
+	ABOStall Time
+}
+
+// ALERTLatency returns the end-to-end latency of one ALERT (530ns for the
+// default parameters).
+func (t Timing) ALERTLatency() Time { return t.ABOPrologue + t.ABOStall }
+
+// DDR5 returns the baseline DDR5-6000AN timing set from Table I.
+func DDR5() Timing {
+	return Timing{
+		TRCD: 14 * Nanosecond,
+		TRP:  14 * Nanosecond,
+		TRAS: 32 * Nanosecond,
+		TRC:  46 * Nanosecond,
+		TRRD: 3 * Nanosecond,
+		TFAW: 13 * Nanosecond,
+
+		TREFW: 32 * Millisecond,
+		TREFI: 3900 * Nanosecond,
+		TRFC:  410 * Nanosecond,
+		TRFM:  350 * Nanosecond,
+
+		TCL:  14 * Nanosecond,
+		TBUS: 5333 * Picosecond, // 64B = 16 beats on a 32-bit sub-channel at 6000 MT/s
+		TWR:  30 * Nanosecond,
+
+		TMitigation: 280 * Nanosecond,
+		ABOPrologue: 180 * Nanosecond,
+		ABOStall:    350 * Nanosecond,
+	}
+}
+
+// PRAC returns the DDR5 timing set with the PRAC overlay from Table I:
+// the per-row activation counter update inflates tRP from 14ns to 36ns and
+// restructures the row cycle (tRAS 32ns -> 16ns, tRC 46ns -> 52ns). These
+// inflated timings apply whenever PRAC mode is enabled, even if ALERT is
+// never asserted, and are the source of PRAC's ~6.5% average slowdown.
+func PRAC() Timing {
+	t := DDR5()
+	t.TRP = 36 * Nanosecond
+	t.TRAS = 16 * Nanosecond
+	t.TRC = 52 * Nanosecond
+	return t
+}
+
+// Validate reports an error if the timing set is internally inconsistent.
+func (t Timing) Validate() error {
+	switch {
+	case t.TRCD <= 0 || t.TRP <= 0 || t.TRAS <= 0 || t.TRC <= 0:
+		return fmt.Errorf("dram: core timings must be positive: %+v", t)
+	case t.TRC < t.TRAS:
+		return fmt.Errorf("dram: tRC (%v) < tRAS (%v)", t.TRC, t.TRAS)
+	case t.TREFI <= t.TRFC:
+		return fmt.Errorf("dram: tREFI (%v) must exceed tRFC (%v)", t.TREFI, t.TRFC)
+	case t.TREFW < t.TREFI:
+		return fmt.Errorf("dram: tREFW (%v) < tREFI (%v)", t.TREFW, t.TREFI)
+	case t.ABOPrologue < 0 || t.ABOStall < 0:
+		return fmt.Errorf("dram: ABO timings must be non-negative")
+	}
+	return nil
+}
+
+// REFsPerTREFW returns the number of REF commands issued in one refresh
+// window (tREFW / tREFI), 8192 for the default parameters.
+func (t Timing) REFsPerTREFW() int {
+	return int(t.TREFW / t.TREFI)
+}
+
+// MaxACTsPerTREFI returns the maximum number of activations a single bank
+// can receive between two REF commands: (tREFI - tRFC) / tRC. This is the
+// window size W available to a tracker that mitigates once per REF
+// (75 for the default parameters, as used by MINT in Section II.F).
+func (t Timing) MaxACTsPerTREFI() int {
+	return int((t.TREFI - t.TRFC) / t.TRC)
+}
+
+// MaxACTsPerBankPerTREFW returns the maximum activations one bank can
+// absorb in a full refresh window, accounting for REF downtime (~621K for
+// the default parameters, the worst-case bound of Figure 6).
+func (t Timing) MaxACTsPerBankPerTREFW() int {
+	return t.MaxACTsPerTREFI() * t.REFsPerTREFW()
+}
+
+// MaxACTsPerChannelPerTREFW returns the tFAW-limited maximum number of
+// activations a channel can perform in one refresh window (~8.8M for
+// 13ns tFAW: four activations per tFAW window).
+func (t Timing) MaxACTsPerChannelPerTREFW() int {
+	return int(t.TREFW / t.TFAW * 4)
+}

@@ -1,0 +1,62 @@
+// Package energy models the refresh-energy accounting used throughout the
+// paper's evaluation: the relative refresh power overhead of mitigative
+// victim refreshes (Figures 3 and 13) and the refresh cannibalization of
+// proactive in-DRAM mitigation performed under REF (Tables II and XII).
+package energy
+
+import "mirza/internal/dram"
+
+// RefreshPowerOverhead returns the relative increase in DRAM refresh power
+// due to mitigations, computed as the paper does (Section II.F): the ratio
+// of rows undergoing victim refreshes to rows undergoing demand refresh.
+func RefreshPowerOverhead(victimRows, demandRows int64) float64 {
+	if demandRows == 0 {
+		return 0
+	}
+	return float64(victimRows) / float64(demandRows)
+}
+
+// MitigationPowerForRate returns the refresh power overhead implied by a
+// mitigation rate of one aggressor (victims victim-rows) every actsPerMitigation
+// activations, for a bank receiving actsPerTREFW activations per refresh
+// window with rowsPerBank rows of demand refresh.
+func MitigationPowerForRate(actsPerTREFW float64, actsPerMitigation, victims, rowsPerBank int) float64 {
+	if actsPerMitigation <= 0 || rowsPerBank <= 0 {
+		return 0
+	}
+	victimRows := actsPerTREFW / float64(actsPerMitigation) * float64(victims)
+	return victimRows / float64(rowsPerBank)
+}
+
+// Cannibalization returns the fraction of REF execution time consumed when
+// one aggressor-row mitigation (tMitigation) is performed every
+// refsPerMitigation REF commands (each of duration tRFC). Table II: one
+// mitigation per REF consumes 68% of the REF time; one per 8 REF, 8.5%.
+func Cannibalization(t dram.Timing, refsPerMitigation float64) float64 {
+	if refsPerMitigation <= 0 {
+		return 0
+	}
+	return float64(t.TMitigation) / (float64(t.TRFC) * refsPerMitigation)
+}
+
+// SRAMPower estimates the power draw of MIRZA's SRAM structures relative to
+// total DRAM chip power, following the paper's CACTI-based estimate
+// (Section VIII.B): about 0.6mW of structure power against 240mW chip
+// power, i.e. 0.25%.
+type SRAMPower struct {
+	StructureMilliwatts float64 // per chip
+	ChipMilliwatts      float64 // total DRAM chip power
+}
+
+// DefaultSRAMPower returns the paper's estimates.
+func DefaultSRAMPower() SRAMPower {
+	return SRAMPower{StructureMilliwatts: 0.6, ChipMilliwatts: 240}
+}
+
+// RelativeOverhead returns structure power as a fraction of chip power.
+func (p SRAMPower) RelativeOverhead() float64 {
+	if p.ChipMilliwatts == 0 {
+		return 0
+	}
+	return p.StructureMilliwatts / p.ChipMilliwatts
+}

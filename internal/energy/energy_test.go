@@ -1,0 +1,61 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+func TestRefreshPowerOverhead(t *testing.T) {
+	if got := RefreshPowerOverhead(0, 1000); got != 0 {
+		t.Errorf("no victims => 0, got %v", got)
+	}
+	if got := RefreshPowerOverhead(100, 1000); got != 0.1 {
+		t.Errorf("got %v, want 0.1", got)
+	}
+	if got := RefreshPowerOverhead(5, 0); got != 0 {
+		t.Errorf("zero demand must not divide, got %v", got)
+	}
+}
+
+func TestCannibalizationMatchesTableII(t *testing.T) {
+	tm := dram.DDR5()
+	// 280ns mitigation vs 410ns REF: 68/34/17/8.5% for 1/2/4/8 REF.
+	cases := map[float64]float64{1: 0.683, 2: 0.341, 4: 0.171, 8: 0.0854}
+	for refs, want := range cases {
+		got := Cannibalization(tm, refs)
+		if math.Abs(got-want) > 0.002 {
+			t.Errorf("refs=%v: %v, want ~%v", refs, got, want)
+		}
+	}
+	if Cannibalization(tm, 0) != 0 {
+		t.Error("zero rate must be 0")
+	}
+	// Table XII: TRR at 1 per 4 REF = 17%, MINT at 1 per 3 REF = 23%.
+	if got := Cannibalization(tm, 3); math.Abs(got-0.2276) > 0.003 {
+		t.Errorf("MINT cannibalization %v, want ~22.8%%", got)
+	}
+}
+
+func TestMitigationPowerForRate(t *testing.T) {
+	// One mitigation (4 victims) per 24 ACTs, 100K ACTs per tREFW,
+	// 128K rows demand refresh: 100000/24*4/131072 = 12.7%.
+	got := MitigationPowerForRate(100000, 24, 4, 128*1024)
+	if math.Abs(got-0.127) > 0.005 {
+		t.Errorf("got %v, want ~0.127", got)
+	}
+	if MitigationPowerForRate(1000, 0, 4, 128) != 0 {
+		t.Error("zero rate must be 0")
+	}
+}
+
+func TestSRAMPower(t *testing.T) {
+	p := DefaultSRAMPower()
+	if r := p.RelativeOverhead(); math.Abs(r-0.0025) > 0.0001 {
+		t.Errorf("relative overhead %v, want 0.25%% (Section VIII.B)", r)
+	}
+	if (SRAMPower{}).RelativeOverhead() != 0 {
+		t.Error("zero chip power must not divide")
+	}
+}

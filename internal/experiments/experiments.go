@@ -1,0 +1,479 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function returning a typed Table that
+// cmd/mirza-bench renders; bench_test.go at the repository root exposes one
+// testing.B benchmark per experiment.
+//
+// Methodology (see DESIGN.md): slowdown experiments run the cycle-level
+// full-system simulator (internal/cpu + internal/mem) over a measurement
+// window after warmup, with MIRZA's Region Count Table pre-warmed by the
+// fast replayer so the short timing window sees steady-state filtering.
+// Statistics that need full 32ms refresh windows (filter escape rates,
+// ACTs/subarray distributions, ALERT rates, refresh power) come from the
+// replayer directly, driving the same track.Mitigator implementations.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mirza/internal/core"
+	"mirza/internal/cpu"
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/replay"
+	"mirza/internal/trace"
+	"mirza/internal/track"
+)
+
+// Options scales the experiments. The defaults favour fidelity; tests and
+// quick runs shrink them.
+type Options struct {
+	Seed uint64
+
+	// Warmup and Measure bound the timing-simulation windows.
+	Warmup  dram.Time
+	Measure dram.Time
+
+	// ReplayWindows is how many tREFW refresh windows the replayer covers;
+	// the first is warmup, the rest are measured.
+	ReplayWindows int
+
+	// CalibrationWindow is the timing-sim horizon used to measure each
+	// workload's instruction rate for the replayer's time axis.
+	CalibrationWindow dram.Time
+
+	// Workloads restricts the workload set (nil = all 24 of Table IV).
+	Workloads []string
+
+	// Cores is the rate-mode width (default 8).
+	Cores int
+
+	Logf func(format string, args ...any)
+}
+
+// DefaultOptions returns full-fidelity settings, overridable through the
+// environment: MIRZA_MEASURE_MS, MIRZA_WARMUP_MS, MIRZA_REPLAY_WINDOWS,
+// MIRZA_WORKLOADS (comma-separated).
+func DefaultOptions() Options {
+	o := Options{
+		Seed:              1,
+		Warmup:            dram.Millisecond / 2,
+		Measure:           3 * dram.Millisecond / 2,
+		ReplayWindows:     2,
+		CalibrationWindow: dram.Millisecond,
+		Cores:             8,
+	}
+	if v := os.Getenv("MIRZA_MEASURE_MS"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			o.Measure = dram.Time(f * float64(dram.Millisecond))
+		}
+	}
+	if v := os.Getenv("MIRZA_WARMUP_MS"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 0 {
+			o.Warmup = dram.Time(f * float64(dram.Millisecond))
+		}
+	}
+	if v := os.Getenv("MIRZA_REPLAY_WINDOWS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 2 {
+			o.ReplayWindows = n
+		}
+	}
+	if v := os.Getenv("MIRZA_WORKLOADS"); v != "" {
+		o.Workloads = strings.Split(v, ",")
+	}
+	return o
+}
+
+// QuickOptions returns heavily reduced settings for tests.
+func QuickOptions() Options {
+	return Options{
+		Seed:              1,
+		Warmup:            100 * dram.Microsecond,
+		Measure:           300 * dram.Microsecond,
+		ReplayWindows:     2,
+		CalibrationWindow: 300 * dram.Microsecond,
+		Workloads:         []string{"fotonik3d", "xz", "bc"},
+		Cores:             8,
+	}
+}
+
+func (o *Options) setDefaults() {
+	if o.Cores == 0 {
+		o.Cores = 8
+	}
+	if o.Warmup == 0 {
+		o.Warmup = dram.Millisecond / 2
+	}
+	if o.Measure == 0 {
+		o.Measure = dram.Millisecond
+	}
+	if o.ReplayWindows < 2 {
+		o.ReplayWindows = 2
+	}
+	if o.CalibrationWindow == 0 {
+		o.CalibrationWindow = dram.Millisecond
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// workloadSpecs resolves the selected workload set.
+func (o *Options) workloadSpecs() ([]trace.WorkloadSpec, error) {
+	if len(o.Workloads) == 0 {
+		return trace.Workloads(), nil
+	}
+	var out []trace.WorkloadSpec
+	for _, name := range o.Workloads {
+		w, err := trace.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Runner caches the expensive per-workload baselines across experiments in
+// one process.
+type Runner struct {
+	opts      Options
+	baselines map[string]*Baseline
+	mlp       map[string]int // calibrated per-workload MSHR budget
+}
+
+// NewRunner builds a Runner over opts.
+func NewRunner(opts Options) *Runner {
+	opts.setDefaults()
+	return &Runner{
+		opts:      opts,
+		baselines: make(map[string]*Baseline),
+		mlp:       make(map[string]int),
+	}
+}
+
+// Options returns the runner's effective options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Baseline holds the unprotected reference run of one workload.
+type Baseline struct {
+	Spec    trace.WorkloadSpec
+	IPCs    []float64
+	IPS     float64 // aggregate instructions per second
+	MPKI    float64 // misses (reads) per kilo-instruction, measured
+	ACTPKI  float64 // activations per kilo-instruction, measured
+	BusUtil float64 // percent
+	Stats   mem.Stats
+	Window  dram.Time
+}
+
+// timingResult is one protected timing-simulation run.
+type timingResult struct {
+	IPCs   []float64
+	Stats  mem.Stats
+	Window dram.Time
+}
+
+// newSystem builds a full system for spec.
+func (r *Runner) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
+	factory func(sub int, sink track.Sink) track.Mitigator) (*cpu.System, error) {
+	gens, err := trace.PerCore(spec, r.opts.Cores, r.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mlp, ok := r.mlp[spec.Name]
+	if !ok {
+		mlp = spec.MLPLimit()
+	}
+	return cpu.NewSystem(cpu.SystemConfig{
+		Cores: r.opts.Cores,
+		Core:  cpu.CoreConfig{MSHR: mlp},
+		Mem: mem.Config{
+			Timing:       timing,
+			Mapping:      dram.StridedR2SA,
+			RFMBAT:       bat,
+			NewMitigator: factory,
+		},
+	}, gens)
+}
+
+// Baseline runs (or returns the cached) unprotected reference for name.
+func (r *Runner) Baseline(name string) (*Baseline, error) {
+	if b, ok := r.baselines[name]; ok {
+		return b, nil
+	}
+	spec, err := trace.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.calibrateMLP(spec); err != nil {
+		return nil, err
+	}
+	r.opts.logf("baseline %s (%v warmup + %v measure, MLP=%d)", name, r.opts.Warmup, r.opts.Measure, r.mlp[name])
+	sys, err := r.newSystem(spec, dram.DDR5(), 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(r.opts.Warmup)
+	sys.Snapshot()
+	sys.Run(r.opts.Warmup + r.opts.Measure)
+
+	b := &Baseline{
+		Spec:    spec,
+		IPCs:    sys.IPCs(),
+		BusUtil: sys.BusUtilization(),
+		Stats:   sys.MemStats(),
+		Window:  sys.Window(),
+	}
+	var instr float64
+	for _, ipc := range b.IPCs {
+		instr += ipc
+	}
+	cycles := float64(b.Window) / 250 // 250ps CPU cycle
+	totalInstr := instr * cycles
+	b.IPS = totalInstr / (float64(b.Window) / 1e12)
+	if totalInstr > 0 {
+		b.MPKI = float64(b.Stats.Reads) / totalInstr * 1000
+		b.ACTPKI = float64(b.Stats.ACTs) / totalInstr * 1000
+	}
+	r.baselines[name] = b
+	return b, nil
+}
+
+// calibrateMLP searches the small integer MSHR budget whose measured
+// instruction rate lands closest to the workload's Table IV-implied rate
+// (so the activation-per-subarray statistics match the paper's scale).
+func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
+	if _, ok := r.mlp[spec.Name]; ok {
+		return nil
+	}
+	target := spec.ImpliedIPS()
+	measure := func(mlp int) (float64, error) {
+		gens, err := trace.PerCore(spec, r.opts.Cores, r.opts.Seed+99)
+		if err != nil {
+			return 0, err
+		}
+		sys, err := cpu.NewSystem(cpu.SystemConfig{
+			Cores: r.opts.Cores,
+			Core:  cpu.CoreConfig{MSHR: mlp},
+			Mem:   mem.Config{Mapping: dram.StridedR2SA},
+		}, gens)
+		if err != nil {
+			return 0, err
+		}
+		sys.Run(r.opts.CalibrationWindow / 4)
+		sys.Snapshot()
+		sys.Run(r.opts.CalibrationWindow)
+		var ips float64
+		for _, ipc := range sys.IPCs() {
+			ips += ipc * 4e9
+		}
+		return ips, nil
+	}
+	best := spec.MLPLimit()
+	bestIPS, err := measure(best)
+	if err != nil {
+		return err
+	}
+	for iter := 0; iter < 4; iter++ {
+		ratio := bestIPS / target
+		if ratio > 0.88 && ratio < 1.14 {
+			break
+		}
+		next := best
+		if ratio >= 1.14 {
+			next--
+		} else {
+			next++
+		}
+		if next < 2 || next > 16 {
+			break
+		}
+		ips, err := measure(next)
+		if err != nil {
+			return err
+		}
+		if abs64(ips-target) >= abs64(bestIPS-target) {
+			break
+		}
+		best, bestIPS = next, ips
+	}
+	r.opts.logf("calibrated %s: MLP=%d (IPS %.2fG vs target %.2fG)", spec.Name, best, bestIPS/1e9, target/1e9)
+	r.mlp[spec.Name] = best
+	return nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// runTiming executes a protected timing simulation for workload name.
+func (r *Runner) runTiming(name string, timing dram.Timing, bat int,
+	factory func(sub int, sink track.Sink) track.Mitigator) (*timingResult, error) {
+	spec, err := trace.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := r.newSystem(spec, timing, bat, factory)
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(r.opts.Warmup)
+	sys.Snapshot()
+	sys.Run(r.opts.Warmup + r.opts.Measure)
+	return &timingResult{IPCs: sys.IPCs(), Stats: sys.MemStats(), Window: sys.Window()}, nil
+}
+
+// slowdownVs returns the percent slowdown of res against the baseline:
+// 100 * (1 - normalized weighted speedup).
+func slowdownVs(base *Baseline, res *timingResult) float64 {
+	if len(base.IPCs) != len(res.IPCs) || len(base.IPCs) == 0 {
+		return 0
+	}
+	var ws float64
+	for i := range base.IPCs {
+		if base.IPCs[i] > 0 {
+			ws += res.IPCs[i] / base.IPCs[i]
+		}
+	}
+	ws /= float64(len(base.IPCs))
+	return 100 * (1 - ws)
+}
+
+// mirzaMits builds one MIRZA instance per sub-channel.
+func mirzaMits(cfg core.Config, seed uint64) []*core.Mirza {
+	g := cfg.Geometry
+	out := make([]*core.Mirza, g.SubChannels)
+	for i := range out {
+		c := cfg
+		c.Seed = seed + uint64(i)*977
+		out[i] = core.MustNew(c, track.NopSink{})
+	}
+	return out
+}
+
+// warmMirza replays one refresh window of the workload through fresh MIRZA
+// instances and returns them (stats reset) for use in the timing simulator.
+func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) {
+	base, err := r.Baseline(name)
+	if err != nil {
+		return nil, err
+	}
+	gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	mits := mirzaMits(cfg, r.opts.Seed)
+	asMit := make([]track.Mitigator, len(mits))
+	for i, m := range mits {
+		asMit[i] = m
+	}
+	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, asMit)
+	if err != nil {
+		return nil, err
+	}
+	run.Run(dram.DDR5().TREFW, nil)
+	for _, m := range mits {
+		m.ResetStats()
+	}
+	return mits, nil
+}
+
+// replayRun replays workload name for the configured number of refresh
+// windows against per-sub-channel mitigators, returning the measured
+// (post-warmup) per-sub-channel stats and total measured time.
+func (r *Runner) replayRun(name string, mits []track.Mitigator, obs replay.Observer) (warm, measured []replay.Stats, measuredTime dram.Time, err error) {
+	base, err := r.Baseline(name)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+13)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tREFW := dram.DDR5().TREFW
+	run.Run(tREFW, nil) // warmup window
+	warm = run.Stats()
+	measuredTime = dram.Time(r.opts.ReplayWindows-1) * tREFW
+	run.Run(tREFW+measuredTime, obs)
+	measured = run.Stats()
+	for i := range measured {
+		measured[i].Accesses -= warm[i].Accesses
+		measured[i].ACTs -= warm[i].ACTs
+		measured[i].REFs -= warm[i].REFs
+		measured[i].Alerts -= warm[i].Alerts
+	}
+	return warm, measured, measuredTime, nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+func d(v int64) string    { return strconv.FormatInt(v, 10) }
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

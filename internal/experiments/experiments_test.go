@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+// quickRunner returns a Runner with one small workload and tiny windows so
+// every experiment path executes in CI time.
+func quickRunner() *Runner {
+	return NewRunner(Options{
+		Seed:              1,
+		Warmup:            50 * dram.Microsecond,
+		Measure:           150 * dram.Microsecond,
+		ReplayWindows:     2,
+		CalibrationWindow: 150 * dram.Microsecond,
+		Workloads:         []string{"xz"},
+	})
+}
+
+func TestStaticExperiments(t *testing.T) {
+	r := quickRunner()
+	for _, id := range []string{"table1", "table2", "table7", "table10", "table11", "table12"} {
+		exp, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := exp.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 || len(table.Columns) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+		if !strings.Contains(table.Render(), table.Title) {
+			t.Errorf("%s: render lacks title", id)
+		}
+	}
+}
+
+func TestTable7Values(t *testing.T) {
+	table, err := quickRunner().Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SRAM column must carry the paper's 116/196/340 bytes.
+	want := map[string]string{"2000": "116", "1000": "196", "500": "340"}
+	for _, row := range table.Rows {
+		if sram, ok := want[row[0]]; ok && row[4] != sram {
+			t.Errorf("TRHD=%s: SRAM %s, want %s", row[0], row[4], sram)
+		}
+	}
+}
+
+func TestBaselineCachingAndCalibration(t *testing.T) {
+	r := quickRunner()
+	b1, err := r.Baseline("xz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.IPS <= 0 || b1.MPKI <= 0 {
+		t.Fatalf("bad baseline: %+v", b1)
+	}
+	b2, _ := r.Baseline("xz")
+	if b1 != b2 {
+		t.Error("baseline should be cached (same pointer)")
+	}
+	if _, ok := r.mlp["xz"]; !ok {
+		t.Error("calibration should have recorded an MLP")
+	}
+	if _, err := r.Baseline("nosuchworkload"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestWorkloadExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay experiments are slow")
+	}
+	r := quickRunner()
+	for _, id := range []string{"table4", "fig6"} {
+		exp, _ := Lookup(id)
+		table, err := exp.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) < 2 {
+			t.Errorf("%s: too few rows", id)
+		}
+	}
+}
+
+func TestSlowdownExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments are slow")
+	}
+	r := quickRunner()
+	sd, rp, err := r.runMINTRFM("xz", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd < -2 || sd > 60 {
+		t.Errorf("MINT+RFM slowdown = %v%%, implausible", sd)
+	}
+	if rp <= 0 || rp > 50 {
+		t.Errorf("refresh power = %v%%, implausible", rp)
+	}
+	prac, err := r.runPRAC("xz", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prac < -2 || prac > 40 {
+		t.Errorf("PRAC slowdown = %v%%", prac)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("bogus id should error")
+	}
+	if len(All()) != 18 {
+		t.Errorf("expected 18 experiments, got %d", len(All()))
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	table := &Table{
+		ID: "x", Title: "t",
+		Columns: []string{"a", "bbbb"},
+		Rows:    [][]string{{"row1", "2"}, {"r", "22222"}},
+		Notes:   []string{"hello"},
+	}
+	out := table.Render()
+	if !strings.Contains(out, "note: hello") {
+		t.Error("notes missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Error("too few lines")
+	}
+}

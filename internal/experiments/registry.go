@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment couples an experiment ID with its generator.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(r *Runner) (*Table, error)
+}
+
+// All returns every experiment, in the paper's order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "DDR5 timing parameters with the PRAC overlay", (*Runner).Table1},
+		{"table2", "TRHD tolerated by proactive MINT/Mithril vs mitigation rate", (*Runner).Table2},
+		{"fig3", "slowdown and refresh power of MINT+RFM vs PRAC+ABO", (*Runner).Fig3},
+		{"table4", "workload characteristics (measured vs published)", (*Runner).Table4},
+		{"table5", "Naive MIRZA slowdown vs MIRZA-Q size", (*Runner).Table5},
+		{"fig6", "average ACTs/subarray per tREFW vs worst case", (*Runner).Fig6},
+		{"table6", "coarse-grained filtering: sequential vs strided R2SA", (*Runner).Table6},
+		{"table7", "MIRZA configurations and SRAM budget per TRHD", (*Runner).Table7},
+		{"table8", "mitigation overhead of MINT vs MIRZA", (*Runner).Table8},
+		{"table9", "MIRZA sensitivity: FTH vs MINT-W at TRHD=1K", (*Runner).Table9},
+		{"table10", "relative area of MIRZA vs PRAC per subarray", (*Runner).Table10},
+		{"fig11a", "per-workload slowdown of MIRZA and PRAC", (*Runner).Fig11a},
+		{"fig11b", "ALERTs per 100xtREFI for MIRZA and PRAC", (*Runner).Fig11b},
+		{"table11", "performance-attack throughput model (Figure 12 kernel)", (*Runner).Table11},
+		{"fig13", "refresh power overhead of MINT vs MIRZA", (*Runner).Fig13},
+		{"table12", "TRR/MINT/MIRZA at the current threshold (4.8K)", (*Runner).Table12},
+		{"table13", "average and worst-case slowdown (Appendix A)", (*Runner).Table13},
+		{"fig1c", "headline summary: mitigations vs MINT, area vs PRAC", (*Runner).Fig1c},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mirza/internal/core"
+	"mirza/internal/dram"
+	"mirza/internal/replay"
+	"mirza/internal/security"
+	"mirza/internal/stats"
+	"mirza/internal/trace"
+	"mirza/internal/track"
+)
+
+// probeSet is a passive fan-out Mitigator: it feeds every probe MIRZA
+// instance the same ACT/REF stream but never requests ALERTs (probes'
+// queues are irrelevant; only their filtering statistics are read).
+type probeSet struct {
+	probes []*core.Mirza
+}
+
+var _ track.Mitigator = (*probeSet)(nil)
+
+func (p *probeSet) Name() string { return "probe-set" }
+func (p *probeSet) OnActivate(bank, row int, now dram.Time) {
+	for _, m := range p.probes {
+		m.OnActivate(bank, row, now)
+	}
+}
+func (p *probeSet) WantsALERT() bool { return false }
+func (p *probeSet) OnREF(refIndex int, now dram.Time) {
+	for _, m := range p.probes {
+		m.OnREF(refIndex, now)
+	}
+}
+func (p *probeSet) OnRFM(bank int, now dram.Time) {}
+func (p *probeSet) ServiceALERT(now dram.Time)    {}
+
+// Table4 reproduces Table IV: the workload characteristics, measured from
+// the simulator (MPKI and ACT-PKI from the timing baseline; ACTs/subarray
+// per tREFW from the replayer).
+func (r *Runner) Table4() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "table4",
+		Title: "Workload characteristics (measured vs Table IV targets)",
+		Columns: []string{"Workload", "MPKI", "ACT-PKI", "Bus Util (%)",
+			"ACT/SA mean", "ACT/SA sigma", "paper mean+/-sigma"},
+	}
+	g := dram.Default()
+	var avgMPKI, avgACT, avgBus, avgMean, avgSdev float64
+	for _, spec := range specs {
+		base, err := r.Baseline(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		mean, sdev, err := r.actsPerSubarray(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name, f1(base.MPKI), f1(base.ACTPKI), f1(base.BusUtil),
+			f1(mean), f1(sdev),
+			fmt.Sprintf("%.0f +/- %.0f", spec.ActSAMean, spec.ActSASdev))
+		avgMPKI += base.MPKI
+		avgACT += base.ACTPKI
+		avgBus += base.BusUtil
+		avgMean += mean
+		avgSdev += sdev
+	}
+	n := float64(len(specs))
+	t.AddRow("Average", f1(avgMPKI/n), f1(avgACT/n), f1(avgBus/n),
+		f1(avgMean/n), f1(avgSdev/n), "806 +/- 309")
+	_ = g
+	t.Notes = append(t.Notes, "paper averages: MPKI 24.4, ACT-PKI 18.5, bus util 63.4%")
+	return t, nil
+}
+
+// actsPerSubarray replays the workload and returns the mean and standard
+// deviation of activations per subarray per tREFW (strided R2SA), averaged
+// over banks.
+func (r *Runner) actsPerSubarray(name string) (mean, sdev float64, err error) {
+	g := dram.Default()
+	counts := make([][]int64, g.SubChannels*g.BanksPerSubChannel)
+	for i := range counts {
+		counts[i] = make([]int64, g.Subarrays())
+	}
+	_, _, measuredTime, err := r.replayRun(name, nil, func(sub, bank, row int, now dram.Time) {
+		counts[sub*g.BanksPerSubChannel+bank][g.Subarray(dram.StridedR2SA, row)]++
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// The observer saw only the measured windows (replayRun attaches it
+	// after warmup); normalize to one tREFW.
+	scale := float64(dram.DDR5().TREFW) / float64(measuredTime)
+	var agg stats.Running
+	for _, bank := range counts {
+		for _, c := range bank {
+			agg.Add(float64(c) * scale)
+		}
+	}
+	return agg.Mean(), agg.StdDev(), nil
+}
+
+// Fig6 reproduces Figure 6: average ACTs per subarray per tREFW for every
+// workload against the worst-case single-bank bound.
+func (r *Runner) Fig6() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Avg ACTs/subarray per tREFW vs worst case",
+		Columns: []string{"Workload", "ACTs/subarray/tREFW", "paper"},
+	}
+	var sum float64
+	for _, spec := range specs {
+		mean, _, err := r.actsPerSubarray(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		sum += mean
+		t.AddRow(spec.Name, f1(mean), f1(spec.ActSAMean))
+	}
+	t.AddRow("Average", f1(sum/float64(len(specs))), "806")
+	worst := dram.DDR5().MaxACTsPerBankPerTREFW()
+	t.AddRow("Worst-case (one subarray)", d(int64(worst)), "621K")
+	t.Notes = append(t.Notes, "workloads sit 2-3 orders of magnitude below the worst case, which is what makes CGF effective")
+	return t, nil
+}
+
+// Table6 reproduces Table VI: the fraction of activations filtered by CGF
+// under sequential vs strided row-to-subarray mapping, as FTH varies.
+func (r *Runner) Table6() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	fths := []int{1400, 1500, 1600, 1700}
+	mappings := []dram.R2SAMapping{dram.SequentialR2SA, dram.StridedR2SA}
+	g := dram.Default()
+
+	// probes[mapping][fth] aggregated over workloads and sub-channels.
+	type agg struct{ acts, filtered int64 }
+	sums := make(map[dram.R2SAMapping]map[int]*agg)
+	for _, m := range mappings {
+		sums[m] = make(map[int]*agg)
+		for _, fth := range fths {
+			sums[m][fth] = &agg{}
+		}
+	}
+
+	for _, spec := range specs {
+		r.opts.logf("table6 %s", spec.Name)
+		mits := make([]track.Mitigator, g.SubChannels)
+		index := make(map[dram.R2SAMapping]map[int][]*core.Mirza)
+		for _, m := range mappings {
+			index[m] = make(map[int][]*core.Mirza)
+		}
+		for sub := range mits {
+			var probes []*core.Mirza
+			for _, m := range mappings {
+				for _, fth := range fths {
+					cfg, _ := core.ForTRHD(1000)
+					cfg.Mapping = m
+					cfg.FTH = fth
+					cfg.Seed = r.opts.Seed + uint64(sub)
+					probe := core.MustNew(cfg, track.NopSink{})
+					probes = append(probes, probe)
+					index[m][fth] = append(index[m][fth], probe)
+				}
+			}
+			mits[sub] = &probeSet{probes: probes}
+		}
+
+		// Warm one window, snapshot, measure the rest.
+		snapshot := func() map[*core.Mirza]core.MirzaStats {
+			out := make(map[*core.Mirza]core.MirzaStats)
+			for _, m := range mappings {
+				for _, fth := range fths {
+					for _, p := range index[m][fth] {
+						out[p] = p.Stats
+					}
+				}
+			}
+			return out
+		}
+		base, err := r.Baseline(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
+		if err != nil {
+			return nil, err
+		}
+		tREFW := dram.DDR5().TREFW
+		run.Run(tREFW, nil)
+		snap := snapshot()
+		run.Run(dram.Time(r.opts.ReplayWindows)*tREFW, nil)
+		for _, m := range mappings {
+			for _, fth := range fths {
+				for _, p := range index[m][fth] {
+					delta := p.Stats
+					prev := snap[p]
+					sums[m][fth].acts += delta.ACTs - prev.ACTs
+					sums[m][fth].filtered += delta.Filtered - prev.Filtered
+				}
+			}
+		}
+	}
+
+	t := &Table{
+		ID:    "table6",
+		Title: "Effectiveness of coarse-grained filtering (TRHD=1K geometry)",
+		Columns: []string{"FTH", "Sequential filtered", "Sequential remaining",
+			"Strided filtered", "Strided remaining"},
+	}
+	for _, fth := range fths {
+		seq := sums[dram.SequentialR2SA][fth]
+		str := sums[dram.StridedR2SA][fth]
+		pct := func(a *agg) (fil, rem float64) {
+			if a.acts == 0 {
+				return 0, 0
+			}
+			fil = 100 * float64(a.filtered) / float64(a.acts)
+			return fil, 100 - fil
+		}
+		sf, sr := pct(seq)
+		tf, tr := pct(str)
+		t.AddRow(d(int64(fth)),
+			f2(sf)+"%", f2(sr)+"%",
+			f2(tf)+"%", f2(tr)+"%")
+	}
+	t.Notes = append(t.Notes,
+		"paper at FTH=1500: sequential 5.55% filtered, strided 99.12% filtered (0.88% remaining)")
+	return t, nil
+}
+
+// Table8 reproduces Table VIII: the mitigation overhead of MINT vs MIRZA.
+func (r *Runner) Table8() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	model := security.DefaultMINTModel()
+	t := &Table{
+		ID:    "table8",
+		Title: "Mitigation overhead of MINT vs MIRZA",
+		Columns: []string{"TRHD", "MINT (1/W)", "MIRZA escape prob",
+			"MIRZA rate", "Difference"},
+	}
+	for _, trhd := range []int{2000, 1000, 500} {
+		cfg, err := core.ForTRHD(trhd)
+		if err != nil {
+			return nil, err
+		}
+		var acts, escaped, mitig int64
+		for _, spec := range specs {
+			mits, err := r.warmMirza(spec.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			asMit := make([]track.Mitigator, len(mits))
+			for i, m := range mits {
+				asMit[i] = m
+			}
+			if _, _, _, err := r.replayRun(spec.Name, asMit, nil); err != nil {
+				return nil, err
+			}
+			for _, m := range mits {
+				acts += m.Stats.ACTs
+				escaped += m.Stats.Escaped
+				mitig += m.Stats.Mitigations
+			}
+		}
+		mintW := model.WindowForTRHD(trhd)
+		escape := float64(escaped) / float64(acts)
+		rate := float64(mitig) / float64(acts)
+		diff := 0.0
+		if rate > 0 {
+			diff = (1.0 / float64(mintW)) / rate
+		}
+		t.AddRow(d(int64(trhd)),
+			fmt.Sprintf("1/%d", mintW),
+			fmt.Sprintf("1/%.0f", 1/escape),
+			fmt.Sprintf("1/%.0f", 1/rate),
+			fmt.Sprintf("%.1fx", diff))
+	}
+	t.Notes = append(t.Notes,
+		"paper: 1/96 vs 1/12016 (125x), 1/48 vs 1/1368 (28.5x), 1/24 vs 1/240 (10x)")
+	return t, nil
+}
+
+// Fig11b reproduces Figure 11(b): ALERTs per 100xtREFI per sub-channel for
+// MIRZA and PRAC.
+func (r *Runner) Fig11b() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	tREFI := dram.DDR5().TREFI
+	t := &Table{
+		ID:      "fig11b",
+		Title:   "ALERTs per 100xtREFI (per sub-channel)",
+		Columns: []string{"Workload", "MIRZA-500", "MIRZA-1K", "MIRZA-2K", "PRAC"},
+	}
+	g := dram.Default()
+	avg := make([]float64, 4)
+	for _, spec := range specs {
+		row := []string{spec.Name}
+		for i, trhd := range []int{500, 1000, 2000} {
+			cfg, _ := core.ForTRHD(trhd)
+			mits, err := r.warmMirza(spec.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			asMit := make([]track.Mitigator, len(mits))
+			for j, m := range mits {
+				asMit[j] = m
+			}
+			_, measured, mt, err := r.replayRun(spec.Name, asMit, nil)
+			if err != nil {
+				return nil, err
+			}
+			var alerts int64
+			for _, s := range measured {
+				alerts += s.Alerts
+			}
+			rate := float64(alerts) / float64(len(measured)) / (float64(mt) / float64(tREFI)) * 100
+			avg[i] += rate
+			row = append(row, f2(rate))
+		}
+		// PRAC.
+		pracMits := make([]track.Mitigator, g.SubChannels)
+		for j := range pracMits {
+			pracMits[j] = track.NewPRAC(track.PRACConfig{
+				Geometry: g, Mapping: dram.StridedR2SA,
+				AlertThreshold: track.ATHForTRHD(1000),
+			}, track.NopSink{})
+		}
+		_, measured, mt, err := r.replayRun(spec.Name, pracMits, nil)
+		if err != nil {
+			return nil, err
+		}
+		var alerts int64
+		for _, s := range measured {
+			alerts += s.Alerts
+		}
+		rate := float64(alerts) / float64(len(measured)) / (float64(mt) / float64(tREFI)) * 100
+		avg[3] += rate
+		row = append(row, f2(rate))
+		t.AddRow(row...)
+	}
+	n := float64(len(specs))
+	t.AddRow("Average", f2(avg[0]/n), f2(avg[1]/n), f2(avg[2]/n), f2(avg[3]/n))
+	t.Notes = append(t.Notes, "paper average at TRHD=1K: MIRZA 2.16, PRAC ~0")
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: the refresh-power overhead of MINT vs MIRZA.
+func (r *Runner) Fig13() (*Table, error) {
+	specs, err := r.opts.workloadSpecs()
+	if err != nil {
+		return nil, err
+	}
+	model := security.DefaultMINTModel()
+	g := dram.Default()
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Refresh power overhead (victim-refresh rows / demand-refresh rows)",
+		Columns: []string{"TRHD", "MINT+RFM", "MIRZA", "paper MINT", "paper MIRZA"},
+	}
+	paperMINT := map[int]string{500: "16.4%", 1000: "8.2%", 2000: "4.1%"}
+	for _, trhd := range []int{500, 1000, 2000} {
+		cfg, _ := core.ForTRHD(trhd)
+		mintW := model.WindowForTRHD(trhd)
+		var acts, mirzaVictims, demandRows int64
+		for _, spec := range specs {
+			mits, err := r.warmMirza(spec.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			asMit := make([]track.Mitigator, len(mits))
+			for i, m := range mits {
+				asMit[i] = m
+			}
+			snapMit := make([]int64, len(mits))
+			for i, m := range mits {
+				snapMit[i] = m.Stats.Mitigations
+			}
+			_, measured, _, err := r.replayRun(spec.Name, asMit, nil)
+			if err != nil {
+				return nil, err
+			}
+			for i, m := range mits {
+				mirzaVictims += (m.Stats.Mitigations - snapMit[i]) * track.MitigationVictims
+			}
+			for _, s := range measured {
+				acts += s.ACTs
+				demandRows += s.REFs * int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
+			}
+		}
+		mintVictims := acts / int64(mintW) * track.MitigationVictims
+		t.AddRow(d(int64(trhd)),
+			fmt.Sprintf("%.1f%%", 100*float64(mintVictims)/float64(demandRows)),
+			fmt.Sprintf("%.2f%%", 100*float64(mirzaVictims)/float64(demandRows)),
+			paperMINT[trhd],
+			"~0.3% at 1K")
+		_ = paperMINT
+	}
+	t.Notes = append(t.Notes,
+		"MINT+RFM mitigates every W activations (4 victim rows each); MIRZA mitigates only queue drains")
+	return t, nil
+}

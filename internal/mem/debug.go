@@ -1,0 +1,26 @@
+package mem
+
+import "mirza/internal/dram"
+
+// Test-only instrumentation counters.
+var (
+	DebugWakes, DebugNoProgress, DebugSteps int64
+	DebugClamps                             = map[string]int64{}
+	DebugArmLabel                           = map[string]int64{}
+	DebugArmDelta                           = map[string]dram.Time{}
+)
+
+func init() {
+	debugHook = func(progress int) {
+		DebugWakes++
+		DebugSteps += int64(progress)
+		if progress == 0 {
+			DebugNoProgress++
+		}
+	}
+	debugClamp = func(label string) { DebugClamps[label]++ }
+	debugArm = func(label string, delta dram.Time) {
+		DebugArmLabel[label]++
+		DebugArmDelta[label] += delta
+	}
+}

@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/track"
+)
+
+// TestAddressMappingAblation demonstrates why MOP4 is the baseline policy
+// (Section III.A): for 4-line bursts, line-interleaving wastes row-buffer
+// locality (4 ACTs per burst) while MOP4 serves the burst from one
+// activation.
+func TestAddressMappingAblation(t *testing.T) {
+	actsFor := func(m dram.AddressMapping) int64 {
+		k, ch := newTestChannel(t, Config{AddrMapping: m})
+		var dones [16]dram.Time
+		for i := range dones {
+			ch.Submit(&Request{Addr: uint64(i * 64), Done: func(at dram.Time) {}})
+		}
+		k.RunUntil(10 * dram.Microsecond)
+		return ch.Stats().ACTs
+	}
+	mop := actsFor(dram.MOP4Mapping)
+	line := actsFor(dram.LineInterleaved)
+	row := actsFor(dram.RowInterleaved)
+	if mop >= line {
+		t.Errorf("MOP4 ACTs (%d) should be below line-interleaved (%d) for sequential bursts", mop, line)
+	}
+	if row > mop {
+		t.Errorf("row-interleaved ACTs (%d) should not exceed MOP4 (%d) for one stream", row, mop)
+	}
+}
+
+// TestRowPressWeighting verifies the IMPRESS-style extension: a row held
+// open for a long time is reported to the tracker as extra equivalent
+// activations when it finally closes.
+func TestRowPressWeighting(t *testing.T) {
+	counting := track.NewNop()
+	k, ch := newTestChannel(t, Config{
+		RowPressWeighting: true,
+		NewMitigator: func(sub int, sink track.Sink) track.Mitigator {
+			if sub == 0 {
+				return counting
+			}
+			return track.NewNop()
+		},
+	})
+	// One read opens the row; no further traffic, so the soft-close
+	// policy closes it after tRAS: barely one tRAS of open time, no
+	// extra equivalent ACTs expected.
+	var d dram.Time
+	submitLine(ch, 0, 0, 100, 0, &d)
+	k.RunUntil(dram.Microsecond)
+	if counting.Stats.ACTs != 1 {
+		t.Fatalf("short open: tracker saw %d ACTs, want 1", counting.Stats.ACTs)
+	}
+	// A burst of queued row hits keeps the row open for many tRAS (the
+	// scheduler serves pending hits before closing); on the eventual
+	// close the tracker must see extra equivalent activations.
+	before := counting.Stats.ACTs
+	for i := 0; i < 50; i++ {
+		addr := ch.Geometry().Compose(dram.Address{Bank: 1, Row: 7, Col: i % 60})
+		ch.Submit(&Request{Addr: addr})
+	}
+	k.RunUntil(20 * dram.Microsecond)
+	extra := counting.Stats.ACTs - before
+	if extra < 4 {
+		t.Errorf("long open row: tracker saw %d ACT-equivalents, want >= 4 (1 ACT + RowPress extras)", extra)
+	}
+}
+
+// TestRowPressOffByDefault pins the default behaviour.
+func TestRowPressOffByDefault(t *testing.T) {
+	counting := track.NewNop()
+	k, ch := newTestChannel(t, Config{
+		NewMitigator: func(sub int, sink track.Sink) track.Mitigator {
+			if sub == 0 {
+				return counting
+			}
+			return track.NewNop()
+		},
+	})
+	for i := 0; i < 50; i++ {
+		addr := ch.Geometry().Compose(dram.Address{Bank: 1, Row: 7, Col: i % 60})
+		ch.Submit(&Request{Addr: addr})
+	}
+	k.RunUntil(20 * dram.Microsecond)
+	if counting.Stats.ACTs != 1 {
+		t.Errorf("default config: %d tracker ACTs for one queued hit burst, want exactly 1", counting.Stats.ACTs)
+	}
+}

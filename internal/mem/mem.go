@@ -1,0 +1,177 @@
+// Package mem implements the memory controller and channel model: per
+// sub-channel FR-FCFS scheduling over a DDR5 bank state machine, the MOP4
+// address layout, soft close-page policy, demand refresh (REF every tREFI),
+// proactive Refresh Management (RFM via per-bank activation counters), and
+// the reactive ALERT-Back-Off protocol. It drives a track.Mitigator with
+// every ACT/REF/RFM event, so any tracker (MINT, PRAC, MIRZA, ...) plugs in
+// unchanged.
+package mem
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+	"mirza/internal/sim"
+	"mirza/internal/track"
+)
+
+// Request is one 64-byte memory transaction.
+type Request struct {
+	Addr  uint64 // physical byte address (line aligned)
+	Write bool
+	// Done, if non-nil, is invoked when the request's data transfer
+	// completes (reads) or the write is accepted by the device.
+	Done func(now dram.Time)
+
+	addr    dram.Address
+	arrive  dram.Time
+	enqueue int64 // arrival order for FCFS tie-breaking
+}
+
+// Config configures a Channel.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	Mapping  dram.R2SAMapping
+	// AddrMapping selects the physical-address-to-bank layout
+	// (MOP4 by default, Table III).
+	AddrMapping dram.AddressMapping
+
+	// WindowDepth bounds how many queued requests the scheduler
+	// considers (models a finite command queue). Default 64.
+	WindowDepth int
+
+	// RowPressWeighting, when true, converts row-open time into
+	// equivalent activations for the mitigation engine (the IMPRESS-style
+	// defense the threat model assumes against RowPress, Section II.A):
+	// when a row closes after being held open, the tracker observes one
+	// extra activation per tRAS of open time beyond the first.
+	RowPressWeighting bool
+
+	// RFMBAT, when > 0, enables proactive Refresh Management: the MC
+	// counts activations per bank and issues an RFM to a bank whenever
+	// its counter reaches this Bank Activation Threshold. The counter is
+	// not decremented on REF (Section II.F).
+	RFMBAT int
+
+	// NewMitigator constructs the in-DRAM mitigation logic for
+	// sub-channel sub, reporting mitigations to sink. nil selects the
+	// unprotected baseline.
+	NewMitigator func(sub int, sink track.Sink) track.Mitigator
+}
+
+func (c *Config) setDefaults() error {
+	if c.Geometry.SubChannels == 0 {
+		c.Geometry = dram.Default()
+	}
+	if c.Timing.TRC == 0 {
+		c.Timing = dram.DDR5()
+	}
+	if c.WindowDepth <= 0 {
+		c.WindowDepth = 64
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	return c.Timing.Validate()
+}
+
+// Stats aggregates one sub-channel's activity counters.
+type Stats struct {
+	Reads  int64
+	Writes int64
+	ACTs   int64
+	REFs   int64
+	RFMs   int64
+	Alerts int64
+
+	DemandRefreshRows int64 // rows refreshed by REF commands
+	Mitigations       int64 // aggressor rows mitigated by the tracker
+	VictimRows        int64 // victim rows refreshed by mitigations
+
+	BusBusy    dram.Time // data-bus occupancy
+	AlertStall dram.Time // time spent in the ALERT unavailable window
+	RefBusy    dram.Time // time spent executing REF
+	RFMBusy    dram.Time // bank-time spent executing RFM
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.ACTs += other.ACTs
+	s.REFs += other.REFs
+	s.RFMs += other.RFMs
+	s.Alerts += other.Alerts
+	s.DemandRefreshRows += other.DemandRefreshRows
+	s.Mitigations += other.Mitigations
+	s.VictimRows += other.VictimRows
+	s.BusBusy += other.BusBusy
+	s.AlertStall += other.AlertStall
+	s.RefBusy += other.RefBusy
+	s.RFMBusy += other.RFMBusy
+}
+
+// Channel is one DDR5 channel: a set of independent sub-channels sharing
+// nothing but the address decomposition.
+type Channel struct {
+	cfg  Config
+	subs []*SubChannel
+}
+
+// NewChannel builds a channel on kernel k.
+func NewChannel(k *sim.Kernel, cfg Config) (*Channel, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{cfg: cfg}
+	for i := 0; i < cfg.Geometry.SubChannels; i++ {
+		ch.subs = append(ch.subs, newSubChannel(k, cfg, i))
+	}
+	return ch, nil
+}
+
+// Geometry returns the channel's geometry.
+func (ch *Channel) Geometry() dram.Geometry { return ch.cfg.Geometry }
+
+// Submit enqueues a request. The request's address is decomposed with the
+// configured MOP4 layout and routed to its sub-channel.
+func (ch *Channel) Submit(r *Request) {
+	r.addr = ch.cfg.Geometry.DecomposeWith(ch.cfg.AddrMapping, r.Addr)
+	ch.subs[r.addr.SubChannel].submit(r)
+}
+
+// SubChannel returns sub-channel i (for inspection in tests and tools).
+func (ch *Channel) SubChannel(i int) *SubChannel { return ch.subs[i] }
+
+// Stats returns the sum of all sub-channel stats.
+func (ch *Channel) Stats() Stats {
+	var total Stats
+	for _, s := range ch.subs {
+		total.Add(s.stats)
+	}
+	return total
+}
+
+// Mitigators returns the per-sub-channel mitigation engines.
+func (ch *Channel) Mitigators() []track.Mitigator {
+	out := make([]track.Mitigator, len(ch.subs))
+	for i, s := range ch.subs {
+		out[i] = s.mit
+	}
+	return out
+}
+
+// PendingRequests returns the number of requests queued across
+// sub-channels (for drain checks).
+func (ch *Channel) PendingRequests() int {
+	n := 0
+	for _, s := range ch.subs {
+		n += len(s.queue)
+	}
+	return n
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("mem.Config{mapping=%s bat=%d window=%d}", c.Mapping, c.RFMBAT, c.WindowDepth)
+}

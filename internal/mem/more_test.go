@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, ACTs: 2, BusBusy: 3, Mitigations: 4}
+	b := Stats{Reads: 10, ACTs: 20, BusBusy: 30, Mitigations: 40}
+	a.Add(b)
+	if a.Reads != 11 || a.ACTs != 22 || a.BusBusy != 33 || a.Mitigations != 44 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{RFMBAT: 48, WindowDepth: 64}
+	if s := c.String(); s == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestPendingRequestsDrains(t *testing.T) {
+	k, ch := newTestChannel(t, Config{})
+	for i := 0; i < 10; i++ {
+		var d dram.Time
+		submitLine(ch, 0, i%4, 100+i, 0, &d)
+	}
+	if ch.PendingRequests() == 0 {
+		t.Error("requests should be queued before the scheduler runs")
+	}
+	k.RunUntil(10 * dram.Microsecond)
+	if ch.PendingRequests() != 0 {
+		t.Errorf("%d requests stuck in queue", ch.PendingRequests())
+	}
+}
+
+func TestWindowDepthBoundsScheduling(t *testing.T) {
+	// A tiny window still drains everything; it just limits visibility.
+	k, ch := newTestChannel(t, Config{WindowDepth: 2})
+	done := make([]dram.Time, 40)
+	for i := range done {
+		submitLine(ch, 0, i%8, 100+i, 0, &done[i])
+	}
+	k.RunUntil(50 * dram.Microsecond)
+	for i, d := range done {
+		if d == 0 {
+			t.Fatalf("request %d never completed with WindowDepth=2", i)
+		}
+	}
+}
+
+func TestTFAWPacing(t *testing.T) {
+	// 8 activations to 8 different banks cannot all issue within one tFAW.
+	k, ch := newTestChannel(t, Config{})
+	var dones [8]dram.Time
+	for i := 0; i < 8; i++ {
+		submitLine(ch, 0, i, 100, 0, &dones[i])
+	}
+	k.RunUntil(10 * dram.Microsecond)
+	tm := dram.DDR5()
+	// The 5th ACT waits for the tFAW window: its data completes at least
+	// ~tFAW after the first.
+	if gap := dones[4] - dones[0]; gap < tm.TFAW-2*tm.TBUS {
+		t.Errorf("5th completion only %v after 1st; tFAW=%v not enforced?", gap, tm.TFAW)
+	}
+	// But bank parallelism still beats serial tRC x 8.
+	if total := dones[7] - dones[0]; total > 8*tm.TRC {
+		t.Errorf("8 banks took %v, worse than serial", total)
+	}
+}
+
+func TestMitigatorsExposed(t *testing.T) {
+	_, ch := newTestChannel(t, Config{})
+	mits := ch.Mitigators()
+	if len(mits) != 2 {
+		t.Fatalf("expected 2 sub-channel mitigators, got %d", len(mits))
+	}
+	for _, m := range mits {
+		if m.Name() != "Unprotected" {
+			t.Errorf("default mitigator = %s", m.Name())
+		}
+	}
+	if ch.SubChannel(0).Mitigator() != mits[0] {
+		t.Error("SubChannel accessor mismatch")
+	}
+	if ch.SubChannel(1).RefIndex() != 0 {
+		t.Error("fresh channel should have no REFs")
+	}
+}
+
+func TestWritesDoNotBlockReads(t *testing.T) {
+	k, ch := newTestChannel(t, Config{})
+	g := ch.Geometry()
+	var readDone dram.Time
+	// A burst of writes to one bank, then a read to another bank: the
+	// read's latency must stay near the unloaded value.
+	for i := 0; i < 8; i++ {
+		addr := g.Compose(dram.Address{Bank: 0, Row: 5, Col: i})
+		ch.Submit(&Request{Addr: addr, Write: true})
+	}
+	submitLine(ch, 0, 7, 100, 0, &readDone)
+	k.RunUntil(5 * dram.Microsecond)
+	tm := dram.DDR5()
+	unloaded := tm.TRCD + tm.TCL + tm.TBUS
+	if readDone > 4*unloaded {
+		t.Errorf("read behind writes took %v (unloaded %v)", readDone, unloaded)
+	}
+	if ch.Stats().Writes != 8 {
+		t.Errorf("writes = %d", ch.Stats().Writes)
+	}
+}

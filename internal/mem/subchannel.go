@@ -1,0 +1,549 @@
+package mem
+
+import (
+	"mirza/internal/dram"
+	"mirza/internal/sim"
+	"mirza/internal/track"
+)
+
+// alert protocol states.
+const (
+	alertIdle = iota
+	alertPrologue
+	alertStall
+)
+
+// tRTP approximates the read-to-precharge constraint.
+const tRTP = 12 * dram.Nanosecond
+
+// bankState is the controller's view of one DRAM bank.
+type bankState struct {
+	openRow    int       // -1 when precharged
+	openedAt   dram.Time // time of the last ACT
+	colReadyAt dram.Time // earliest column command (tRCD after ACT)
+	preReadyAt dram.Time // earliest precharge (tRAS / read-to-pre / write recovery)
+	actReadyAt dram.Time // earliest next ACT (tRC after ACT, tRP after PRE, RFM/REF end)
+	idleAt     dram.Time // time the bank is fully precharged/idle (REF/RFM gating)
+	rfmPending bool      // a proactive RFM must execute before the next ACT
+	actCounter int       // BAT counter for proactive RFM
+}
+
+// SubChannel is one independently scheduled DDR5 sub-channel.
+type SubChannel struct {
+	k   *sim.Kernel
+	cfg Config
+	id  int
+	mit track.Mitigator
+
+	banks   []bankState
+	queue   []*Request
+	nextEnq int64
+
+	faw       []dram.Time // times of the last 4 ACTs (ring)
+	fawIdx    int
+	lastActAt dram.Time
+	busFreeAt dram.Time
+
+	refDue       dram.Time
+	refBusyUntil dram.Time
+	refIndex     int
+
+	alertState    int
+	alertStallAt  dram.Time
+	alertEndAt    dram.Time
+	actSinceAlert bool
+
+	nextWake dram.Time // earliest scheduled wake (-1 if none)
+	wakeGen  uint64    // generation counter invalidating stale wakes
+	stats    Stats
+}
+
+func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
+	s := &SubChannel{
+		k:             k,
+		cfg:           cfg,
+		id:            id,
+		banks:         make([]bankState, cfg.Geometry.BanksPerSubChannel),
+		faw:           make([]dram.Time, 4),
+		refDue:        cfg.Timing.TREFI,
+		actSinceAlert: true,
+		nextWake:      -1,
+	}
+	for i := range s.banks {
+		s.banks[i].openRow = -1
+	}
+	for i := range s.faw {
+		s.faw[i] = -cfg.Timing.TFAW
+	}
+	s.lastActAt = -cfg.Timing.TRRD
+	sink := track.FuncSink(func(bank, row, victims int, now dram.Time) {
+		s.stats.Mitigations++
+		s.stats.VictimRows += int64(victims)
+	})
+	if cfg.NewMitigator != nil {
+		s.mit = cfg.NewMitigator(id, sink)
+	} else {
+		s.mit = track.NewNop()
+	}
+	// Refresh is self-sustaining: arm the first REF.
+	s.requestWake(s.refDue)
+	return s
+}
+
+// Stats returns a copy of the sub-channel's counters.
+func (s *SubChannel) Stats() Stats { return s.stats }
+
+// Mitigator returns the attached mitigation engine.
+func (s *SubChannel) Mitigator() track.Mitigator { return s.mit }
+
+// RefIndex returns the number of REF commands executed so far.
+func (s *SubChannel) RefIndex() int { return s.refIndex }
+
+func (s *SubChannel) submit(r *Request) {
+	r.arrive = s.k.Now()
+	r.enqueue = s.nextEnq
+	s.nextEnq++
+	s.queue = append(s.queue, r)
+	s.requestWake(s.k.Now())
+}
+
+// requestWake ensures a wake event is scheduled no later than at. A newer
+// (earlier) request invalidates any previously scheduled wake via the
+// generation counter, so superseded events return without doing work.
+func (s *SubChannel) requestWake(at dram.Time) {
+	now := s.k.Now()
+	if at < now {
+		at = now
+	}
+	if s.nextWake >= 0 && s.nextWake <= at {
+		return
+	}
+	s.nextWake = at
+	s.wakeGen++
+	gen := s.wakeGen
+	s.k.Schedule(at, func() {
+		if gen != s.wakeGen {
+			return // superseded
+		}
+		s.wake()
+	})
+}
+
+func (s *SubChannel) wake() {
+	s.nextWake = -1
+	s.wakeGen++ // invalidate any other pending wake events
+	n := 0
+	for s.step() {
+		n++
+	}
+	if debugHook != nil {
+		debugHook(n)
+	}
+	s.arm()
+}
+
+// step attempts one state transition at the current time; it reports
+// whether progress was made (zero-delay actions chain until quiescent).
+func (s *SubChannel) step() bool {
+	now := s.k.Now()
+	t := &s.cfg.Timing
+
+	// ALERT protocol bookkeeping.
+	switch s.alertState {
+	case alertStall:
+		if now < s.alertEndAt {
+			return false
+		}
+		// The back-off RFM executed during the stall window; mitigation
+		// completes as the stall ends.
+		s.mit.ServiceALERT(now)
+		s.alertState = alertIdle
+		return true
+	case alertPrologue:
+		if now >= s.alertStallAt {
+			// Stall begins: all banks are precharged for the back-off RFM.
+			for b := range s.banks {
+				bk := &s.banks[b]
+				if bk.openRow >= 0 {
+					bk.openRow = -1
+				}
+				if bk.actReadyAt < s.alertEndAt {
+					bk.actReadyAt = s.alertEndAt
+				}
+				if bk.idleAt < s.alertEndAt {
+					bk.idleAt = s.alertEndAt
+				}
+			}
+			s.alertState = alertStall
+			return true
+		}
+	}
+
+	// Sub-channel blocked while a REF executes.
+	if now < s.refBusyUntil {
+		return false
+	}
+
+	// Demand refresh has strict priority once due.
+	if now >= s.refDue && s.alertState == alertIdle {
+		return s.stepRefresh(now)
+	}
+
+	// Reactive ALERT initiation: requires at least one ACT since the
+	// previous ALERT completed (the mandatory epilogue activation).
+	if s.alertState == alertIdle && s.actSinceAlert && s.mit.WantsALERT() {
+		s.alertState = alertPrologue
+		s.alertStallAt = now + t.ABOPrologue
+		s.alertEndAt = s.alertStallAt + t.ABOStall
+		s.actSinceAlert = false
+		s.stats.Alerts++
+		s.stats.AlertStall += t.ABOStall
+		return true
+	}
+
+	// Proactive RFM execution.
+	for b := range s.banks {
+		bk := &s.banks[b]
+		if !bk.rfmPending {
+			continue
+		}
+		if bk.openRow >= 0 {
+			if now >= bk.preReadyAt {
+				s.precharge(b, now)
+				return true
+			}
+			continue
+		}
+		if now >= bk.idleAt {
+			bk.rfmPending = false
+			bk.actReadyAt = now + t.TRFM
+			bk.idleAt = now + t.TRFM
+			s.stats.RFMs++
+			s.stats.RFMBusy += t.TRFM
+			s.mit.OnRFM(b, now)
+			return true
+		}
+	}
+
+	window := s.queue
+	if len(window) > s.cfg.WindowDepth {
+		window = window[:s.cfg.WindowDepth]
+	}
+
+	// Column command for the oldest row hit.
+	for i, r := range window {
+		bk := &s.banks[r.addr.Bank]
+		if bk.openRow != r.addr.Row || now < bk.colReadyAt {
+			continue
+		}
+		if s.busFreeAt > now+t.TCL {
+			continue // data bus not free at data time
+		}
+		s.issueColumn(r, bk, now)
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		return true
+	}
+
+	// Precharge: oldest-conflict demand or soft close-page after tRAS.
+	for b := range s.banks {
+		bk := &s.banks[b]
+		if bk.openRow < 0 || now < bk.preReadyAt {
+			continue
+		}
+		hasHit, hasConflict := false, false
+		for _, r := range window {
+			if r.addr.Bank != b {
+				continue
+			}
+			if r.addr.Row == bk.openRow {
+				hasHit = true
+				break
+			}
+			hasConflict = true
+		}
+		if hasHit {
+			continue // soft close-page: pending hits are served first
+		}
+		if hasConflict || now-bk.openedAt >= t.TRAS {
+			s.precharge(b, now)
+			return true
+		}
+	}
+
+	// Activate for the oldest request with a closed, ready bank.
+	for _, r := range window {
+		bk := &s.banks[r.addr.Bank]
+		if bk.openRow >= 0 || bk.rfmPending {
+			continue
+		}
+		if now < bk.actReadyAt || now < bk.idleAt {
+			continue
+		}
+		if now < s.faw[s.fawIdx]+t.TFAW || now < s.lastActAt+t.TRRD {
+			break // channel-level ACT pacing blocks all activates
+		}
+		s.activate(r.addr.Bank, r.addr.Row, now)
+		return true
+	}
+
+	return false
+}
+
+// stepRefresh makes progress toward (or executes) a due REF.
+func (s *SubChannel) stepRefresh(now dram.Time) bool {
+	t := &s.cfg.Timing
+	g := &s.cfg.Geometry
+	allIdle := true
+	var latestIdle dram.Time
+	for b := range s.banks {
+		bk := &s.banks[b]
+		if bk.openRow >= 0 {
+			allIdle = false
+			if now >= bk.preReadyAt {
+				s.precharge(b, now)
+				return true
+			}
+			continue
+		}
+		if bk.idleAt > latestIdle {
+			latestIdle = bk.idleAt
+		}
+	}
+	if !allIdle || now < latestIdle {
+		return false
+	}
+	// Execute the all-bank REF.
+	s.refBusyUntil = now + t.TRFC
+	for b := range s.banks {
+		bk := &s.banks[b]
+		if bk.actReadyAt < s.refBusyUntil {
+			bk.actReadyAt = s.refBusyUntil
+		}
+		if bk.idleAt < s.refBusyUntil {
+			bk.idleAt = s.refBusyUntil
+		}
+	}
+	s.stats.REFs++
+	s.stats.RefBusy += t.TRFC
+	s.stats.DemandRefreshRows += int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
+	s.mit.OnREF(s.refIndex, now) // 0-based position in the refresh walk
+	s.refIndex++
+	s.refDue += t.TREFI
+	return true
+}
+
+func (s *SubChannel) precharge(bank int, now dram.Time) {
+	t := &s.cfg.Timing
+	bk := &s.banks[bank]
+	if s.cfg.RowPressWeighting && bk.openRow >= 0 {
+		// RowPress mitigation (Section II.A): a long-open row disturbs
+		// its neighbours like extra activations; report one equivalent
+		// ACT to the tracker per additional tRAS the row stayed open.
+		extra := int((now-bk.openedAt)/t.TRAS) - 1
+		if extra > 8 {
+			extra = 8
+		}
+		for i := 0; i < extra; i++ {
+			s.mit.OnActivate(bank, bk.openRow, now)
+		}
+	}
+	bk.openRow = -1
+	if bk.actReadyAt < now+t.TRP {
+		bk.actReadyAt = now + t.TRP
+	}
+	bk.idleAt = now + t.TRP
+}
+
+func (s *SubChannel) activate(bank, row int, now dram.Time) {
+	t := &s.cfg.Timing
+	bk := &s.banks[bank]
+	bk.openRow = row
+	bk.openedAt = now
+	bk.colReadyAt = now + t.TRCD
+	bk.preReadyAt = now + t.TRAS
+	bk.actReadyAt = now + t.TRC
+	s.faw[s.fawIdx] = now
+	s.fawIdx = (s.fawIdx + 1) % len(s.faw)
+	s.lastActAt = now
+	s.stats.ACTs++
+	s.actSinceAlert = true
+
+	if s.cfg.RFMBAT > 0 {
+		bk.actCounter++
+		if bk.actCounter >= s.cfg.RFMBAT {
+			bk.actCounter = 0
+			bk.rfmPending = true
+		}
+	}
+	s.mit.OnActivate(bank, row, now)
+}
+
+func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
+	t := &s.cfg.Timing
+	dataDone := now + t.TCL + t.TBUS
+	s.busFreeAt = dataDone
+	s.stats.BusBusy += t.TBUS
+	if r.Write {
+		s.stats.Writes++
+		if bk.preReadyAt < dataDone+t.TWR {
+			bk.preReadyAt = dataDone + t.TWR
+		}
+		if r.Done != nil {
+			r.Done(now) // posted write
+		}
+		return
+	}
+	s.stats.Reads++
+	if bk.preReadyAt < now+tRTP {
+		bk.preReadyAt = now + tRTP
+	}
+	if r.Done != nil {
+		done := r.Done
+		s.k.Schedule(dataDone, func() { done(dataDone) })
+	}
+}
+
+// arm computes the earliest future time at which step could make progress
+// and schedules a wake there.
+func (s *SubChannel) arm() {
+	now := s.k.Now()
+	t := &s.cfg.Timing
+	const never = dram.Time(1) << 62
+	next := never
+
+	chosen := ""
+	consider := func(at dram.Time, label string) {
+		if at <= now {
+			at = now + dram.Picosecond
+			if debugClamp != nil {
+				debugClamp(label)
+			}
+		}
+		if at < next {
+			next = at
+			chosen = label
+		}
+	}
+	defer func() {
+		if debugArm != nil && next < never {
+			debugArm(chosen, next-now)
+		}
+	}()
+
+	switch s.alertState {
+	case alertPrologue:
+		consider(s.alertStallAt, "alertStallAt")
+	case alertStall:
+		consider(s.alertEndAt, "alertEndAt")
+	}
+	if now < s.refBusyUntil {
+		consider(s.refBusyUntil, "refBusy")
+	}
+	if s.refDue > now {
+		consider(s.refDue, "refDue") // refresh is self-sustaining
+	}
+
+	refPending := now >= s.refDue && s.alertState == alertIdle && now >= s.refBusyUntil
+	if refPending {
+		// Only the latest idle time gates the REF; banks already idle
+		// need no wake of their own.
+		var latestIdle dram.Time
+		for b := range s.banks {
+			bk := &s.banks[b]
+			if bk.openRow >= 0 {
+				consider(bk.preReadyAt, "ref-pre")
+			} else if bk.idleAt > latestIdle {
+				latestIdle = bk.idleAt
+			}
+		}
+		if latestIdle > now {
+			consider(latestIdle, "ref-idle")
+		}
+		// While refresh is pending nothing else issues.
+		if next < never {
+			s.requestWake(next)
+		}
+		return
+	}
+
+	if s.alertState == alertStall {
+		s.requestWake(next)
+		return
+	}
+
+	window := s.queue
+	if len(window) > s.cfg.WindowDepth {
+		window = window[:s.cfg.WindowDepth]
+	}
+	var hitBank, conflictBank [64]bool
+	for _, r := range window {
+		bk := &s.banks[r.addr.Bank]
+		if bk.openRow == r.addr.Row {
+			hitBank[r.addr.Bank] = true
+		} else if bk.openRow >= 0 {
+			conflictBank[r.addr.Bank] = true
+		}
+	}
+
+	for b := range s.banks {
+		bk := &s.banks[b]
+		if bk.rfmPending {
+			if bk.openRow >= 0 {
+				if !hitBank[b] {
+					consider(bk.preReadyAt, "rfm-pre")
+				}
+			} else {
+				consider(bk.idleAt, "rfm-idle")
+			}
+		}
+		if bk.openRow >= 0 && !hitBank[b] {
+			// Precharge timer: immediately at preReady for a pending
+			// conflict, at the soft close-page point otherwise.
+			at := bk.preReadyAt
+			if !conflictBank[b] && bk.openedAt+t.TRAS > at {
+				at = bk.openedAt + t.TRAS
+			}
+			consider(at, "pre")
+		}
+	}
+	for _, r := range window {
+		bk := &s.banks[r.addr.Bank]
+		switch {
+		case bk.openRow == r.addr.Row:
+			at := bk.colReadyAt
+			if s.busFreeAt-t.TCL > at {
+				at = s.busFreeAt - t.TCL
+			}
+			consider(at, "col")
+		case bk.openRow >= 0:
+			if !hitBank[r.addr.Bank] {
+				consider(bk.preReadyAt, "conf-pre")
+			}
+		default:
+			at := bk.actReadyAt
+			if bk.idleAt > at {
+				at = bk.idleAt
+			}
+			if f := s.faw[s.fawIdx] + t.TFAW; f > at {
+				at = f
+			}
+			if rr := s.lastActAt + t.TRRD; rr > at {
+				at = rr
+			}
+			consider(at, "act")
+		}
+	}
+
+	if next < never {
+		s.requestWake(next)
+	}
+}
+
+// debugHook, when non-nil, receives the number of step transitions each
+// wake performed (test instrumentation). debugClamp receives the label of
+// any candidate that had to be clamped into the future.
+var (
+	debugHook  func(progress int)
+	debugClamp func(label string)
+	debugArm   func(label string, delta dram.Time)
+)

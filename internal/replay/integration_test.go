@@ -1,0 +1,63 @@
+package replay
+
+import (
+	"testing"
+
+	"mirza/internal/cpu"
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/trace"
+)
+
+// TestReplayMatchesTimingSimulator is the cross-check that justifies the
+// hybrid methodology (DESIGN.md §4): over the same workload, the replayer's
+// activation rate must track the cycle-level simulator's within the
+// open-row coalescing model's tolerance.
+func TestReplayMatchesTimingSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	for _, name := range []string{"mcf", "fotonik3d"} {
+		spec, err := trace.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Timing simulator run.
+		gens, _ := trace.PerCore(spec, 8, 5)
+		sys, err := cpu.NewSystem(cpu.SystemConfig{
+			Core: cpu.CoreConfig{MSHR: spec.MLPLimit()},
+			Mem:  mem.Config{Mapping: dram.StridedR2SA},
+		}, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := 500 * dram.Microsecond
+		sys.Run(horizon)
+		st := sys.Channel.Stats()
+		var ips float64
+		for _, c := range sys.Cores {
+			ips += float64(c.Retired())
+		}
+		ips /= float64(horizon) / 1e12
+		timingACTRate := float64(st.ACTs) / (float64(horizon) / 1e12)
+
+		// Replay run at the measured instruction rate.
+		gens2, _ := trace.PerCore(spec, 8, 5)
+		r, err := NewRunner(Config{IPS: ips}, gens2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(horizon, nil)
+		var acts int64
+		for _, s := range r.Stats() {
+			acts += s.ACTs
+		}
+		replayACTRate := float64(acts) / (float64(horizon) / 1e12)
+
+		ratio := replayACTRate / timingACTRate
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%s: replay ACT rate %.0f/s vs timing %.0f/s (ratio %.2f)",
+				name, replayACTRate, timingACTRate, ratio)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package security
+
+import (
+	"math"
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+	"mirza/internal/track"
+)
+
+// TestMonteCarloEscapeProbability validates the analytic core of the MINT
+// model empirically: against a real MINTSampler, a row receiving t of its
+// window's activations escapes selection with probability (1-1/W)^t.
+func TestMonteCarloEscapeProbability(t *testing.T) {
+	const (
+		w      = 12
+		target = 60 // attacker ACTs on the victim row per trial
+		trials = 30000
+	)
+	rng := stats.NewRNG(5)
+	escapes := 0
+	for trial := 0; trial < trials; trial++ {
+		s := track.NewMINTSampler(w, rng.Split())
+		escaped := true
+		// The attacker interleaves its row with decoys, one per window
+		// slot, giving the row `target` total observations.
+		for i := 0; i < target; i++ {
+			if s.ObserveRolling(1) {
+				escaped = false
+				break
+			}
+			for j := 0; j < w-1; j++ {
+				s.ObserveRolling(1000 + j)
+			}
+		}
+		if escaped {
+			escapes++
+		}
+	}
+	got := float64(escapes) / trials
+	want := EscapeProbability(target, w)
+	if math.Abs(got-want) > 0.015 {
+		t.Errorf("empirical escape %.4f vs analytic %.4f", got, want)
+	}
+}
+
+// TestMonteCarloSelectionUniform confirms the sampler's uniformity, the
+// assumption underlying T = W*ln(K/T).
+func TestMonteCarloSelectionUniform(t *testing.T) {
+	const w = 8
+	rng := stats.NewRNG(9)
+	s := track.NewMINTSampler(w, rng)
+	counts := make([]int, w)
+	const windows = 80000
+	for k := 0; k < windows; k++ {
+		for i := 0; i < w; i++ {
+			if s.ObserveRolling(i) {
+				counts[i]++
+			}
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / windows
+		if math.Abs(frac-1.0/w) > 0.01 {
+			t.Errorf("slot %d selected %.4f, want %.4f", i, frac, 1.0/w)
+		}
+	}
+}
+
+// TestMithrilModelAgainstSimulation cross-checks the affine Mithril fit
+// against a feinting-style attack on the actual Space-Saving tracker: the
+// measured worst-case exposure of a churn pattern must stay within the
+// same order as the model's tolerated threshold (scaled for the smaller
+// table used here).
+func TestMithrilModelAgainstSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("monte carlo")
+	}
+	model := DefaultMithrilModel()
+	g := dram.Default()
+	for _, w := range []int{75, 151} {
+		tolerated := model.ToleratedTRHD(w)
+		perRow := make(map[int]int)
+		worst := 0
+		tr := track.NewMithril(track.MithrilConfig{
+			Geometry: g, Mapping: dram.StridedR2SA, Entries: 64, MitigateEveryREFs: 1,
+		}, track.FuncSink(func(bank, row, victims int, now dram.Time) {
+			perRow[row] = 0
+		}))
+		// Feinting-style churn: one more row than the table holds.
+		rows := make([]int, 65)
+		for i := range rows {
+			rows[i] = 1000 + 2*i
+		}
+		acts, ref := 0, 0
+		for acts < 300000 {
+			for _, r := range rows {
+				tr.OnActivate(0, r, 0)
+				perRow[r]++
+				if perRow[r] > worst {
+					worst = perRow[r]
+				}
+				acts++
+				if acts%w == 0 {
+					tr.OnREF(ref%8192, 0)
+					ref++
+				}
+			}
+		}
+		if worst > 4*tolerated {
+			t.Errorf("W=%d: simulated worst %d far exceeds model bound %d", w, worst, tolerated)
+		}
+		if worst == 0 {
+			t.Errorf("W=%d: no exposure recorded", w)
+		}
+	}
+}

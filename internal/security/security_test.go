@@ -1,0 +1,165 @@
+package security
+
+import (
+	"testing"
+
+	"mirza/internal/core"
+	"mirza/internal/dram"
+)
+
+func TestMINTModelReproducesTableII(t *testing.T) {
+	m := DefaultMINTModel()
+	tm := dram.DDR5()
+	// Table II: TRHD tolerated by MINT at 1/2/4/8 REF mitigation rates.
+	cases := []struct {
+		refs      int
+		wantW     int
+		wantTRHD  int
+		tolerance float64
+	}{
+		{1, 75, 1500, 0.03},
+		{2, 151, 2900, 0.05},
+		{4, 303, 5800, 0.05},
+		{8, 606, 11600, 0.05},
+	}
+	for _, c := range cases {
+		w := WindowPerREFs(tm, c.refs)
+		if w != c.wantW && w != c.wantW+1 {
+			t.Errorf("refs=%d: W=%d, want ~%d", c.refs, w, c.wantW)
+		}
+		got := m.ToleratedTRHD(w)
+		lo := float64(c.wantTRHD) * (1 - c.tolerance)
+		hi := float64(c.wantTRHD) * (1 + c.tolerance)
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("refs=%d W=%d: TRHD=%d, want %d +/- %.0f%%",
+				c.refs, w, got, c.wantTRHD, c.tolerance*100)
+		}
+	}
+}
+
+func TestMithrilModelReproducesTableII(t *testing.T) {
+	m := DefaultMithrilModel()
+	cases := []struct{ w, want int }{
+		{75, 1000}, {151, 1700}, {303, 2900}, {607, 5400},
+	}
+	for _, c := range cases {
+		got := m.ToleratedTRHD(c.w)
+		if float64(got) < 0.93*float64(c.want) || float64(got) > 1.07*float64(c.want) {
+			t.Errorf("W=%d: Mithril TRHD=%d, want ~%d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestWindowForTRHDMatchesRFMRates(t *testing.T) {
+	m := DefaultMINTModel()
+	// Figure 3: MINT tolerates TRHD 500/1K/2K with RFM every 24/48/96
+	// activations.
+	cases := []struct{ trhd, want, slack int }{
+		{500, 24, 1},
+		{1000, 48, 2},
+		{2000, 96, 5},
+	}
+	for _, c := range cases {
+		got := m.WindowForTRHD(c.trhd)
+		if got < c.want-c.slack || got > c.want+c.slack {
+			t.Errorf("WindowForTRHD(%d) = %d, want %d +/- %d", c.trhd, got, c.want, c.slack)
+		}
+	}
+}
+
+func TestToleratedTRHDMonotone(t *testing.T) {
+	m := DefaultMINTModel()
+	prev := 0
+	for w := 4; w <= 1024; w *= 2 {
+		cur := m.ToleratedTRHD(w)
+		if cur <= prev {
+			t.Fatalf("TRHD(W=%d)=%d not increasing (prev %d)", w, cur, prev)
+		}
+		prev = cur
+	}
+	if m.ToleratedTRHS(0) != 0 {
+		t.Error("W=0 should tolerate nothing")
+	}
+}
+
+func TestEscapeProbability(t *testing.T) {
+	if p := EscapeProbability(0, 10); p != 1 {
+		t.Errorf("escape(0) = %v", p)
+	}
+	// e^{-T/W} approximation: T=W gives ~1/e.
+	p := EscapeProbability(100, 100)
+	if p < 0.35 || p > 0.38 {
+		t.Errorf("escape(W,W) = %v, want ~0.366", p)
+	}
+}
+
+func TestABOActs(t *testing.T) {
+	// Figure 10: with a 4-entry queue the last entry receives QTH+7
+	// activations, so the ABO slack is 7.
+	if got := ABOActs(4); got != 7 {
+		t.Errorf("ABOActs(4) = %d, want 7", got)
+	}
+	if ABOActs(1) != 1 || ABOActs(0) != 0 {
+		t.Error("degenerate queue sizes wrong")
+	}
+}
+
+func TestSafeTRHDMatchesPresets(t *testing.T) {
+	m := DefaultMINTModel()
+	// Each Table VII preset must tolerate (approximately) its target: the
+	// bound composed from the preset parameters should come out within a
+	// few percent of the nominal TRHD.
+	for _, trhd := range []int{500, 1000, 2000} {
+		cfg, err := core.ForTRHD(trhd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := SafeTRHD(cfg, m)
+		lo, hi := float64(trhd)*0.94, float64(trhd)*1.08
+		if float64(bound) < lo || float64(bound) > hi {
+			t.Errorf("TRHD=%d: SafeTRHD=%d, want within [%.0f, %.0f]", trhd, bound, lo, hi)
+		}
+		// Single-sided bound is roughly twice the double-sided one.
+		ss := SafeTRHS(cfg, m)
+		if ss < bound || ss > 2*bound+cfg.QTH+64 {
+			t.Errorf("TRHD=%d: SafeTRHS=%d vs SafeTRHD=%d", trhd, ss, bound)
+		}
+	}
+}
+
+func TestFTHForTRHDInvertsBound(t *testing.T) {
+	m := DefaultMINTModel()
+	for _, c := range []struct{ trhd, w int }{{500, 8}, {1000, 12}, {2000, 16}} {
+		fth := FTHForTRHD(c.trhd, c.w, core.DefaultQueueSize, core.DefaultQTH, m)
+		if fth <= 0 {
+			t.Fatalf("FTH(%d, W=%d) = %d", c.trhd, c.w, fth)
+		}
+		cfg, _ := core.ForTRHD(c.trhd)
+		cfg.FTH = fth
+		cfg.MINTWindow = c.w
+		if got := SafeTRHD(cfg, m); got > c.trhd {
+			t.Errorf("derived FTH=%d gives SafeTRHD=%d > target %d", fth, got, c.trhd)
+		}
+		// And it should be close to the paper's choice.
+		paper := map[int]int{500: 660, 1000: 1500, 2000: 3330}[c.trhd]
+		if float64(fth) < 0.9*float64(paper) || float64(fth) > 1.1*float64(paper) {
+			t.Errorf("FTH(%d) = %d, paper uses %d", c.trhd, fth, paper)
+		}
+	}
+	if FTHForTRHD(10, 1024, 4, 16, m) != 0 {
+		t.Error("impossible budget must clamp FTH to 0")
+	}
+}
+
+func TestFTHMonotoneInWindow(t *testing.T) {
+	m := DefaultMINTModel()
+	// Table IX: larger MINT-W leaves less budget for FTH.
+	prev := 1 << 30
+	for _, w := range []int{4, 8, 12, 16} {
+		fth := FTHForTRHD(1000, w, 4, 16, m)
+		if fth >= prev {
+			t.Errorf("FTH not decreasing in W: W=%d FTH=%d prev=%d", w, fth, prev)
+		}
+		prev = fth
+	}
+}

@@ -1,0 +1,94 @@
+// Package sim provides the discrete-event simulation kernel shared by the
+// memory controller and CPU models: a time-ordered event queue with a
+// monotonic picosecond clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mirza/internal/dram"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  dram.Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel is a discrete-event scheduler. The zero value is ready to use.
+type Kernel struct {
+	now    dram.Time
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() dram.Time { return k.now }
+
+// Schedule runs fn at time at. Scheduling in the past panics: it would
+// silently corrupt causality.
+func (k *Kernel) Schedule(at dram.Time, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn delay after the current time.
+func (k *Kernel) After(delay dram.Time, fn func()) {
+	k.Schedule(k.now+delay, fn)
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step executes the earliest event, advancing the clock. It returns false
+// if no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass deadline or the queue
+// empties, leaving later events queued. The clock is left at
+// min(deadline, last-event time).
+func (k *Kernel) RunUntil(deadline dram.Time) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Drain runs all remaining events. Intended for test teardown; simulations
+// with self-rescheduling actors should use RunUntil.
+func (k *Kernel) Drain(maxEvents int) error {
+	for i := 0; i < maxEvents; i++ {
+		if !k.Step() {
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: drain exceeded %d events", maxEvents)
+}

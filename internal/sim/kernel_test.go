@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(30, func() { got = append(got, 3) })
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(20, func() { got = append(got, 2) })
+	k.Schedule(10, func() { got = append(got, 11) }) // FIFO at equal times
+	for k.Step() {
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("now = %v", k.Now())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	var k Kernel
+	fired := 0
+	k.Schedule(100, func() { fired++ })
+	k.Schedule(200, func() { fired++ })
+	k.RunUntil(150)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 150 {
+		t.Errorf("clock = %v, want 150 (advanced to deadline)", k.Now())
+	}
+	k.RunUntil(300)
+	if fired != 2 || k.Now() != 300 {
+		t.Errorf("fired=%d now=%v", fired, k.Now())
+	}
+}
+
+func TestKernelSelfScheduling(t *testing.T) {
+	var k Kernel
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			k.After(5*dram.Nanosecond, tick)
+		}
+	}
+	k.Schedule(0, tick)
+	k.RunUntil(dram.Millisecond)
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+	if k.Now() != dram.Millisecond {
+		t.Errorf("now = %v", k.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var k Kernel
+	k.Schedule(100, func() {})
+	k.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	k.Schedule(50, func() {})
+}
+
+func TestDrain(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 5; i++ {
+		at := dram.Time(i)
+		k.Schedule(at, func() {})
+	}
+	if err := k.Drain(10); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	var k2 Kernel
+	var reschedule func()
+	reschedule = func() { k2.After(1, reschedule) }
+	k2.Schedule(0, reschedule)
+	if err := k2.Drain(100); err == nil {
+		t.Error("unbounded drain should report an error")
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats provides small statistics helpers used across the simulator:
+// deterministic pseudo-random number generation, running moments, counters,
+// and histograms. Everything is allocation-light so it can sit on the
+// per-activation hot path of the memory-system simulator.
+package stats
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo-random number generator
+// (xorshift128+). It is the only source of randomness in the repository:
+// MINT sampling, workload generators and Monte-Carlo security runs all draw
+// from explicitly seeded RNG values, which keeps every experiment
+// reproducible.
+//
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns an RNG seeded from seed. Two RNGs with the same seed
+// produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator state from seed using splitmix64, which
+// guarantees a well-mixed nonzero internal state for any seed value.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Draw u1 in (0,1] so the log is finite.
+	u1 := 1.0 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Split returns a new RNG whose stream is independent of (but a
+// deterministic function of) the parent stream. Useful for giving each core
+// or bank its own generator without correlated draws.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Running accumulates a running mean and variance using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates sample x.
+func (w *Running) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Running) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Running) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 with fewer than two samples.
+func (w *Running) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Running) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds other into w, as if all of other's samples had been added.
+func (w *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += d * float64(other.n) / float64(n)
+	w.n = n
+}
+
+// Histogram is a fixed-width bucket histogram over [0, BucketWidth*len).
+// Values beyond the last bucket are clamped into it.
+type Histogram struct {
+	BucketWidth float64
+	Counts      []int64
+	total       int64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	return &Histogram{BucketWidth: width, Counts: make([]int64, n)}
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	i := int(x / h.BucketWidth)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// bucket midpoints. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			return (float64(i) + 0.5) * h.BucketWidth
+		}
+	}
+	return (float64(len(h.Counts)) - 0.5) * h.BucketWidth
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const n, buckets = 100000, 16
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	f := func(_ int) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	var w Running
+	for i := 0; i < 200000; i++ {
+		w.Add(r.NormFloat64())
+	}
+	if math.Abs(w.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", w.Mean())
+	}
+	if math.Abs(w.StdDev()-1) > 0.02 {
+		t.Errorf("normal stddev = %v, want ~1", w.StdDev())
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collide: %d/1000", same)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var w Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 || w.Mean() != 5 {
+		t.Fatalf("mean = %v over %d", w.Mean(), w.N())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", w.StdDev())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				xs[i] = float64(i)
+			}
+		}
+		k := int(split) % len(xs)
+		var all, a, b Running
+		for _, x := range xs {
+			all.Add(x)
+		}
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean())) &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6*(1+all.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	med := h.Quantile(0.5)
+	if med < 4 || med > 6 {
+		t.Errorf("median = %v, want ~5", med)
+	}
+	// Clamping.
+	h.Add(-5)
+	h.Add(1e9)
+	if h.Counts[0] == 0 || h.Counts[len(h.Counts)-1] == 0 {
+		t.Error("out-of-range values must clamp to the edge buckets")
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+	"mirza/internal/vmap"
+)
+
+func TestWorkloadTableComplete(t *testing.T) {
+	specs := Workloads()
+	if len(specs) != 24 {
+		t.Fatalf("%d workloads, want 24 (Table IV)", len(specs))
+	}
+	suites := map[string]int{}
+	for _, w := range specs {
+		suites[w.Suite]++
+		if w.MPKI <= 0 || w.ACTPKI <= 0 || w.ActSAMean <= 0 {
+			t.Errorf("%s: incomplete targets %+v", w.Name, w)
+		}
+	}
+	if suites["GAP"] != 6 || suites["SPEC"] != 12 || suites["MIX"] != 6 {
+		t.Errorf("suite counts = %v, want GAP=6 SPEC=12 MIX=6", suites)
+	}
+	// Published averages (Table IV bottom row).
+	var mpki, actpki float64
+	for _, w := range specs {
+		mpki += w.MPKI
+		actpki += w.ACTPKI
+	}
+	if m := mpki / 24; m < 23 || m > 26 {
+		t.Errorf("avg MPKI = %.1f, table says 24.4", m)
+	}
+	if a := actpki / 24; a < 17 || a > 20 {
+		t.Errorf("avg ACT-PKI = %.1f, table says 18.5", a)
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, err := Lookup("fotonik3d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("doom"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if len(WorkloadNames()) != 24 {
+		t.Error("names incomplete")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec, _ := Lookup("mcf")
+	a := NewSynthetic(spec, 5)
+	b := NewSynthetic(spec, 5)
+	var oa, ob Op
+	for i := 0; i < 10000; i++ {
+		a.Next(&oa)
+		b.Next(&ob)
+		if oa != ob {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+func TestGeneratorMPKI(t *testing.T) {
+	for _, name := range []string{"bc", "xz", "blender"} {
+		spec, _ := Lookup(name)
+		g := NewSynthetic(spec, 3)
+		var op Op
+		var instr, reads int64
+		for reads < 40000 {
+			g.Next(&op)
+			instr += op.Gap + 1
+			if !op.Write {
+				reads++
+			}
+		}
+		mpki := float64(reads) / float64(instr) * 1000
+		if mpki < spec.MPKI*0.93 || mpki > spec.MPKI*1.07 {
+			t.Errorf("%s: generated MPKI %.2f, want %.1f +/- 7%%", name, mpki, spec.MPKI)
+		}
+	}
+}
+
+func TestGeneratorWriteShare(t *testing.T) {
+	// fotonik3d has ACT-PKI > MPKI: the surplus is writeback traffic.
+	spec, _ := Lookup("fotonik3d")
+	g := NewSynthetic(spec, 3)
+	var op Op
+	var writes, total int64
+	for total < 100000 {
+		g.Next(&op)
+		total++
+		if op.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("write-heavy workload generated no writes")
+	}
+	// bc (ACT-PKI < MPKI) is read-dominated.
+	spec2, _ := Lookup("bc")
+	g2 := NewSynthetic(spec2, 3)
+	writes = 0
+	for i := 0; i < 100000; i++ {
+		g2.Next(&op)
+		if op.Write {
+			writes++
+		}
+	}
+	if writes > 10000 {
+		t.Errorf("bc generated %d writes of 100000 ops", writes)
+	}
+}
+
+func TestGeneratorFootprintBounds(t *testing.T) {
+	spec, _ := Lookup("omnetpp") // 192MB
+	g := NewSynthetic(spec, 9)
+	limit := g.FootprintBytes() / LineBytes
+	f := func(_ uint8) bool {
+		var op Op
+		g.Next(&op)
+		return op.Line < limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotStructureSharedAcrossSeeds(t *testing.T) {
+	spec, _ := Lookup("xz")
+	a := NewSynthetic(spec, 1)
+	b := NewSynthetic(spec, 999)
+	if len(a.hotUnits) != len(b.hotUnits) {
+		t.Fatal("hot set sizes differ")
+	}
+	for i := range a.hotUnits {
+		for k := range a.hotUnits[i] {
+			if a.hotUnits[i][k] != b.hotUnits[i][k] {
+				t.Fatal("hot structure must be seed-independent (rate mode shares the binary layout)")
+			}
+		}
+	}
+}
+
+func TestHotUnitsShareSubarrayClass(t *testing.T) {
+	spec, _ := Lookup("fotonik3d")
+	g := NewSynthetic(spec, 1)
+	for _, unit := range g.hotUnits {
+		class := unit[0] % hotStride
+		for _, grp := range unit {
+			if grp%hotStride != class {
+				t.Fatalf("hot unit mixes stride classes: %v", unit)
+			}
+		}
+	}
+}
+
+func TestSubarraySpreadMatchesTargets(t *testing.T) {
+	// End-to-end: generator -> prefaulted mapper -> MOP decompose ->
+	// strided subarray. The per-subarray access spread must land near the
+	// workload's published sigma/mu.
+	for _, name := range []string{"fotonik3d", "bc"} {
+		spec, _ := Lookup(name)
+		g := NewSynthetic(spec, 1)
+		geom := dram.Default()
+		m := vmap.NewMapper(geom.CapacityBytes())
+		for off := uint64(0); off < g.FootprintBytes(); off += vmap.SuperBytes {
+			m.Translate(0, off)
+		}
+		counts := make([]int64, geom.Subarrays())
+		var op Op
+		for i := 0; i < 500000; i++ {
+			g.Next(&op)
+			a := geom.Decompose(m.Translate(0, op.Line*LineBytes))
+			counts[geom.Subarray(dram.StridedR2SA, a.Row)]++
+		}
+		var agg stats.Running
+		for _, c := range counts {
+			agg.Add(float64(c))
+		}
+		got := agg.StdDev() / agg.Mean()
+		want := spec.ActSASdev / spec.ActSAMean
+		if got < want*0.5 || got > want*1.8 {
+			t.Errorf("%s: access sigma/mu = %.3f, target %.3f", name, got, want)
+		}
+	}
+}
+
+func TestImpliedIPSAndMLP(t *testing.T) {
+	for _, name := range []string{"bc", "fotonik3d", "xz", "blender"} {
+		spec, _ := Lookup(name)
+		ips := spec.ImpliedIPS()
+		if ips < 1e9 || ips > 200e9 {
+			t.Errorf("%s: implied IPS %.2g implausible", name, ips)
+		}
+		mlp := spec.MLPLimit()
+		if mlp < 3 || mlp > 16 {
+			t.Errorf("%s: MLP %d out of range", name, mlp)
+		}
+	}
+	// Low-MPKI compute-bound workloads need only the floor budget.
+	blender, _ := Lookup("blender")
+	if blender.MLPLimit() > 4 {
+		t.Errorf("blender MLP %d, want near the floor", blender.MLPLimit())
+	}
+}
+
+func TestPerCoreMixes(t *testing.T) {
+	mix, _ := Lookup("mix_1")
+	gens, err := PerCore(mix, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, g := range gens {
+		names[g.Name()] = true
+	}
+	if len(names) < 4 {
+		t.Errorf("mix should assign distinct components per core, got %v", names)
+	}
+	// Rate mode: same name, distinct streams.
+	spec, _ := Lookup("lbm")
+	gens, _ = PerCore(spec, 4, 1)
+	var a, b Op
+	gens[0].Next(&a)
+	gens[1].Next(&b)
+	if gens[0].Name() != "lbm" || gens[1].Name() != "lbm" {
+		t.Error("rate mode names wrong")
+	}
+	same := true
+	for i := 0; i < 100; i++ {
+		gens[0].Next(&a)
+		gens[1].Next(&b)
+		if a != b {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("rate-mode copies should have distinct access streams")
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import "fmt"
+
+// Workloads returns the 24 evaluation workloads of Table IV: the six GAP
+// graph benchmarks, the twelve SPEC CPU2017 benchmarks with L3 MPKI >= 1,
+// and the six mixes. The published columns (MPKI, ACT-PKI, bus utilisation,
+// ACTs/subarray mu +/- sigma) are carried as calibration targets.
+func Workloads() []WorkloadSpec {
+	return []WorkloadSpec{
+		// GAP suite.
+		{Name: "bc", Suite: "GAP", MPKI: 58.8, ACTPKI: 29.7, BusUtil: 82.0, ActSAMean: 572, ActSASdev: 191, FootprintMB: 1024},
+		{Name: "bfs", Suite: "GAP", MPKI: 30.9, ACTPKI: 16.1, BusUtil: 80.6, ActSAMean: 642, ActSASdev: 278, FootprintMB: 1024},
+		{Name: "cc", Suite: "GAP", MPKI: 57.9, ACTPKI: 51.5, BusUtil: 77.7, ActSAMean: 1037, ActSASdev: 542, FootprintMB: 2048},
+		{Name: "pr", Suite: "GAP", MPKI: 57.7, ACTPKI: 29.5, BusUtil: 83.1, ActSAMean: 620, ActSASdev: 204, FootprintMB: 1536},
+		{Name: "sssp", Suite: "GAP", MPKI: 27.2, ACTPKI: 13.0, BusUtil: 79.9, ActSAMean: 518, ActSASdev: 149, FootprintMB: 1024},
+		{Name: "tc", Suite: "GAP", MPKI: 87.8, ACTPKI: 40.7, BusUtil: 85.5, ActSAMean: 558, ActSASdev: 118, FootprintMB: 512},
+
+		// SPEC CPU2017 (MPKI >= 1).
+		{Name: "blender", Suite: "SPEC", MPKI: 1.1, ACTPKI: 0.7, BusUtil: 16.0, ActSAMean: 84, ActSASdev: 46, FootprintMB: 128},
+		{Name: "bwaves", Suite: "SPEC", MPKI: 41.6, ACTPKI: 15.5, BusUtil: 77.8, ActSAMean: 680, ActSASdev: 224, FootprintMB: 768},
+		{Name: "cactuBSSN", Suite: "SPEC", MPKI: 3.5, ACTPKI: 3.3, BusUtil: 44.6, ActSAMean: 395, ActSASdev: 242, FootprintMB: 384},
+		{Name: "cam4", Suite: "SPEC", MPKI: 3.7, ACTPKI: 2.9, BusUtil: 42.1, ActSAMean: 267, ActSASdev: 204, FootprintMB: 512},
+		{Name: "fotonik3d", Suite: "SPEC", MPKI: 26.6, ACTPKI: 34.1, BusUtil: 62.3, ActSAMean: 1469, ActSASdev: 388, FootprintMB: 256},
+		{Name: "lbm", Suite: "SPEC", MPKI: 27.7, ACTPKI: 39.5, BusUtil: 64.4, ActSAMean: 1413, ActSASdev: 343, FootprintMB: 384},
+		{Name: "mcf", Suite: "SPEC", MPKI: 19.0, ACTPKI: 12.6, BusUtil: 76.9, ActSAMean: 1056, ActSASdev: 465, FootprintMB: 1536},
+		{Name: "omnetpp", Suite: "SPEC", MPKI: 9.2, ACTPKI: 11.4, BusUtil: 54.3, ActSAMean: 1015, ActSASdev: 445, FootprintMB: 192},
+		{Name: "parest", Suite: "SPEC", MPKI: 26.5, ACTPKI: 12.8, BusUtil: 84.6, ActSAMean: 965, ActSASdev: 440, FootprintMB: 384},
+		{Name: "roms", Suite: "SPEC", MPKI: 7.8, ACTPKI: 5.1, BusUtil: 58.5, ActSAMean: 551, ActSASdev: 279, FootprintMB: 512},
+		{Name: "xalancbmk", Suite: "SPEC", MPKI: 1.6, ACTPKI: 2.3, BusUtil: 26.1, ActSAMean: 281, ActSASdev: 169, FootprintMB: 192},
+		{Name: "xz", Suite: "SPEC", MPKI: 5.2, ACTPKI: 8.3, BusUtil: 48.1, ActSAMean: 914, ActSASdev: 523, FootprintMB: 256},
+
+		// Mixes: one component per core in the 8-core rate-mode system.
+		{Name: "mix_1", Suite: "MIX", MPKI: 18.6, ACTPKI: 17.0, BusUtil: 72.7, ActSAMean: 1085, ActSASdev: 397,
+			MixOf: []string{"mcf", "lbm", "fotonik3d", "omnetpp", "parest", "bwaves", "xz", "roms"}},
+		{Name: "mix_2", Suite: "MIX", MPKI: 22.6, ACTPKI: 18.6, BusUtil: 68.4, ActSAMean: 956, ActSASdev: 304,
+			MixOf: []string{"cc", "mcf", "bwaves", "lbm", "cam4", "parest", "omnetpp", "xz"}},
+		{Name: "mix_3", Suite: "MIX", MPKI: 15.1, ACTPKI: 18.6, BusUtil: 62.3, ActSAMean: 1006, ActSASdev: 375,
+			MixOf: []string{"bc", "fotonik3d", "mcf", "cactuBSSN", "xz", "omnetpp", "roms", "cam4"}},
+		{Name: "mix_4", Suite: "MIX", MPKI: 10.0, ACTPKI: 19.1, BusUtil: 57.7, ActSAMean: 1074, ActSASdev: 373,
+			MixOf: []string{"lbm", "omnetpp", "xz", "cam4", "roms", "xalancbmk", "fotonik3d", "cactuBSSN"}},
+		{Name: "mix_5", Suite: "MIX", MPKI: 12.3, ACTPKI: 23.4, BusUtil: 52.4, ActSAMean: 1182, ActSASdev: 370,
+			MixOf: []string{"fotonik3d", "lbm", "mcf", "omnetpp", "xz", "parest", "cam4", "roms"}},
+		{Name: "mix_6", Suite: "MIX", MPKI: 13.6, ACTPKI: 18.7, BusUtil: 62.9, ActSAMean: 1008, ActSASdev: 340,
+			MixOf: []string{"bfs", "lbm", "omnetpp", "xz", "cactuBSSN", "parest", "roms", "xalancbmk"}},
+	}
+}
+
+// Lookup returns the spec named name.
+func Lookup(name string) (WorkloadSpec, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// WorkloadNames returns the names of all 24 workloads in Table IV order.
+func WorkloadNames() []string {
+	specs := Workloads()
+	names := make([]string, len(specs))
+	for i, w := range specs {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// PerCore builds one generator per core for spec: rate mode runs the same
+// workload on every core (distinct seeds); a MIX workload assigns its
+// components to cores round-robin.
+func PerCore(spec WorkloadSpec, cores int, seed uint64) ([]Generator, error) {
+	gens := make([]Generator, cores)
+	if spec.Suite != "MIX" {
+		for i := range gens {
+			gens[i] = NewSynthetic(spec, seed+uint64(i)*0x9E3779B9)
+		}
+		return gens, nil
+	}
+	if len(spec.MixOf) == 0 {
+		return nil, fmt.Errorf("trace: mix %q has no components", spec.Name)
+	}
+	for i := range gens {
+		comp, err := Lookup(spec.MixOf[i%len(spec.MixOf)])
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = NewSynthetic(comp, seed+uint64(i)*0x9E3779B9)
+	}
+	return gens, nil
+}

@@ -1,0 +1,168 @@
+package track
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+)
+
+// MINTSampler is the Minimalist In-DRAM Tracker of Qureshi et al. (MICRO'24)
+// for a single bank: a single-entry tracker that, between two consecutive
+// mitigation opportunities, selects exactly one of the next W activations
+// uniformly at random (Figure 2 of the MIRZA paper).
+type MINTSampler struct {
+	w        int
+	rng      *stats.RNG
+	count    int // activations observed in the current window
+	target   int // 1-based index of the activation to capture
+	selected int
+	hasSel   bool
+}
+
+// NewMINTSampler returns a sampler with window size w drawing from rng.
+func NewMINTSampler(w int, rng *stats.RNG) *MINTSampler {
+	if w < 1 {
+		panic(fmt.Sprintf("track: MINT window must be >= 1, got %d", w))
+	}
+	s := &MINTSampler{w: w, rng: rng}
+	s.reset()
+	return s
+}
+
+// Window returns the sampler's window size W.
+func (s *MINTSampler) Window() int { return s.w }
+
+func (s *MINTSampler) reset() {
+	s.count = 0
+	s.target = 1 + s.rng.Intn(s.w)
+	s.hasSel = false
+}
+
+// Observe feeds one activation of row into the current window.
+func (s *MINTSampler) Observe(row int) {
+	s.count++
+	if s.count == s.target {
+		s.selected = row
+		s.hasSel = true
+	}
+}
+
+// Selected returns the currently captured row, if any, without consuming it.
+func (s *MINTSampler) Selected() (row int, ok bool) {
+	return s.selected, s.hasSel
+}
+
+// ObserveRolling feeds one activation into a fixed-length window of exactly
+// W activations and reports whether this activation is the window's
+// selection. When the window completes, a fresh window (with a new random
+// target) begins automatically. This is the mode MIRZA uses: each group of
+// W escaping activations yields exactly one selection, so the selection
+// probability is exactly 1/W (Section V.A).
+func (s *MINTSampler) ObserveRolling(row int) (selected bool) {
+	s.count++
+	selected = s.count == s.target
+	if s.count >= s.w {
+		s.reset()
+	}
+	return selected
+}
+
+// Take consumes the current selection (if any) and starts a fresh window.
+// It returns the selected row and whether one had been captured: if fewer
+// than target activations arrived before the mitigation opportunity, there
+// is nothing to mitigate.
+func (s *MINTSampler) Take() (row int, ok bool) {
+	row, ok = s.selected, s.hasSel
+	s.reset()
+	return row, ok
+}
+
+// MINTConfig configures the proactive MINT mitigator.
+type MINTConfig struct {
+	Geometry dram.Geometry
+	Mapping  dram.R2SAMapping
+	Window   int // W: activations per mitigation window
+	// MitigateEveryREFs, if > 0, takes a mitigation opportunity at every
+	// k-th REF command (in-DRAM TRR-style mitigation under REF).
+	MitigateEveryREFs int
+	// MitigateOnRFM, if true, takes a mitigation opportunity whenever the
+	// memory controller issues an RFM to a bank (the MINT+RFM baseline of
+	// Figure 3; the MC issues RFM every Window activations per bank).
+	MitigateOnRFM bool
+	Seed          uint64
+}
+
+// MINT is the proactive randomized tracker baseline: one MINTSampler per
+// bank, mitigating at REF and/or RFM opportunities. It never requests
+// ALERT (it is a purely proactive design).
+type MINT struct {
+	cfg      MINTConfig
+	sink     Sink
+	samplers []*MINTSampler
+	Stats    Stats
+}
+
+var _ Mitigator = (*MINT)(nil)
+
+// NewMINT builds the proactive MINT baseline.
+func NewMINT(cfg MINTConfig, sink Sink) *MINT {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	root := stats.NewRNG(cfg.Seed ^ 0x4d494e54) // "MINT"
+	m := &MINT{cfg: cfg, sink: sink}
+	m.samplers = make([]*MINTSampler, cfg.Geometry.BanksPerSubChannel)
+	for i := range m.samplers {
+		m.samplers[i] = NewMINTSampler(cfg.Window, root.Split())
+	}
+	return m
+}
+
+// Name implements Mitigator.
+func (m *MINT) Name() string { return fmt.Sprintf("MINT-%d", m.cfg.Window) }
+
+// OnActivate implements Mitigator.
+func (m *MINT) OnActivate(bank, row int, now dram.Time) {
+	m.Stats.ACTs++
+	m.samplers[bank].Observe(row)
+}
+
+// WantsALERT implements Mitigator; proactive MINT never asserts ALERT.
+func (m *MINT) WantsALERT() bool { return false }
+
+// OnREF implements Mitigator.
+func (m *MINT) OnREF(refIndex int, now dram.Time) {
+	k := m.cfg.MitigateEveryREFs
+	if k <= 0 || refIndex%k != 0 {
+		return
+	}
+	for bank := range m.samplers {
+		m.mitigate(bank, now)
+	}
+}
+
+// OnRFM implements Mitigator.
+func (m *MINT) OnRFM(bank int, now dram.Time) {
+	m.Stats.RFMs++
+	if m.cfg.MitigateOnRFM {
+		m.mitigate(bank, now)
+	}
+}
+
+// ServiceALERT implements Mitigator; proactive MINT never gets here, but a
+// service opportunity is still honoured for robustness.
+func (m *MINT) ServiceALERT(now dram.Time) {
+	for bank := range m.samplers {
+		m.mitigate(bank, now)
+	}
+}
+
+func (m *MINT) mitigate(bank int, now dram.Time) {
+	row, ok := m.samplers[bank].Take()
+	if !ok {
+		return
+	}
+	m.Stats.Mitigations++
+	m.sink.RowMitigated(bank, row, MitigationVictims, now)
+}

@@ -1,0 +1,202 @@
+package track
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mirza/internal/dram"
+)
+
+// spaceSaving is a Space-Saving frequent-items summary: the counter-based
+// tracking core used by Mithril-style in-DRAM trackers. It maintains k
+// (row, count) entries; a miss with a full table replaces the minimum-count
+// entry and inherits min+1, which upper-bounds every row's true activation
+// count and is what gives counter-based trackers their security guarantee.
+type spaceSaving struct {
+	entries []ssEntry
+	index   map[int]int // row -> position in entries (heap slot)
+	k       int
+}
+
+type ssEntry struct {
+	row   int
+	count int64
+}
+
+// heap.Interface over entries ordered by count (min-heap).
+func (s *spaceSaving) Len() int           { return len(s.entries) }
+func (s *spaceSaving) Less(i, j int) bool { return s.entries[i].count < s.entries[j].count }
+func (s *spaceSaving) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.index[s.entries[i].row] = i
+	s.index[s.entries[j].row] = j
+}
+func (s *spaceSaving) Push(x any) {
+	e := x.(ssEntry)
+	s.index[e.row] = len(s.entries)
+	s.entries = append(s.entries, e)
+}
+func (s *spaceSaving) Pop() any {
+	n := len(s.entries)
+	e := s.entries[n-1]
+	s.entries = s.entries[:n-1]
+	delete(s.index, e.row)
+	return e
+}
+
+func newSpaceSaving(k int) *spaceSaving {
+	return &spaceSaving{k: k, index: make(map[int]int, k)}
+}
+
+// observe records one activation of row.
+func (s *spaceSaving) observe(row int) {
+	if i, ok := s.index[row]; ok {
+		s.entries[i].count++
+		heap.Fix(s, i)
+		return
+	}
+	if len(s.entries) < s.k {
+		heap.Push(s, ssEntry{row: row, count: 1})
+		return
+	}
+	// Replace the minimum entry; the newcomer inherits min+1.
+	min := s.entries[0]
+	delete(s.index, min.row)
+	s.entries[0] = ssEntry{row: row, count: min.count + 1}
+	s.index[row] = 0
+	heap.Fix(s, 0)
+}
+
+// takeMax removes and returns the entry with the highest count.
+func (s *spaceSaving) takeMax() (ssEntry, bool) {
+	if len(s.entries) == 0 {
+		return ssEntry{}, false
+	}
+	best := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count > s.entries[best].count {
+			best = i
+		}
+	}
+	e := s.entries[best]
+	// Remove by swapping with the last element and re-fixing.
+	last := len(s.entries) - 1
+	s.Swap(best, last)
+	s.entries = s.entries[:last]
+	delete(s.index, e.row)
+	if best < len(s.entries) {
+		heap.Fix(s, best)
+	}
+	return e, true
+}
+
+// drop removes row from the summary if present (e.g. its count was cleared
+// by a demand refresh).
+func (s *spaceSaving) drop(row int) {
+	i, ok := s.index[row]
+	if !ok {
+		return
+	}
+	last := len(s.entries) - 1
+	s.Swap(i, last)
+	s.entries = s.entries[:last]
+	delete(s.index, row)
+	if i < len(s.entries) {
+		heap.Fix(s, i)
+	}
+}
+
+// MithrilConfig configures the Mithril-style counter tracker.
+type MithrilConfig struct {
+	Geometry dram.Geometry
+	Mapping  dram.R2SAMapping
+	Entries  int // tracking entries per bank (2K in the paper's comparison)
+	// MitigateEveryREFs takes a mitigation opportunity every k REFs.
+	MitigateEveryREFs int
+	// MitigateOnRFM takes a mitigation opportunity on RFM.
+	MitigateOnRFM bool
+}
+
+// Mithril is a counter-based proactive in-DRAM tracker in the style of
+// Mithril (HPCA'22): a Space-Saving summary with Entries counters per bank,
+// mitigating the maximum-count entry at each proactive opportunity. It
+// provides a deterministic security bound at the cost of large SRAM
+// (Table II and Section VIII.A of the MIRZA paper).
+type Mithril struct {
+	cfg    MithrilConfig
+	sink   Sink
+	tables []*spaceSaving
+	Stats  Stats
+}
+
+var _ Mitigator = (*Mithril)(nil)
+
+// NewMithril builds the Mithril-style baseline.
+func NewMithril(cfg MithrilConfig, sink Sink) *Mithril {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	if cfg.Entries < 1 {
+		panic(fmt.Sprintf("track: Mithril needs >= 1 entry, got %d", cfg.Entries))
+	}
+	m := &Mithril{cfg: cfg, sink: sink}
+	m.tables = make([]*spaceSaving, cfg.Geometry.BanksPerSubChannel)
+	for i := range m.tables {
+		m.tables[i] = newSpaceSaving(cfg.Entries)
+	}
+	return m
+}
+
+// Name implements Mitigator.
+func (m *Mithril) Name() string { return fmt.Sprintf("Mithril-%d", m.cfg.Entries) }
+
+// OnActivate implements Mitigator.
+func (m *Mithril) OnActivate(bank, row int, now dram.Time) {
+	m.Stats.ACTs++
+	m.tables[bank].observe(row)
+}
+
+// WantsALERT implements Mitigator; Mithril is proactive.
+func (m *Mithril) WantsALERT() bool { return false }
+
+// OnREF implements Mitigator.
+func (m *Mithril) OnREF(refIndex int, now dram.Time) {
+	g := m.cfg.Geometry
+	t := g.RefreshTargetOf(refIndex)
+	for idx := t.FirstIdx; idx <= t.LastIdx; idx++ {
+		row := g.RowAt(m.cfg.Mapping, t.Subarray, idx)
+		for _, tab := range m.tables {
+			tab.drop(row)
+		}
+	}
+	k := m.cfg.MitigateEveryREFs
+	if k > 0 && refIndex%k == 0 {
+		for bank := range m.tables {
+			m.mitigate(bank, now)
+		}
+	}
+}
+
+// OnRFM implements Mitigator.
+func (m *Mithril) OnRFM(bank int, now dram.Time) {
+	m.Stats.RFMs++
+	if m.cfg.MitigateOnRFM {
+		m.mitigate(bank, now)
+	}
+}
+
+// ServiceALERT implements Mitigator.
+func (m *Mithril) ServiceALERT(now dram.Time) {
+	for bank := range m.tables {
+		m.mitigate(bank, now)
+	}
+}
+
+func (m *Mithril) mitigate(bank int, now dram.Time) {
+	e, ok := m.tables[bank].takeMax()
+	if !ok {
+		return
+	}
+	m.Stats.Mitigations++
+	m.sink.RowMitigated(bank, e.row, MitigationVictims, now)
+}

@@ -1,0 +1,192 @@
+package track
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+)
+
+// MoPACConfig configures the MoPAC-style probabilistic PRAC baseline.
+type MoPACConfig struct {
+	Geometry dram.Geometry
+	Mapping  dram.R2SAMapping
+	// SampleProb is the probability an activation updates its row's
+	// counter (MoPAC's p; each sampled update adds 1/p to keep the
+	// estimate unbiased).
+	SampleProb float64
+	// AlertThreshold is the estimated count that raises ALERT. Because
+	// counting is probabilistic, the threshold must be derated from the
+	// deterministic ATH by a sampling-slack margin.
+	AlertThreshold int
+	Seed           uint64
+}
+
+// MoPAC models MoPAC (ISCA'25), the related-work design that reduces PRAC's
+// timing overhead by updating per-row counters probabilistically: only a
+// p-fraction of activations pay the counter-update (so tRC/tRP stay near
+// baseline), and each sampled update increments by 1/p. The price is
+// sampling noise: the ALERT threshold must be derated, and the DRAM-array
+// counter area remains (Section X). It is included as an extension
+// baseline for the design-space ablations.
+type MoPAC struct {
+	cfg      MoPACConfig
+	sink     Sink
+	rng      *stats.RNG
+	inc      int
+	counters [][]int32
+	pending  [][]int
+	want     bool
+	Stats    Stats
+}
+
+var _ Mitigator = (*MoPAC)(nil)
+
+// MoPACDeratedATH returns an ALERT threshold for a target TRHD under
+// sampling probability p: the deterministic budget shrunk by a
+// concentration margin of ~4 standard deviations of the binomial estimate.
+func MoPACDeratedATH(trhd int, p float64) int {
+	base := ATHForTRHD(trhd)
+	if p <= 0 || p >= 1 {
+		return base
+	}
+	// Var of the estimate after n true ACTs is n(1-p)/p; at n=base the
+	// standard deviation in counted units is sqrt(base*(1-p)/p).
+	slack := 4 * sqrtf(float64(base)*(1-p)/p)
+	ath := base - int(slack)
+	if ath < 1 {
+		ath = 1
+	}
+	return ath
+}
+
+func sqrtf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// NewMoPAC builds the MoPAC baseline.
+func NewMoPAC(cfg MoPACConfig, sink Sink) *MoPAC {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	if cfg.SampleProb <= 0 || cfg.SampleProb > 1 {
+		panic(fmt.Sprintf("track: MoPAC sample probability %v out of (0,1]", cfg.SampleProb))
+	}
+	if cfg.AlertThreshold < 1 {
+		panic("track: MoPAC alert threshold must be >= 1")
+	}
+	m := &MoPAC{
+		cfg:  cfg,
+		sink: sink,
+		rng:  stats.NewRNG(cfg.Seed ^ 0x4d6f504143),
+		inc:  int(1/cfg.SampleProb + 0.5),
+	}
+	banks := cfg.Geometry.BanksPerSubChannel
+	m.counters = make([][]int32, banks)
+	m.pending = make([][]int, banks)
+	for b := range m.counters {
+		m.counters[b] = make([]int32, cfg.Geometry.RowsPerBank)
+	}
+	return m
+}
+
+// Name implements Mitigator.
+func (m *MoPAC) Name() string {
+	return fmt.Sprintf("MoPAC(p=%.3f,ATH=%d)", m.cfg.SampleProb, m.cfg.AlertThreshold)
+}
+
+// OnActivate implements Mitigator.
+func (m *MoPAC) OnActivate(bank, row int, now dram.Time) {
+	m.Stats.ACTs++
+	if m.rng.Float64() >= m.cfg.SampleProb {
+		return
+	}
+	c := m.counters[bank]
+	if int(c[row]) >= m.cfg.AlertThreshold {
+		return
+	}
+	c[row] += int32(m.inc)
+	if int(c[row]) >= m.cfg.AlertThreshold {
+		m.pending[bank] = append(m.pending[bank], row)
+		if !m.want {
+			m.want = true
+			m.Stats.AlertsWanted++
+		}
+	}
+}
+
+// WantsALERT implements Mitigator.
+func (m *MoPAC) WantsALERT() bool { return m.want }
+
+// OnREF implements Mitigator.
+func (m *MoPAC) OnREF(refIndex int, now dram.Time) {
+	g := m.cfg.Geometry
+	t := g.RefreshTargetOf(refIndex)
+	for idx := t.FirstIdx; idx <= t.LastIdx; idx++ {
+		row := g.RowAt(m.cfg.Mapping, t.Subarray, idx)
+		for b := range m.counters {
+			if int(m.counters[b][row]) >= m.cfg.AlertThreshold {
+				m.removePending(b, row)
+			}
+			m.counters[b][row] = 0
+		}
+	}
+	m.recomputeWant()
+}
+
+// OnRFM implements Mitigator.
+func (m *MoPAC) OnRFM(bank int, now dram.Time) {
+	m.Stats.RFMs++
+	m.mitigateOne(bank, now)
+	m.recomputeWant()
+}
+
+// ServiceALERT implements Mitigator.
+func (m *MoPAC) ServiceALERT(now dram.Time) {
+	for b := range m.pending {
+		m.mitigateOne(b, now)
+	}
+	m.recomputeWant()
+}
+
+func (m *MoPAC) mitigateOne(bank int, now dram.Time) {
+	q := m.pending[bank]
+	if len(q) == 0 {
+		return
+	}
+	row := q[0]
+	m.pending[bank] = q[1:]
+	m.counters[bank][row] = 0
+	m.Stats.Mitigations++
+	m.sink.RowMitigated(bank, row, MitigationVictims, now)
+}
+
+func (m *MoPAC) removePending(bank, row int) {
+	q := m.pending[bank]
+	for i, r := range q {
+		if r == row {
+			m.pending[bank] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *MoPAC) recomputeWant() {
+	for _, q := range m.pending {
+		if len(q) > 0 {
+			if !m.want {
+				m.want = true
+				m.Stats.AlertsWanted++
+			}
+			return
+		}
+	}
+	m.want = false
+}

@@ -1,0 +1,188 @@
+package track
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+)
+
+// TRRConfig configures the DDR4-style Targeted Row Refresh baseline.
+type TRRConfig struct {
+	Geometry dram.Geometry
+	Mapping  dram.R2SAMapping
+	Entries  int // tracker entries per bank (reverse-engineered 4-28)
+	// MitigateEveryREFs takes a mitigation opportunity every k REFs
+	// (the paper's comparison uses one mitigation per 4 REF).
+	MitigateEveryREFs int
+	// SampleEvery models TRR's activation sampling: only every k-th
+	// activation to a bank updates the tracker (default 16). Deterministic
+	// sampling is what TRRespass/Blacksmith-style patterns exploit: an
+	// attacker who knows the period parks decoy activations on the sampled
+	// slots and hammers the aggressor in the shadow of the sampler.
+	SampleEvery int
+}
+
+// TRR models the in-DRAM Targeted Row Refresh trackers shipped in DDR4
+// devices (Section X, Table XII): a small table of (row, counter) entries
+// fed by a deterministic activation sampler. A sampled hit increments the
+// counter; a sampled miss inserts into a free slot or evicts the
+// minimum-count entry without inheriting its count. The sampling is why
+// TRR is not secure: an attacker who knows the sampler's period aligns
+// decoy activations with the sampled slots so the aggressor is never even
+// observed (the TRRespass/Blacksmith pattern family). The Insecure method
+// and the attack tests demonstrate this.
+type TRR struct {
+	cfg      TRRConfig
+	sink     Sink
+	tables   [][]trrEntry
+	actCount []int64
+	Stats    Stats
+}
+
+type trrEntry struct {
+	row   int
+	count int64
+}
+
+var _ Mitigator = (*TRR)(nil)
+
+// NewTRR builds the TRR baseline.
+func NewTRR(cfg TRRConfig, sink Sink) *TRR {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	if cfg.Entries < 1 {
+		panic(fmt.Sprintf("track: TRR needs >= 1 entry, got %d", cfg.Entries))
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 16
+	}
+	t := &TRR{cfg: cfg, sink: sink}
+	t.tables = make([][]trrEntry, cfg.Geometry.BanksPerSubChannel)
+	t.actCount = make([]int64, cfg.Geometry.BanksPerSubChannel)
+	return t
+}
+
+// Name implements Mitigator.
+func (t *TRR) Name() string { return fmt.Sprintf("TRR-%d", t.cfg.Entries) }
+
+// Insecure documents that this tracker has no security guarantee.
+func (t *TRR) Insecure() bool { return true }
+
+// OnActivate implements Mitigator.
+func (t *TRR) OnActivate(bank, row int, now dram.Time) {
+	t.Stats.ACTs++
+	t.actCount[bank]++
+	if t.actCount[bank]%int64(t.cfg.SampleEvery) != 0 {
+		return // not sampled: the tracker never sees this activation
+	}
+	table := t.tables[bank]
+	for i := range table {
+		if table[i].row == row {
+			table[i].count++
+			return
+		}
+	}
+	if len(table) < t.cfg.Entries {
+		t.tables[bank] = append(table, trrEntry{row: row, count: 1})
+		return
+	}
+	// Evict the minimum-count entry; the newcomer starts at 1 (the
+	// insecure part: no count inheritance).
+	min := 0
+	for i := 1; i < len(table); i++ {
+		if table[i].count < table[min].count {
+			min = i
+		}
+	}
+	table[min] = trrEntry{row: row, count: 1}
+}
+
+// WantsALERT implements Mitigator; TRR is proactive.
+func (t *TRR) WantsALERT() bool { return false }
+
+// OnREF implements Mitigator.
+func (t *TRR) OnREF(refIndex int, now dram.Time) {
+	g := t.cfg.Geometry
+	target := g.RefreshTargetOf(refIndex)
+	for idx := target.FirstIdx; idx <= target.LastIdx; idx++ {
+		row := g.RowAt(t.cfg.Mapping, target.Subarray, idx)
+		for b := range t.tables {
+			t.dropRow(b, row)
+		}
+	}
+	k := t.cfg.MitigateEveryREFs
+	if k > 0 && refIndex%k == 0 {
+		for bank := range t.tables {
+			t.mitigate(bank, now)
+		}
+	}
+}
+
+// OnRFM implements Mitigator.
+func (t *TRR) OnRFM(bank int, now dram.Time) {
+	t.Stats.RFMs++
+	t.mitigate(bank, now)
+}
+
+// ServiceALERT implements Mitigator.
+func (t *TRR) ServiceALERT(now dram.Time) {
+	for bank := range t.tables {
+		t.mitigate(bank, now)
+	}
+}
+
+func (t *TRR) dropRow(bank, row int) {
+	table := t.tables[bank]
+	for i := range table {
+		if table[i].row == row {
+			t.tables[bank] = append(table[:i], table[i+1:]...)
+			return
+		}
+	}
+}
+
+func (t *TRR) mitigate(bank int, now dram.Time) {
+	table := t.tables[bank]
+	if len(table) == 0 {
+		return
+	}
+	best := 0
+	for i := 1; i < len(table); i++ {
+		if table[i].count > table[best].count {
+			best = i
+		}
+	}
+	row := table[best].row
+	t.tables[bank] = append(table[:best], table[best+1:]...)
+	t.Stats.Mitigations++
+	t.sink.RowMitigated(bank, row, MitigationVictims, now)
+}
+
+// Nop is the unprotected baseline: it observes traffic and does nothing.
+type Nop struct {
+	Stats Stats
+}
+
+var _ Mitigator = (*Nop)(nil)
+
+// NewNop returns the no-mitigation baseline.
+func NewNop() *Nop { return &Nop{} }
+
+// Name implements Mitigator.
+func (n *Nop) Name() string { return "Unprotected" }
+
+// OnActivate implements Mitigator.
+func (n *Nop) OnActivate(bank, row int, now dram.Time) { n.Stats.ACTs++ }
+
+// WantsALERT implements Mitigator.
+func (n *Nop) WantsALERT() bool { return false }
+
+// OnREF implements Mitigator.
+func (n *Nop) OnREF(refIndex int, now dram.Time) {}
+
+// OnRFM implements Mitigator.
+func (n *Nop) OnRFM(bank int, now dram.Time) { n.Stats.RFMs++ }
+
+// ServiceALERT implements Mitigator.
+func (n *Nop) ServiceALERT(now dram.Time) {}

@@ -1,0 +1,101 @@
+// Package vmap models the OS virtual-to-physical mapping assumed by the
+// paper's methodology (Section III.A): pages allocated on first touch by a
+// clock-style allocator.
+//
+// Two properties of real long-running systems matter for DRAM studies and
+// are modeled explicitly:
+//
+//  1. Local contiguity: transparent huge pages and buddy-allocator locality
+//     keep virtual locality physically contiguous at multi-megabyte
+//     granularity (SuperBytes = 32MB here), so a program's data-structure
+//     layout — including the power-of-two stride patterns that create
+//     per-subarray hot spots — survives translation.
+//  2. Global spread: after uptime the clock hand has swept the whole
+//     physical space, so allocations scatter across all of memory rather
+//     than packing into the lowest rows. The allocator hands out
+//     superblocks along a fixed coprime stride of the physical superblock
+//     space, a deterministic stand-in for that steady state.
+package vmap
+
+import "fmt"
+
+// PageBytes is the base OS page size.
+const PageBytes = 4096
+
+// SuperBytes is the granularity of physical contiguity (and of allocation).
+// 512MB — a handful of buddy-allocator zones — preserves a workload's
+// spatial structure (both the mod-32MB stride classes that create
+// per-subarray hot spots and the page-level contiguity that concentrates
+// sequentially-mapped footprints into few subarrays, Table VI), while the
+// scattered placement of blocks across all of memory reflects a
+// long-running system's occupancy.
+const SuperBytes = 512 << 20
+
+// Mapper assigns physical superblocks to (address-space, virtual
+// superblock) pairs on first touch.
+type Mapper struct {
+	totalSuper uint64
+	stride     uint64
+	next       uint64
+	blocks     map[uint64]uint64 // asid<<40 | vsuper -> physical superblock
+	used       map[uint64]bool
+}
+
+// NewMapper creates a mapper over a physical memory of capacityBytes.
+func NewMapper(capacityBytes uint64) *Mapper {
+	if capacityBytes < SuperBytes {
+		panic(fmt.Sprintf("vmap: capacity %d smaller than one superblock", capacityBytes))
+	}
+	total := capacityBytes / SuperBytes
+	// A stride near the golden ratio of the space, made coprime, visits
+	// every superblock exactly once while scattering consecutive
+	// allocations across the whole physical range.
+	stride := uint64(float64(total)*0.6180339887) | 1
+	for gcd(stride, total) != 1 {
+		stride += 2
+	}
+	return &Mapper{
+		totalSuper: total,
+		stride:     stride,
+		blocks:     make(map[uint64]uint64),
+		used:       make(map[uint64]bool),
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Translate returns the physical address for vaddr in address space asid,
+// allocating a superblock on first touch. Offsets within the superblock
+// are preserved.
+func (m *Mapper) Translate(asid int, vaddr uint64) uint64 {
+	vsuper := vaddr / SuperBytes
+	key := uint64(asid)<<40 | (vsuper & (1<<40 - 1))
+	block, ok := m.blocks[key]
+	if !ok {
+		block = (m.next * m.stride) % m.totalSuper
+		m.next++
+		// After a full sweep the clock hand reclaims; probe linearly for
+		// determinism when wrapped.
+		for m.used[block] && uint64(len(m.used)) < m.totalSuper {
+			block = (block + 1) % m.totalSuper
+		}
+		m.used[block] = true
+		m.blocks[key] = block
+	}
+	return block*SuperBytes + vaddr%SuperBytes
+}
+
+// Mapped returns the number of 4KB pages currently mapped (superblocks are
+// accounted as their page equivalents).
+func (m *Mapper) Mapped() int { return len(m.blocks) * (SuperBytes / PageBytes) }
+
+// MappedBlocks returns the number of mapped superblocks.
+func (m *Mapper) MappedBlocks() int { return len(m.blocks) }
+
+// Frames returns the total number of physical 4KB frames.
+func (m *Mapper) Frames() uint64 { return m.totalSuper * (SuperBytes / PageBytes) }

@@ -1,0 +1,97 @@
+package vmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTranslateStable(t *testing.T) {
+	m := NewMapper(8 * SuperBytes)
+	a := m.Translate(0, 0x1234)
+	b := m.Translate(0, 0x1234)
+	if a != b {
+		t.Fatal("translation must be stable")
+	}
+	if a%PageBytes != 0x234 {
+		t.Errorf("page offset not preserved: %x", a)
+	}
+}
+
+func TestDistinctSpacesDistinctFrames(t *testing.T) {
+	m := NewMapper(8 * SuperBytes)
+	a := m.Translate(0, 0)
+	b := m.Translate(1, 0)
+	if a == b {
+		t.Error("different address spaces must get different superblocks")
+	}
+	if m.MappedBlocks() != 2 {
+		t.Errorf("blocks = %d", m.MappedBlocks())
+	}
+}
+
+func TestSuperblockContiguity(t *testing.T) {
+	m := NewMapper(8 * SuperBytes)
+	// All addresses within one superblock stay physically contiguous
+	// (relative offsets preserved), so mod-32MB structure survives.
+	base := m.Translate(0, 0)
+	for off := uint64(PageBytes); off < SuperBytes; off += 16 << 20 {
+		p := m.Translate(0, off)
+		if p != base+off {
+			t.Fatalf("offset %x: got %x, want %x", off, p, base+off)
+		}
+	}
+}
+
+func TestAllocationsSpreadAcrossMemory(t *testing.T) {
+	// 64 superblocks; allocating 16 must cover a wide range of the
+	// physical space (steady-state clock spread), not pack low.
+	m := NewMapper(64 * SuperBytes)
+	var min, max uint64 = 1 << 62, 0
+	for i := 0; i < 16; i++ {
+		p := m.Translate(0, uint64(i)*SuperBytes)
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if span := max - min; span < uint64(32*SuperBytes) {
+		t.Errorf("allocations span only %d bytes of the space", span)
+	}
+}
+
+func TestNoDoubleAssignmentBeforeWrap(t *testing.T) {
+	m := NewMapper(64 * SuperBytes)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		p := m.Translate(0, uint64(i)*SuperBytes) / SuperBytes
+		if seen[p] {
+			t.Fatalf("superblock %d assigned twice before exhaustion", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestWraparoundReuses(t *testing.T) {
+	m := NewMapper(4 * SuperBytes)
+	f := func(v uint8) bool {
+		p := m.Translate(1, uint64(v)*SuperBytes)
+		return p < 4*SuperBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetsWithinPage(t *testing.T) {
+	m := NewMapper(2 * SuperBytes)
+	f := func(page uint16, off uint16) bool {
+		v := uint64(page)*PageBytes + uint64(off)%PageBytes
+		p := m.Translate(2, v)
+		return p%PageBytes == v%PageBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
