@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the CI gate: vet + build + the
+# race-enabled test suite at short fidelity (full-fidelity experiment paths
+# are exercised by `make test`).
+
+GO ?= go
+
+# Short-fidelity preset: tiny timing windows and a single workload so the
+# race-enabled sweep finishes in CI time (see DefaultOptions in
+# internal/experiments for the variables).
+SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz
+
+.PHONY: check vet build test test-race bench clean
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(SHORT_ENV) $(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
+
+clean:
+	$(GO) clean ./...

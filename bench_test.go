@@ -45,8 +45,18 @@ func benchRunner() *experiments.Runner {
 	return runner
 }
 
+// staticExperiments need no timing or replay simulation; everything else
+// is skipped under -short so `go test -short -bench=.` stays fast.
+var staticExperiments = map[string]bool{
+	"table1": true, "table2": true, "table7": true,
+	"table10": true, "table11": true, "table12": true,
+}
+
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() && !staticExperiments[id] {
+		b.Skipf("%s runs full-fidelity simulations; skipped under -short", id)
+	}
 	exp, err := experiments.Lookup(id)
 	if err != nil {
 		b.Fatal(err)

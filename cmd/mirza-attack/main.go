@@ -52,6 +52,9 @@ func main() {
 	boundKind := "SafeTRHD"
 	switch *defense {
 	case "mirza":
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
 		factory = func(sink track.Sink) track.Mitigator { return core.MustNew(cfg, sink) }
 		bound = security.SafeTRHD(cfg, model)
 	case "prac":

@@ -13,15 +13,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
+	"mirza/internal/fault"
 	"mirza/internal/mem"
 	"mirza/internal/security"
+	"mirza/internal/sim"
 	"mirza/internal/trace"
 	"mirza/internal/track"
 )
@@ -35,8 +39,16 @@ func main() {
 		warmMS     = flag.Float64("warmup-ms", 0.5, "warmup before measurement")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		listWl     = flag.Bool("list-workloads", false, "list workloads and exit")
+		faultsFlag = flag.String("faults", "", "fault-injection plan, e.g. seed=7,alertdrop=0.5 (see internal/fault)")
+		stall      = flag.Duration("stall-budget", 2*time.Minute, "abort if simulated time stops advancing for this long (0 = disabled)")
 	)
 	flag.Parse()
+
+	plan, err := fault.Parse(*faultsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	faultLog := fault.NewLog()
 
 	if *listWl {
 		for _, w := range trace.Workloads() {
@@ -68,6 +80,11 @@ func main() {
 		}
 		if *mitigation == "naive-mirza" {
 			cfg.FTH = 0
+		}
+		// Validate here where the error can be reported cleanly; the
+		// factory closure below can only panic.
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
 		}
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			c := cfg
@@ -102,6 +119,13 @@ func main() {
 		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
 	}
 
+	if factory != nil && !plan.Empty() {
+		inner := factory
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			return fault.Wrap(plan, inner(sub, sink), uint64(sub), faultLog)
+		}
+	}
+
 	sys, err := cpu.NewSystem(cpu.SystemConfig{
 		Core: cpu.CoreConfig{MSHR: spec.MLPLimit()},
 		Mem: mem.Config{
@@ -115,11 +139,18 @@ func main() {
 		fatal(err)
 	}
 
+	if *stall > 0 {
+		sys.Watchdog = &sim.Watchdog{Budget: *stall}
+	}
 	warm := dram.Time(*warmMS * float64(dram.Millisecond))
 	horizon := warm + dram.Time(*ms*float64(dram.Millisecond))
-	sys.Run(warm)
+	if err := sys.RunChecked(warm); err != nil {
+		fatalStall(err)
+	}
 	sys.Snapshot()
-	sys.Run(horizon)
+	if err := sys.RunChecked(horizon); err != nil {
+		fatalStall(err)
+	}
 
 	st := sys.MemStats()
 	ipcs := sys.IPCs()
@@ -141,6 +172,19 @@ func main() {
 		fmt.Printf("refresh pwr: +%.2f%% (victim rows / demand rows)\n",
 			100*float64(st.VictimRows)/float64(st.DemandRefreshRows))
 	}
+	if !plan.Empty() {
+		fmt.Printf("faults     : %s (plan %s)\n", faultLog.Summary(), plan)
+	}
+}
+
+// fatalStall reports a watchdog abort with its diagnostic snapshot.
+func fatalStall(err error) {
+	var se *sim.StallError
+	if errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "mirza-sim:", se)
+		os.Exit(1)
+	}
+	fatal(err)
 }
 
 func actPKI(acts int64, ipcs []float64, window dram.Time) float64 {

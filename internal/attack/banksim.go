@@ -18,6 +18,11 @@ type BankSimConfig struct {
 	// NewMitigator builds the defense under test, wired to the provided
 	// sink (the simulator adds its own disturbance bookkeeping around it).
 	NewMitigator func(sink track.Sink) track.Mitigator
+
+	// RowThreshold, when set, gives each victim row its own double-sided
+	// Rowhammer threshold so the run counts online bit flips (weak-row
+	// fault campaigns plug fault.WeakRowModel.ThresholdOf in here).
+	RowThreshold func(row int) int
 }
 
 // BankSimResult summarizes one attack run.
@@ -28,12 +33,19 @@ type BankSimResult struct {
 	Mitigations    int64
 	MaxSingleSided int
 	MaxDoubleSided int
-	Elapsed        dram.Time
+	// Flips counts victim rows whose disturbance crossed their per-row
+	// threshold online (0 unless RowThreshold was configured).
+	Flips   int
+	Elapsed dram.Time
 }
 
 func (r BankSimResult) String() string {
-	return fmt.Sprintf("acts=%d refs=%d alerts=%d mitig=%d maxSS=%d maxDS=%d over %v",
+	s := fmt.Sprintf("acts=%d refs=%d alerts=%d mitig=%d maxSS=%d maxDS=%d over %v",
 		r.ACTs, r.REFs, r.Alerts, r.Mitigations, r.MaxSingleSided, r.MaxDoubleSided, r.Elapsed)
+	if r.Flips > 0 {
+		s += fmt.Sprintf(" flips=%d", r.Flips)
+	}
+	return s
 }
 
 // BankSim drives a Pattern's activation stream into a mitigator at the
@@ -63,6 +75,9 @@ func NewBankSim(cfg BankSimConfig) *BankSim {
 		refDue:        cfg.Timing.TREFI,
 		actSinceAlert: true,
 	}
+	if cfg.RowThreshold != nil {
+		s.dist.SetRowThreshold(cfg.RowThreshold)
+	}
 	sink := track.FuncSink(func(bank, row, victims int, now dram.Time) {
 		s.res.Mitigations++
 		if bank == cfg.Bank {
@@ -82,6 +97,7 @@ func (s *BankSim) Result() BankSimResult {
 	r.Elapsed = s.now
 	r.MaxSingleSided = s.dist.MaxSingleSided()
 	r.MaxDoubleSided = s.dist.MaxDoubleSided()
+	r.Flips = s.dist.Flips()
 	return r
 }
 

@@ -17,8 +17,9 @@ import (
 // physically adjacent aggressor on each side since the victim was last
 // refreshed (by demand refresh or by a mitigation's victim refresh).
 type victimState struct {
-	left  int // ACTs by the aggressor at physical index -1
-	right int // ACTs by the aggressor at physical index +1
+	left    int  // ACTs by the aggressor at physical index -1
+	right   int  // ACTs by the aggressor at physical index +1
+	flipped bool // this episode already crossed the row's threshold
 }
 
 // Disturbance tracks unmitigated activations victim-by-victim for one
@@ -32,6 +33,14 @@ type Disturbance struct {
 
 	maxSingle int // max over victims of max(left, right)
 	maxDouble int // max over victims of min(left, right)
+
+	// threshold, when set, gives each victim row its own double-sided
+	// Rowhammer threshold (the fault harness's weak-row model plugs in
+	// here). flips counts victims whose live disturbance crossed their
+	// threshold — double-sided at thr, or single-sided at 2*thr — each
+	// counted once per charge/refresh episode.
+	threshold func(row int) int
+	flips     int
 }
 
 // NewDisturbance creates a tracker for one bank.
@@ -39,19 +48,25 @@ func NewDisturbance(g dram.Geometry, mapping dram.R2SAMapping) *Disturbance {
 	return &Disturbance{g: g, mapping: mapping, victims: make(map[int]*victimState)}
 }
 
+// SetRowThreshold installs a per-victim-row threshold function used to
+// count online bit flips (see Flips). Pass nil to disable flip counting.
+func (d *Disturbance) SetRowThreshold(fn func(row int) int) { d.threshold = fn }
+
 // OnActivate records an activation of an aggressor row.
 func (d *Disturbance) OnActivate(row int) {
 	sa := d.g.Subarray(d.mapping, row)
 	idx := d.g.PhysicalIndex(d.mapping, row)
 	if idx+1 < d.g.SubarrayRows {
-		v := d.victim(d.g.RowAt(d.mapping, sa, idx+1))
+		vr := d.g.RowAt(d.mapping, sa, idx+1)
+		v := d.victim(vr)
 		v.left++ // the aggressor sits on this victim's left side
-		d.update(v)
+		d.update(vr, v)
 	}
 	if idx-1 >= 0 {
-		v := d.victim(d.g.RowAt(d.mapping, sa, idx-1))
+		vr := d.g.RowAt(d.mapping, sa, idx-1)
+		v := d.victim(vr)
 		v.right++
-		d.update(v)
+		d.update(vr, v)
 	}
 }
 
@@ -79,7 +94,7 @@ func (d *Disturbance) victim(row int) *victimState {
 	return v
 }
 
-func (d *Disturbance) update(v *victimState) {
+func (d *Disturbance) update(row int, v *victimState) {
 	single := v.left
 	if v.right > single {
 		single = v.right
@@ -93,6 +108,13 @@ func (d *Disturbance) update(v *victimState) {
 	}
 	if double > d.maxDouble {
 		d.maxDouble = double
+	}
+	if d.threshold != nil && !v.flipped {
+		thr := d.threshold(row)
+		if thr > 0 && (double >= thr || single >= 2*thr) {
+			v.flipped = true
+			d.flips++
+		}
 	}
 }
 
@@ -108,3 +130,8 @@ func (d *Disturbance) MaxDoubleSided() int { return d.maxDouble }
 
 // TrackedVictims returns the number of victims with live disturbance.
 func (d *Disturbance) TrackedVictims() int { return len(d.victims) }
+
+// Flips returns the number of victim-row flip episodes observed so far: a
+// victim crossing its per-row threshold counts once until a refresh or
+// mitigation recharges it. Always 0 unless SetRowThreshold was called.
+func (d *Disturbance) Flips() int { return d.flips }

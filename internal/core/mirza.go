@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+
 	"mirza/internal/dram"
+	"mirza/internal/stats"
 	"mirza/internal/track"
 )
 
@@ -85,7 +88,11 @@ func New(cfg Config, sink track.Sink) (*Mirza, error) {
 	return m, nil
 }
 
-// MustNew is New, panicking on configuration errors (for tests/examples).
+// MustNew is New, panicking on configuration errors. It is a convenience
+// for tests, examples and factory closures whose configuration has already
+// passed Config.Validate; library code that can return an error should use
+// New, leaving runner-level panic recovery as the backstop rather than the
+// error handler.
 func MustNew(cfg Config, sink track.Sink) *Mirza {
 	m, err := New(cfg, sink)
 	if err != nil {
@@ -289,6 +296,36 @@ func (m *Mirza) RegionCount(bank, region int) int {
 // QueueSnapshot returns the valid MIRZA-Q entries of bank (tests/tools).
 func (m *Mirza) QueueSnapshot(bank int) []QueueEntry {
 	return m.banks[bank].queue.Entries()
+}
+
+// InjectStateFault implements track.StateInjector: it flips one bit of
+// MIRZA's per-bank SRAM state. Most upsets land in the RCT (it dominates
+// the SRAM budget — 176 of 196 bytes at TRHD=1K), so seven in eight flips
+// corrupt a random region counter; the rest hit the MIRZA-Q tardiness
+// counters (or the RRC while a refresh is mid-region). A downward RCT flip
+// re-opens the filter for an already-hot region; an upward flip leaks
+// benign activations into MINT selection — exactly the tracker-state
+// corruption the fault harness is built to measure.
+func (m *Mirza) InjectStateFault(rng *stats.RNG) string {
+	bank := rng.Intn(len(m.banks))
+	b := &m.banks[bank]
+	if rng.Intn(8) == 0 {
+		if n := b.queue.Len(); n > 0 {
+			bit := rng.Intn(8) // tardiness counters are byte-wide
+			row, _ := b.queue.FlipTardinessBit(rng.Intn(n), bit)
+			return fmt.Sprintf("mirzaq[bank=%d][row=%d] tardiness bit %d", bank, row, bit)
+		}
+		if m.refreshingRegion >= 0 {
+			bit := rng.Intn(m.cfg.CounterBits())
+			b.rrc ^= 1 << bit
+			return fmt.Sprintf("rrc[bank=%d] bit %d", bank, bit)
+		}
+		// Queue empty and no refresh in flight: fall through to the RCT.
+	}
+	region := rng.Intn(len(b.rct))
+	bit := rng.Intn(m.cfg.CounterBits())
+	b.rct[region] ^= 1 << bit
+	return fmt.Sprintf("rct[bank=%d][region=%d] bit %d", bank, region, bit)
 }
 
 // ResetStats zeroes the statistics counters, preserving all tracker state

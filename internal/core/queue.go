@@ -103,6 +103,25 @@ func (q *Queue) TakeMax() (QueueEntry, bool) {
 	return e, true
 }
 
+// FlipTardinessBit flips one bit of the tardiness counter of the n-th
+// valid entry (0-based), modeling a transient SRAM upset in the MIRZA-Q.
+// It returns the affected row and true, or false when fewer than n+1
+// entries are valid.
+func (q *Queue) FlipTardinessBit(n, bit int) (row int, ok bool) {
+	for i := range q.entries {
+		if !q.entries[i].Valid {
+			continue
+		}
+		if n > 0 {
+			n--
+			continue
+		}
+		q.entries[i].Tardiness ^= 1 << bit
+		return q.entries[i].Row, true
+	}
+	return 0, false
+}
+
 // Entries returns a snapshot of the valid entries (for tests and tools).
 func (q *Queue) Entries() []QueueEntry {
 	out := make([]QueueEntry, 0, q.valid)

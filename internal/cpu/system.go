@@ -33,6 +33,11 @@ type System struct {
 	Mapper  *vmap.Mapper
 	LLC     *LLC
 
+	// Watchdog, when non-nil, lets RunChecked abort a stalled simulation
+	// (no event-time progress within the wall-clock budget) instead of
+	// spinning forever. Run ignores it.
+	Watchdog *sim.Watchdog
+
 	memSnapshot  mem.Stats
 	posSnapshot  []int64
 	snapshotTime dram.Time
@@ -92,12 +97,25 @@ func prefault(m *vmap.Mapper, asid int, gen trace.Generator) {
 // Run starts (or resumes) all cores and advances simulation to the given
 // absolute time.
 func (s *System) Run(until dram.Time) {
+	s.start()
+	s.Kernel.RunUntil(until)
+}
+
+// RunChecked is Run under the system's Watchdog: it returns a
+// *sim.StallError with a diagnostic snapshot if simulated time stops
+// advancing for longer than the watchdog's wall-clock budget. With a nil
+// Watchdog it is identical to Run (and never fails).
+func (s *System) RunChecked(until dram.Time) error {
+	s.start()
+	return s.Kernel.RunUntilWatched(until, s.Watchdog)
+}
+
+func (s *System) start() {
 	if s.Kernel.Now() == 0 && s.snapshotTime == 0 {
 		for _, c := range s.Cores {
 			c.Start()
 		}
 	}
-	s.Kernel.RunUntil(until)
 }
 
 // Snapshot marks the beginning of a measurement window: IPCs and MemStats

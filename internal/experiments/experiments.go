@@ -17,12 +17,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
+	"mirza/internal/fault"
 	"mirza/internal/mem"
 	"mirza/internal/replay"
+	"mirza/internal/sim"
 	"mirza/internal/trace"
 	"mirza/internal/track"
 )
@@ -50,6 +53,19 @@ type Options struct {
 	// Cores is the rate-mode width (default 8).
 	Cores int
 
+	// Faults declares a fault-injection campaign threaded through every
+	// mitigator the experiments build. The zero value injects nothing and
+	// leaves all outputs bit-identical to an unfaulted run.
+	Faults fault.Plan
+
+	// StallBudget, when positive, arms a watchdog on every timing
+	// simulation: if simulated time stops advancing for this much
+	// wall-clock time the run aborts with a *sim.StallError diagnostic
+	// instead of spinning forever.
+	StallBudget time.Duration
+
+	// Logf receives progress lines. setDefaults installs a no-op when nil,
+	// so callers may invoke it unconditionally.
 	Logf func(format string, args ...any)
 }
 
@@ -115,11 +131,8 @@ func (o *Options) setDefaults() {
 	if o.CalibrationWindow == 0 {
 		o.CalibrationWindow = dram.Millisecond
 	}
-}
-
-func (o *Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
 	}
 }
 
@@ -145,6 +158,7 @@ type Runner struct {
 	opts      Options
 	baselines map[string]*Baseline
 	mlp       map[string]int // calibrated per-workload MSHR budget
+	faultLog  *fault.Log     // faults injected under opts.Faults
 }
 
 // NewRunner builds a Runner over opts.
@@ -154,11 +168,37 @@ func NewRunner(opts Options) *Runner {
 		opts:      opts,
 		baselines: make(map[string]*Baseline),
 		mlp:       make(map[string]int),
+		faultLog:  fault.NewLog(),
 	}
 }
 
 // Options returns the runner's effective options.
 func (r *Runner) Options() Options { return r.opts }
+
+// FaultLog returns the faults injected so far under Options.Faults (empty
+// for an empty plan).
+func (r *Runner) FaultLog() *fault.Log { return r.faultLog }
+
+// wrapMit interposes the configured fault plan on one mitigator instance;
+// with an empty plan it returns m unchanged.
+func (r *Runner) wrapMit(m track.Mitigator, stream uint64) track.Mitigator {
+	return fault.Wrap(r.opts.Faults, m, stream, r.faultLog)
+}
+
+// wrapMits fault-wraps a mitigator slice in place (streams base+i).
+func (r *Runner) wrapMits(mits []track.Mitigator, base uint64) {
+	for i := range mits {
+		mits[i] = r.wrapMit(mits[i], base+uint64(i))
+	}
+}
+
+// watchdog builds the stall watchdog from the options (nil when disabled).
+func (r *Runner) watchdog() *sim.Watchdog {
+	if r.opts.StallBudget <= 0 {
+		return nil
+	}
+	return &sim.Watchdog{Budget: r.opts.StallBudget}
+}
 
 // Baseline holds the unprotected reference run of one workload.
 type Baseline struct {
@@ -190,7 +230,13 @@ func (r *Runner) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 	if !ok {
 		mlp = spec.MLPLimit()
 	}
-	return cpu.NewSystem(cpu.SystemConfig{
+	if factory != nil {
+		inner := factory
+		factory = func(sub int, sink track.Sink) track.Mitigator {
+			return r.wrapMit(inner(sub, sink), uint64(sub))
+		}
+	}
+	sys, err := cpu.NewSystem(cpu.SystemConfig{
 		Cores: r.opts.Cores,
 		Core:  cpu.CoreConfig{MSHR: mlp},
 		Mem: mem.Config{
@@ -200,6 +246,11 @@ func (r *Runner) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 			NewMitigator: factory,
 		},
 	}, gens)
+	if err != nil {
+		return nil, err
+	}
+	sys.Watchdog = r.watchdog()
+	return sys, nil
 }
 
 // Baseline runs (or returns the cached) unprotected reference for name.
@@ -214,14 +265,18 @@ func (r *Runner) Baseline(name string) (*Baseline, error) {
 	if err := r.calibrateMLP(spec); err != nil {
 		return nil, err
 	}
-	r.opts.logf("baseline %s (%v warmup + %v measure, MLP=%d)", name, r.opts.Warmup, r.opts.Measure, r.mlp[name])
+	r.opts.Logf("baseline %s (%v warmup + %v measure, MLP=%d)", name, r.opts.Warmup, r.opts.Measure, r.mlp[name])
 	sys, err := r.newSystem(spec, dram.DDR5(), 0, nil)
 	if err != nil {
 		return nil, err
 	}
-	sys.Run(r.opts.Warmup)
+	if err := sys.RunChecked(r.opts.Warmup); err != nil {
+		return nil, fmt.Errorf("baseline %s warmup: %w", name, err)
+	}
 	sys.Snapshot()
-	sys.Run(r.opts.Warmup + r.opts.Measure)
+	if err := sys.RunChecked(r.opts.Warmup + r.opts.Measure); err != nil {
+		return nil, fmt.Errorf("baseline %s measure: %w", name, err)
+	}
 
 	b := &Baseline{
 		Spec:    spec,
@@ -266,9 +321,14 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
 		if err != nil {
 			return 0, err
 		}
-		sys.Run(r.opts.CalibrationWindow / 4)
+		sys.Watchdog = r.watchdog()
+		if err := sys.RunChecked(r.opts.CalibrationWindow / 4); err != nil {
+			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
+		}
 		sys.Snapshot()
-		sys.Run(r.opts.CalibrationWindow)
+		if err := sys.RunChecked(r.opts.CalibrationWindow); err != nil {
+			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
+		}
 		var ips float64
 		for _, ipc := range sys.IPCs() {
 			ips += ipc * 4e9
@@ -303,7 +363,7 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
 		}
 		best, bestIPS = next, ips
 	}
-	r.opts.logf("calibrated %s: MLP=%d (IPS %.2fG vs target %.2fG)", spec.Name, best, bestIPS/1e9, target/1e9)
+	r.opts.Logf("calibrated %s: MLP=%d (IPS %.2fG vs target %.2fG)", spec.Name, best, bestIPS/1e9, target/1e9)
 	r.mlp[spec.Name] = best
 	return nil
 }
@@ -326,9 +386,13 @@ func (r *Runner) runTiming(name string, timing dram.Timing, bat int,
 	if err != nil {
 		return nil, err
 	}
-	sys.Run(r.opts.Warmup)
+	if err := sys.RunChecked(r.opts.Warmup); err != nil {
+		return nil, fmt.Errorf("timing %s warmup: %w", name, err)
+	}
 	sys.Snapshot()
-	sys.Run(r.opts.Warmup + r.opts.Measure)
+	if err := sys.RunChecked(r.opts.Warmup + r.opts.Measure); err != nil {
+		return nil, fmt.Errorf("timing %s measure: %w", name, err)
+	}
 	return &timingResult{IPCs: sys.IPCs(), Stats: sys.MemStats(), Window: sys.Window()}, nil
 }
 
@@ -349,19 +413,25 @@ func slowdownVs(base *Baseline, res *timingResult) float64 {
 }
 
 // mirzaMits builds one MIRZA instance per sub-channel.
-func mirzaMits(cfg core.Config, seed uint64) []*core.Mirza {
+func mirzaMits(cfg core.Config, seed uint64) ([]*core.Mirza, error) {
 	g := cfg.Geometry
 	out := make([]*core.Mirza, g.SubChannels)
 	for i := range out {
 		c := cfg
 		c.Seed = seed + uint64(i)*977
-		out[i] = core.MustNew(c, track.NopSink{})
+		m, err := core.New(c, track.NopSink{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building MIRZA for sub-channel %d: %w", i, err)
+		}
+		out[i] = m
 	}
-	return out
+	return out, nil
 }
 
 // warmMirza replays one refresh window of the workload through fresh MIRZA
 // instances and returns them (stats reset) for use in the timing simulator.
+// The warm-up replay runs under the configured fault plan so the warmed
+// state carries any injected corruption into the measured phase.
 func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) {
 	base, err := r.Baseline(name)
 	if err != nil {
@@ -371,11 +441,15 @@ func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) 
 	if err != nil {
 		return nil, err
 	}
-	mits := mirzaMits(cfg, r.opts.Seed)
+	mits, err := mirzaMits(cfg, r.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	asMit := make([]track.Mitigator, len(mits))
 	for i, m := range mits {
 		asMit[i] = m
 	}
+	r.wrapMits(asMit, 100)
 	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, asMit)
 	if err != nil {
 		return nil, err
@@ -398,6 +472,10 @@ func (r *Runner) replayRun(name string, mits []track.Mitigator, obs replay.Obser
 	gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+13)
 	if err != nil {
 		return nil, nil, 0, err
+	}
+	if mits != nil {
+		mits = append([]track.Mitigator(nil), mits...)
+		r.wrapMits(mits, 200)
 	}
 	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
 	if err != nil {

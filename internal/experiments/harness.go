@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"mirza/internal/sim"
+)
+
+// Result is the outcome of one hardened experiment run.
+type Result struct {
+	ID    string
+	Table *Table // nil when the experiment failed outright
+
+	// Err is the terminal error (nil on success, including degraded
+	// success). Panics are converted to errors; Stack then carries the
+	// recovered goroutine's stack trace.
+	Err      error
+	Panicked bool
+	Stack    string
+
+	// Degraded marks a result produced by the reduced-fidelity retry
+	// after the full-fidelity attempt failed. Degraded tables carry a
+	// "DEGRADED" note and must not be compared against full-fidelity runs.
+	Degraded bool
+
+	// Attempts is how many attempts were made (1 or 2).
+	Attempts int
+	Duration time.Duration
+}
+
+// Failed reports whether the experiment produced no usable table.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// ErrTimeout is wrapped into Result.Err when an experiment exceeds the
+// suite's per-experiment deadline.
+var ErrTimeout = errors.New("experiment deadline exceeded")
+
+// SuiteConfig tunes the hardened runner.
+type SuiteConfig struct {
+	// Timeout is the wall-clock deadline per attempt (0 = none).
+	Timeout time.Duration
+
+	// NoRetry disables the reduced-fidelity retry after a failed attempt.
+	NoRetry bool
+
+	// Logf receives harness progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Suite runs experiments with panic isolation, per-experiment deadlines
+// and graceful degradation. A panicking or timed-out experiment becomes an
+// error Result instead of taking the process down; after such a failure
+// the shared Runner is discarded (a timed-out attempt's goroutine may
+// still be mutating it) and subsequent experiments get a fresh one.
+type Suite struct {
+	opts   Options
+	cfg    SuiteConfig
+	runner *Runner
+}
+
+// NewSuite builds a hardened runner over opts.
+func NewSuite(opts Options, cfg SuiteConfig) *Suite {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Suite{opts: opts, cfg: cfg}
+}
+
+// Runner returns the current shared Runner, building it on first use.
+// After a failed attempt the previous Runner has been discarded, so
+// callers must not cache the returned pointer across Run calls.
+func (s *Suite) Runner() *Runner {
+	if s.runner == nil {
+		s.runner = NewRunner(s.opts)
+	}
+	return s.runner
+}
+
+// RunAll looks up and runs each experiment id in order, never panicking
+// and never returning early: every id yields exactly one Result.
+func (s *Suite) RunAll(ids []string) []Result {
+	out := make([]Result, 0, len(ids))
+	for _, id := range ids {
+		exp, err := Lookup(id)
+		if err != nil {
+			out = append(out, Result{ID: id, Err: err, Attempts: 0})
+			continue
+		}
+		out = append(out, s.Run(exp))
+	}
+	return out
+}
+
+// Run executes one experiment under the harness: the attempt runs in its
+// own goroutine with panic recovery and the configured deadline; on
+// failure the experiment is retried once at reduced fidelity (halved
+// measurement window, halved replay windows) and the result flagged
+// Degraded.
+func (s *Suite) Run(exp Experiment) Result {
+	start := time.Now()
+	res := Result{ID: exp.ID, Attempts: 1}
+
+	a := s.attempt(exp, s.Runner())
+	res.Table, res.Err, res.Panicked, res.Stack = a.table, a.err, a.panicked, a.stack
+	if res.Err == nil {
+		res.Duration = time.Since(start)
+		return res
+	}
+
+	// The failed attempt may have left the Runner mid-mutation (a
+	// timed-out goroutine is still running against it); replace it.
+	s.runner = nil
+	s.cfg.Logf("%s failed (%v); %s", exp.ID, res.Err, map[bool]string{true: "no retry", false: "retrying at reduced fidelity"}[s.cfg.NoRetry])
+	if s.cfg.NoRetry {
+		res.Duration = time.Since(start)
+		return res
+	}
+
+	res.Attempts = 2
+	retry := s.attempt(exp, NewRunner(s.degradedOptions()))
+	if retry.err != nil {
+		// Keep the first attempt's error as primary; note the retry's.
+		res.Err = fmt.Errorf("%w (degraded retry also failed: %v)", res.Err, retry.err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	firstErr := res.Err
+	res.Table, res.Err, res.Panicked, res.Stack = retry.table, nil, false, ""
+	res.Degraded = true
+	if res.Table != nil {
+		res.Table.Notes = append(res.Table.Notes,
+			fmt.Sprintf("DEGRADED: full-fidelity attempt failed (%v); rerun at halved fidelity", firstErr))
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// degradedOptions halves the expensive fidelity knobs for the retry.
+func (s *Suite) degradedOptions() Options {
+	o := s.opts
+	o.Measure /= 2
+	o.Warmup /= 2
+	if o.ReplayWindows > 2 {
+		o.ReplayWindows = max(2, o.ReplayWindows/2)
+	}
+	return o
+}
+
+type attemptOutcome struct {
+	table    *Table
+	err      error
+	panicked bool
+	stack    string
+}
+
+// attempt runs the experiment once in its own goroutine, converting a
+// panic into an error with a stack trace and enforcing the deadline. On
+// timeout the goroutine is abandoned (its Runner must not be reused).
+func (s *Suite) attempt(exp Experiment, runner *Runner) attemptOutcome {
+	done := make(chan attemptOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- attemptOutcome{
+					err:      fmt.Errorf("experiment %s panicked: %v", exp.ID, p),
+					panicked: true,
+					stack:    string(debug.Stack()),
+				}
+			}
+		}()
+		t, err := exp.Run(runner)
+		if err != nil {
+			err = fmt.Errorf("experiment %s: %w", exp.ID, err)
+		}
+		done <- attemptOutcome{table: t, err: err}
+	}()
+	if s.cfg.Timeout <= 0 {
+		return <-done
+	}
+	select {
+	case a := <-done:
+		return a
+	case <-time.After(s.cfg.Timeout):
+		return attemptOutcome{err: fmt.Errorf("experiment %s: %w after %v", exp.ID, ErrTimeout, s.cfg.Timeout)}
+	}
+}
+
+// Summary aggregates a batch of Results.
+type Summary struct {
+	OK       int
+	Degraded int
+	Failed   int
+	Stalled  int // failures whose cause was a watchdog stall
+	Errors   []string
+}
+
+// Summarize folds results into a Summary.
+func Summarize(results []Result) Summary {
+	var s Summary
+	for _, r := range results {
+		switch {
+		case r.Failed():
+			s.Failed++
+			var stall *sim.StallError
+			if errors.As(r.Err, &stall) {
+				s.Stalled++
+			}
+			s.Errors = append(s.Errors, fmt.Sprintf("%s: %v", r.ID, r.Err))
+		case r.Degraded:
+			s.Degraded++
+		default:
+			s.OK++
+		}
+	}
+	return s
+}
+
+// Clean reports whether every experiment succeeded at full fidelity.
+func (s Summary) Clean() bool { return s.Failed == 0 && s.Degraded == 0 }
+
+// String renders a one-line summary plus one line per failure.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d ok, %d degraded, %d failed", s.OK, s.Degraded, s.Failed)
+	if s.Stalled > 0 {
+		fmt.Fprintf(&sb, " (%d stalled)", s.Stalled)
+	}
+	for _, e := range s.Errors {
+		fmt.Fprintf(&sb, "\n  FAIL %s", e)
+	}
+	return sb.String()
+}

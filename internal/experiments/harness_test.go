@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mirza/internal/core"
+	"mirza/internal/dram"
+	"mirza/internal/fault"
+	"mirza/internal/sim"
+	"mirza/internal/track"
+)
+
+func quickOpts() Options {
+	return Options{
+		Seed:              1,
+		Warmup:            50 * dram.Microsecond,
+		Measure:           150 * dram.Microsecond,
+		ReplayWindows:     2,
+		CalibrationWindow: 150 * dram.Microsecond,
+		Workloads:         []string{"xz"},
+	}
+}
+
+func TestHarnessPanicRecovery(t *testing.T) {
+	s := NewSuite(quickOpts(), SuiteConfig{NoRetry: true})
+	res := s.Run(Experiment{
+		ID: "boom",
+		Run: func(r *Runner) (*Table, error) {
+			panic("deliberate test panic")
+		},
+	})
+	if !res.Failed() || !res.Panicked {
+		t.Fatalf("want panicked failure, got %+v", res)
+	}
+	if !strings.Contains(res.Err.Error(), "deliberate test panic") {
+		t.Errorf("error lacks panic value: %v", res.Err)
+	}
+	if !strings.Contains(res.Stack, "goroutine") {
+		t.Errorf("stack trace missing: %q", res.Stack)
+	}
+	if s.runner != nil {
+		t.Error("failed attempt must discard the shared runner")
+	}
+}
+
+func TestHarnessTimeout(t *testing.T) {
+	s := NewSuite(quickOpts(), SuiteConfig{Timeout: 30 * time.Millisecond, NoRetry: true})
+	res := s.Run(Experiment{
+		ID: "slow",
+		Run: func(r *Runner) (*Table, error) {
+			time.Sleep(500 * time.Millisecond)
+			return &Table{ID: "slow"}, nil
+		},
+	})
+	if !errors.Is(res.Err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", res.Err)
+	}
+	if res.Panicked || res.Table != nil {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if s.runner != nil {
+		t.Error("timed-out attempt must discard the shared runner")
+	}
+}
+
+func TestHarnessDegradedRetry(t *testing.T) {
+	opts := quickOpts()
+	s := NewSuite(opts, SuiteConfig{})
+	res := s.Run(Experiment{
+		ID: "flaky",
+		Run: func(r *Runner) (*Table, error) {
+			if r.Options().Measure == opts.Measure {
+				return nil, fmt.Errorf("full fidelity fails")
+			}
+			return &Table{ID: "flaky", Title: "ok", Columns: []string{"c"}}, nil
+		},
+	})
+	if res.Failed() {
+		t.Fatalf("degraded retry should have succeeded: %v", res.Err)
+	}
+	if !res.Degraded || res.Attempts != 2 {
+		t.Fatalf("want degraded 2-attempt result, got %+v", res)
+	}
+	found := false
+	for _, n := range res.Table.Notes {
+		if strings.Contains(n, "DEGRADED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degraded table lacks the DEGRADED note: %v", res.Table.Notes)
+	}
+}
+
+func TestHarnessRetryBothFail(t *testing.T) {
+	s := NewSuite(quickOpts(), SuiteConfig{})
+	res := s.Run(Experiment{
+		ID:  "hopeless",
+		Run: func(r *Runner) (*Table, error) { return nil, fmt.Errorf("always fails") },
+	})
+	if !res.Failed() || res.Degraded {
+		t.Fatalf("want plain failure, got %+v", res)
+	}
+	if !strings.Contains(res.Err.Error(), "degraded retry also failed") {
+		t.Errorf("error should mention the failed retry: %v", res.Err)
+	}
+}
+
+func TestRunAllAndSummarize(t *testing.T) {
+	s := NewSuite(quickOpts(), SuiteConfig{NoRetry: true})
+	results := s.RunAll([]string{"table1", "no-such-experiment"})
+	if len(results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(results))
+	}
+	if results[0].Failed() {
+		t.Fatalf("table1 should succeed: %v", results[0].Err)
+	}
+	if !results[1].Failed() {
+		t.Fatal("unknown id should fail")
+	}
+	sum := Summarize(results)
+	if sum.OK != 1 || sum.Failed != 1 || sum.Degraded != 0 {
+		t.Fatalf("bad summary: %+v", sum)
+	}
+	if sum.Clean() {
+		t.Error("summary with a failure is not clean")
+	}
+	if !strings.Contains(sum.String(), "FAIL no-such-experiment") {
+		t.Errorf("summary lacks failure line: %q", sum.String())
+	}
+}
+
+func TestSummarizeDetectsStalls(t *testing.T) {
+	stall := &sim.StallError{Now: 5 * dram.Microsecond, Stalled: time.Second, Pending: 3}
+	results := []Result{{ID: "x", Err: fmt.Errorf("experiment x: %w", stall)}}
+	sum := Summarize(results)
+	if sum.Stalled != 1 {
+		t.Fatalf("watchdog stall not detected: %+v", sum)
+	}
+}
+
+// replayMitigations measures xz through MIRZA-500 on the replayer under
+// opts, returning serviced ALERTs and mitigations plus the fault log.
+func replayMitigations(t *testing.T, opts Options) (alerts, mitig int64, log *fault.Log) {
+	t.Helper()
+	r := NewRunner(opts)
+	cfg, err := core.ForTRHD(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 1
+	mits, err := r.warmMirza("xz", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asMit := make([]track.Mitigator, len(mits))
+	for i, m := range mits {
+		asMit[i] = m
+	}
+	_, measured, _, err := r.replayRun("xz", asMit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range measured {
+		alerts += s.Alerts
+	}
+	for _, m := range mits {
+		mitig += m.Stats.Mitigations
+	}
+	return alerts, mitig, r.FaultLog()
+}
+
+func TestEmptyPlanIsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay runs are slow")
+	}
+	// A zero plan and a plan with only a seed (still empty: no rates) must
+	// leave the whole pipeline untouched and deterministic.
+	optsA := quickOpts()
+	optsB := quickOpts()
+	optsB.Faults = fault.Plan{Seed: 99}
+	aAlerts, aMitig, aLog := replayMitigations(t, optsA)
+	bAlerts, bMitig, bLog := replayMitigations(t, optsB)
+	if aAlerts != bAlerts || aMitig != bMitig {
+		t.Fatalf("empty plan changed outputs: alerts %d vs %d, mitigations %d vs %d",
+			aAlerts, bAlerts, aMitig, bMitig)
+	}
+	if aLog.Total() != 0 || bLog.Total() != 0 {
+		t.Fatalf("empty plans must inject nothing: %d / %d", aLog.Total(), bLog.Total())
+	}
+	if aMitig == 0 {
+		t.Fatal("expected some mitigations at TRHD=500 (test is vacuous otherwise)")
+	}
+}
+
+func TestFaultPlanDegradesMitigation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replay runs are slow")
+	}
+	clean := quickOpts()
+	faulted := quickOpts()
+	faulted.Faults = fault.Plan{Seed: 7, AlertDropRate: 1, DropACTs: 100000}
+	cAlerts, cMitig, _ := replayMitigations(t, clean)
+	fAlerts, fMitig, fLog := replayMitigations(t, faulted)
+	if cAlerts == 0 || cMitig == 0 {
+		t.Fatalf("clean run shows no mitigation activity (alerts=%d mitig=%d)", cAlerts, cMitig)
+	}
+	if fAlerts >= cAlerts {
+		t.Errorf("dropping every ALERT did not reduce serviced alerts: %d vs %d", fAlerts, cAlerts)
+	}
+	if fMitig >= cMitig {
+		t.Errorf("dropping every ALERT did not reduce mitigations: %d vs %d", fMitig, cMitig)
+	}
+	if fLog.Count(fault.AlertDrop) == 0 {
+		t.Error("fault log recorded no alert drops")
+	}
+	// Same faulted plan twice: identical degraded outcome (determinism).
+	fAlerts2, fMitig2, fLog2 := replayMitigations(t, faulted)
+	if fAlerts != fAlerts2 || fMitig != fMitig2 || fLog.Total() != fLog2.Total() {
+		t.Errorf("faulted run not deterministic: alerts %d/%d mitig %d/%d faults %d/%d",
+			fAlerts, fAlerts2, fMitig, fMitig2, fLog.Total(), fLog2.Total())
+	}
+	if !reflect.DeepEqual(fLog.Events(), fLog2.Events()) {
+		t.Error("fault event sequences differ between identical runs")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Experiment couples an experiment ID with its generator.
@@ -36,17 +37,21 @@ func All() []Experiment {
 	}
 }
 
-// Lookup returns the experiment with the given ID.
+// Lookup returns the experiment with the given ID. Matching is
+// case-insensitive ("Table8" and "TABLE8" find "table8"); on a miss the
+// error lists every known experiment with its description.
 func Lookup(id string) (Experiment, error) {
-	for _, e := range All() {
-		if e.ID == id {
+	all := All()
+	for _, e := range all {
+		if strings.EqualFold(e.ID, id) {
 			return e, nil
 		}
 	}
-	var ids []string
-	for _, e := range All() {
-		ids = append(ids, e.ID)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "experiments: unknown id %q; known experiments:", id)
+	for _, e := range all {
+		fmt.Fprintf(&sb, "\n  %-8s %s", e.ID, e.Description)
 	}
-	sort.Strings(ids)
-	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+	return Experiment{}, fmt.Errorf("%s", sb.String())
 }

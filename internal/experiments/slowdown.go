@@ -109,7 +109,7 @@ func (r *Runner) Fig3() (*Table, error) {
 	for _, trhd := range []int{500, 1000, 2000} {
 		var sdSum, rpSum, pracSum float64
 		for _, spec := range specs {
-			r.opts.logf("fig3 %s TRHD=%d", spec.Name, trhd)
+			r.opts.Logf("fig3 %s TRHD=%d", spec.Name, trhd)
 			sd, rp, err := r.runMINTRFM(spec.Name, trhd)
 			if err != nil {
 				return nil, err
@@ -143,7 +143,7 @@ func (r *Runner) Fig11a() (*Table, error) {
 	}
 	sums := make([]float64, 4)
 	for _, spec := range specs {
-		r.opts.logf("fig11a %s", spec.Name)
+		r.opts.Logf("fig11a %s", spec.Name)
 		row := []string{spec.Name}
 		for i, trhd := range []int{500, 1000, 2000} {
 			cfg, _ := core.ForTRHD(trhd)
@@ -188,16 +188,25 @@ func (r *Runner) Table5() (*Table, error) {
 		for _, q := range queueSizes {
 			var sum float64
 			for _, spec := range specs {
-				r.opts.logf("table5 %s W=%d Q=%d", spec.Name, w, q)
+				r.opts.Logf("table5 %s W=%d Q=%d", spec.Name, w, q)
 				base, err := r.Baseline(spec.Name)
 				if err != nil {
 					return nil, err
 				}
-				cfg, _ := core.ForTRHD(1000)
+				cfg, err := core.ForTRHD(1000)
+				if err != nil {
+					return nil, err
+				}
 				cfg.FTH = 0 // naive: every activation participates
 				cfg.MINTWindow = w
 				cfg.QueueSize = q
 				cfg.Seed = r.opts.Seed
+				// Validate here where an error can be returned; inside the
+				// factory closure MustNew can only panic (the hardened
+				// runner's recovery is the backstop for that).
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("table5 W=%d Q=%d: %w", w, q, err)
+				}
 				factory := func(sub int, sink track.Sink) track.Mitigator {
 					c := cfg
 					c.Seed += uint64(sub) * 131
@@ -247,7 +256,7 @@ func (r *Runner) Table9() (*Table, error) {
 		var sdSum float64
 		var acts, escaped int64
 		for _, spec := range specs {
-			r.opts.logf("table9 %s W=%d FTH=%d", spec.Name, w, cfg.FTH)
+			r.opts.Logf("table9 %s W=%d FTH=%d", spec.Name, w, cfg.FTH)
 			sd, _, err := r.runMIRZA(spec.Name, cfg)
 			if err != nil {
 				return nil, err
@@ -302,7 +311,7 @@ func (r *Runner) Table13() (*Table, error) {
 		cfg, _ := core.ForTRHD(trhd)
 		cfg.Seed = r.opts.Seed
 		for _, spec := range specs {
-			r.opts.logf("table13 %s TRHD=%d", spec.Name, trhd)
+			r.opts.Logf("table13 %s TRHD=%d", spec.Name, trhd)
 			prac, err := r.runPRAC(spec.Name, trhd)
 			if err != nil {
 				return nil, err

@@ -122,19 +122,26 @@ func (r *Runner) Table10() (*Table, error) {
 			fmt.Sprintf("%d-bit DRAM", cmp.PRACDRAMBits),
 			fmt.Sprintf("%.1fx", cmp.AreaRatio))
 	}
+	mirzaSRAM, err := sramBytesPerBank(1000)
+	if err != nil {
+		return nil, err
+	}
 	t.Notes = append(t.Notes,
 		"paper: 45x / 22.5x / 11.2x more area for PRAC",
 		fmt.Sprintf("Mithril comparison: 2K entries x 28b = %d bytes/bank vs MIRZA %d bytes/bank",
-			areamodel.MithrilBytesPerBank(2048), mustSRAM(1000)))
+			areamodel.MithrilBytesPerBank(2048), mirzaSRAM))
 	return t, nil
 }
 
-func mustSRAM(trhd int) int {
+// sramBytesPerBank returns MIRZA's SRAM budget for a preset TRHD,
+// propagating (rather than panicking on) an unknown threshold so the
+// hardened runner's panic recovery stays a backstop, not the handler.
+func sramBytesPerBank(trhd int) (int, error) {
 	cfg, err := core.ForTRHD(trhd)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("experiments: SRAM budget for TRHD=%d: %w", trhd, err)
 	}
-	return cfg.SRAMBytesPerBank()
+	return cfg.SRAMBytesPerBank(), nil
 }
 
 // Table11 reproduces Table XI (and the Figure 12 kernel): relative ACT

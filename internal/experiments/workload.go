@@ -155,7 +155,7 @@ func (r *Runner) Table6() (*Table, error) {
 	}
 
 	for _, spec := range specs {
-		r.opts.logf("table6 %s", spec.Name)
+		r.opts.Logf("table6 %s", spec.Name)
 		mits := make([]track.Mitigator, g.SubChannels)
 		index := make(map[dram.R2SAMapping]map[int][]*core.Mirza)
 		for _, m := range mappings {
@@ -165,16 +165,22 @@ func (r *Runner) Table6() (*Table, error) {
 			var probes []*core.Mirza
 			for _, m := range mappings {
 				for _, fth := range fths {
-					cfg, _ := core.ForTRHD(1000)
+					cfg, err := core.ForTRHD(1000)
+					if err != nil {
+						return nil, err
+					}
 					cfg.Mapping = m
 					cfg.FTH = fth
 					cfg.Seed = r.opts.Seed + uint64(sub)
-					probe := core.MustNew(cfg, track.NopSink{})
+					probe, err := core.New(cfg, track.NopSink{})
+					if err != nil {
+						return nil, fmt.Errorf("table6 probe (FTH=%d): %w", fth, err)
+					}
 					probes = append(probes, probe)
 					index[m][fth] = append(index[m][fth], probe)
 				}
 			}
-			mits[sub] = &probeSet{probes: probes}
+			mits[sub] = r.wrapMit(&probeSet{probes: probes}, uint64(300+sub))
 		}
 
 		// Warm one window, snapshot, measure the rest.

@@ -1,0 +1,539 @@
+// Package fault is a deterministic, seed-driven fault-injection harness
+// for the Rowhammer mitigation stack. It stresses exactly the regimes the
+// paper's security story depends on — ALERT storms, tracker-state
+// corruption, suppressed mitigation opportunities, weak rows with
+// depressed thresholds — without touching the happy path: a run with an
+// empty Plan is bit-identical to a run without the harness (Wrap returns
+// the mitigator unchanged and no random number is ever drawn).
+//
+// The harness has three parts:
+//
+//   - Plan declares what to inject (rates, a seed, an optional active
+//     window). Plans parse from the compact "key=value,..." syntax used by
+//     the mirza-bench/mirza-sim -faults flag.
+//   - Wrap interposes a Plan between a driver (internal/mem, internal/
+//     replay, internal/attack) and a track.Mitigator: it can flip bits of
+//     tracker SRAM through the track.StateInjector hook, drop/delay/
+//     duplicate the ALERT signal, and suppress RFM opportunities.
+//   - WeakRowModel assigns deterministically chosen rows a depressed
+//     Rowhammer threshold for the attack simulator's security criterion.
+//
+// Every decision draws from an RNG derived from Plan.Seed and the wrapped
+// instance's stream id, so the injected-fault sequence is a pure function
+// of (plan, seed, workload): reruns reproduce faults exactly.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+	"mirza/internal/track"
+)
+
+// Plan declares a fault-injection campaign. The zero value injects
+// nothing. All rates are probabilities in [0, 1].
+type Plan struct {
+	// Seed drives every random choice the harness makes. Wrapped
+	// instances fold their stream id into it, so sub-channels see
+	// independent but reproducible fault streams.
+	Seed uint64
+
+	// BitFlipRate is the per-activation probability of flipping one bit
+	// of tracker SRAM state (via track.StateInjector; trackers that do
+	// not expose state are unaffected).
+	BitFlipRate float64
+
+	// AlertDropRate is the per-assertion probability that a requested
+	// ALERT is masked: the memory controller does not see the signal for
+	// DropACTs activations, after which the (still pending) request is
+	// re-evaluated as a fresh assertion.
+	AlertDropRate float64
+
+	// DropACTs is how many activations a dropped ALERT stays masked
+	// before the persistent device state re-raises it (default 256).
+	DropACTs int
+
+	// AlertDelayACTs delays every ALERT assertion by this many
+	// activations before the controller sees it (0 = no delay).
+	AlertDelayACTs int
+
+	// AlertDupRate is the per-activation probability of forcing a
+	// spurious ALERT: the controller runs the full back-off protocol for
+	// a device that had nothing urgent to mitigate.
+	AlertDupRate float64
+
+	// RFMDropRate is the probability that a proactive RFM opportunity is
+	// swallowed before the tracker observes it.
+	RFMDropRate float64
+
+	// WeakRowRate is the fraction of rows with a depressed Rowhammer
+	// threshold, and WeakRowFactor the multiplier (in (0,1]) applied to
+	// the base threshold for those rows. They parameterize WeakRows and
+	// do not affect Wrap.
+	WeakRowRate   float64
+	WeakRowFactor float64
+
+	// Start and End bound the window of simulated time during which
+	// injection is active. End == 0 means no upper bound.
+	Start, End dram.Time
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p Plan) Empty() bool {
+	return !p.wrapsMitigator() && p.WeakRowRate == 0
+}
+
+// wrapsMitigator reports whether any mitigator-side fault is enabled.
+func (p Plan) wrapsMitigator() bool {
+	return p.BitFlipRate > 0 || p.AlertDropRate > 0 || p.AlertDelayACTs > 0 ||
+		p.AlertDupRate > 0 || p.RFMDropRate > 0
+}
+
+// Validate reports an error if the plan is unusable.
+func (p Plan) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"bitflip", p.BitFlipRate},
+		{"alertdrop", p.AlertDropRate},
+		{"alertdup", p.AlertDupRate},
+		{"rfmdrop", p.RFMDropRate},
+		{"weakrows", p.WeakRowRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("fault: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.AlertDelayACTs < 0 {
+		return fmt.Errorf("fault: alertdelay must be >= 0, got %d", p.AlertDelayACTs)
+	}
+	if p.DropACTs < 0 {
+		return fmt.Errorf("fault: dropacts must be >= 0, got %d", p.DropACTs)
+	}
+	if p.WeakRowRate > 0 && (p.WeakRowFactor <= 0 || p.WeakRowFactor > 1) {
+		return fmt.Errorf("fault: weakfactor %v outside (0,1]", p.WeakRowFactor)
+	}
+	if p.End != 0 && p.End <= p.Start {
+		return fmt.Errorf("fault: window end %v not after start %v", p.End, p.Start)
+	}
+	return nil
+}
+
+// active reports whether injection is enabled at simulated time now.
+func (p Plan) active(now dram.Time) bool {
+	return now >= p.Start && (p.End == 0 || now < p.End)
+}
+
+// String renders the plan in the Parse syntax (empty string for an empty
+// plan).
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if p.Seed != 0 {
+		add("seed", strconv.FormatUint(p.Seed, 10))
+	}
+	if p.BitFlipRate > 0 {
+		add("bitflip", ff(p.BitFlipRate))
+	}
+	if p.AlertDropRate > 0 {
+		add("alertdrop", ff(p.AlertDropRate))
+	}
+	if p.DropACTs > 0 {
+		add("dropacts", strconv.Itoa(p.DropACTs))
+	}
+	if p.AlertDelayACTs > 0 {
+		add("alertdelay", strconv.Itoa(p.AlertDelayACTs))
+	}
+	if p.AlertDupRate > 0 {
+		add("alertdup", ff(p.AlertDupRate))
+	}
+	if p.RFMDropRate > 0 {
+		add("rfmdrop", ff(p.RFMDropRate))
+	}
+	if p.WeakRowRate > 0 {
+		add("weakrows", ff(p.WeakRowRate))
+		add("weakfactor", ff(p.WeakRowFactor))
+	}
+	if p.Start > 0 {
+		add("start-ms", ff(float64(p.Start)/float64(dram.Millisecond)))
+	}
+	if p.End > 0 {
+		add("end-ms", ff(float64(p.End)/float64(dram.Millisecond)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from the "key=value,..." syntax of the -faults
+// flag, e.g. "seed=7,bitflip=1e-5,alertdrop=0.2,alertdelay=32". Keys:
+// seed, bitflip, alertdrop, dropacts, alertdelay, alertdup, rfmdrop,
+// weakrows, weakfactor, start-ms, end-ms. An empty string parses to the
+// empty plan.
+func Parse(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "bitflip":
+			p.BitFlipRate, err = strconv.ParseFloat(val, 64)
+		case "alertdrop":
+			p.AlertDropRate, err = strconv.ParseFloat(val, 64)
+		case "dropacts":
+			p.DropACTs, err = strconv.Atoi(val)
+		case "alertdelay":
+			p.AlertDelayACTs, err = strconv.Atoi(val)
+		case "alertdup":
+			p.AlertDupRate, err = strconv.ParseFloat(val, 64)
+		case "rfmdrop":
+			p.RFMDropRate, err = strconv.ParseFloat(val, 64)
+		case "weakrows":
+			p.WeakRowRate, err = strconv.ParseFloat(val, 64)
+		case "weakfactor":
+			p.WeakRowFactor, err = strconv.ParseFloat(val, 64)
+		case "start-ms", "end-ms":
+			var ms float64
+			ms, err = strconv.ParseFloat(val, 64)
+			if err == nil {
+				t := dram.Time(ms * float64(dram.Millisecond))
+				if key == "start-ms" {
+					p.Start = t
+				} else {
+					p.End = t
+				}
+			}
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown key %q (known: seed, bitflip, alertdrop, dropacts, alertdelay, alertdup, rfmdrop, weakrows, weakfactor, start-ms, end-ms)", key)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %q: %v", key, err)
+		}
+	}
+	if p.WeakRowRate > 0 && p.WeakRowFactor == 0 {
+		p.WeakRowFactor = 0.5
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	BitFlip Kind = iota
+	AlertDrop
+	AlertDelay
+	AlertDup
+	RFMDrop
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bitflip"
+	case AlertDrop:
+		return "alert-drop"
+	case AlertDelay:
+		return "alert-delay"
+	case AlertDup:
+		return "alert-dup"
+	case RFMDrop:
+		return "rfm-drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event records one injected fault.
+type Event struct {
+	Kind   Kind
+	At     dram.Time
+	Stream uint64 // the wrapped instance that injected it
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%v@%v stream=%d", e.Kind, e.At, e.Stream)
+	}
+	return fmt.Sprintf("%v@%v stream=%d %s", e.Kind, e.At, e.Stream, e.Detail)
+}
+
+// logCap bounds the retained per-event detail; totals keep counting past
+// it.
+const logCap = 512
+
+// Log aggregates the faults injected by every wrapper sharing it. It is
+// not safe for concurrent use: share one Log per single-threaded
+// simulation run.
+type Log struct {
+	events []Event
+	counts [numKinds]int64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+func (l *Log) add(e Event) {
+	if l == nil {
+		return
+	}
+	l.counts[e.Kind]++
+	if len(l.events) < logCap {
+		l.events = append(l.events, e)
+	}
+}
+
+// Events returns the retained events (at most the first 512) in injection
+// order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return append([]Event(nil), l.events...)
+}
+
+// Total returns the number of faults injected across all kinds.
+func (l *Log) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	var t int64
+	for _, c := range l.counts {
+		t += c
+	}
+	return t
+}
+
+// Count returns the number of faults of one kind.
+func (l *Log) Count(k Kind) int64 {
+	if l == nil || k < 0 || k >= numKinds {
+		return 0
+	}
+	return l.counts[k]
+}
+
+// Summary renders "kind=count" pairs for the kinds that fired, sorted by
+// name ("none" when nothing fired).
+func (l *Log) Summary() string {
+	if l.Total() == 0 {
+		return "none"
+	}
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if l.counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%v=%d", k, l.counts[k]))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Wrap interposes plan between a driver and mitigator m. When the plan
+// enables no mitigator-side fault, m itself is returned — the wrapped and
+// unwrapped configurations are then trivially bit-identical. stream
+// distinguishes instances (e.g. the sub-channel index) so each wrapper
+// draws an independent deterministic RNG stream; log may be nil.
+func Wrap(plan Plan, m track.Mitigator, stream uint64, log *Log) track.Mitigator {
+	if !plan.wrapsMitigator() {
+		return m
+	}
+	if plan.DropACTs == 0 {
+		plan.DropACTs = 256
+	}
+	si, _ := m.(track.StateInjector)
+	return &wrapped{
+		m:      m,
+		plan:   plan,
+		si:     si,
+		rng:    stats.NewRNG(mix(plan.Seed, stream)),
+		log:    log,
+		stream: stream,
+	}
+}
+
+// wrapped is the fault-injecting Mitigator decorator.
+type wrapped struct {
+	m      track.Mitigator
+	plan   Plan
+	si     track.StateInjector
+	rng    *stats.RNG
+	log    *Log
+	stream uint64
+
+	now      dram.Time // last simulated time observed on any callback
+	asserted bool      // an ALERT assertion has been classified
+	maskACTs int       // activations the current assertion stays hidden
+	dropped  bool      // the current mask came from a drop (re-arm after)
+	forced   bool      // spurious ALERT in force
+}
+
+var _ track.Mitigator = (*wrapped)(nil)
+
+// Name implements track.Mitigator; the underlying name is preserved so
+// reports stay comparable across fault campaigns.
+func (w *wrapped) Name() string { return w.m.Name() }
+
+// Unwrap returns the decorated mitigator (for tests and tools).
+func (w *wrapped) Unwrap() track.Mitigator { return w.m }
+
+// OnActivate implements track.Mitigator. Per-activation faults (bit
+// flips, spurious ALERTs) are decided before the activation reaches the
+// tracker; mask countdowns for dropped/delayed ALERTs advance here.
+func (w *wrapped) OnActivate(bank, row int, now dram.Time) {
+	w.now = now
+	if w.plan.active(now) {
+		if w.plan.BitFlipRate > 0 && w.si != nil && w.rng.Float64() < w.plan.BitFlipRate {
+			w.log.add(Event{BitFlip, now, w.stream, w.si.InjectStateFault(w.rng)})
+		}
+		if w.plan.AlertDupRate > 0 && !w.forced && w.rng.Float64() < w.plan.AlertDupRate {
+			w.forced = true
+			w.log.add(Event{AlertDup, now, w.stream, ""})
+		}
+	}
+	w.m.OnActivate(bank, row, now)
+	if w.maskACTs > 0 {
+		w.maskACTs--
+		if w.maskACTs == 0 && w.dropped {
+			// The dropped pulse expired: the persistent want state is
+			// re-evaluated as a fresh assertion on the next poll.
+			w.asserted = false
+			w.dropped = false
+		}
+	}
+}
+
+// WantsALERT implements track.Mitigator. Each new underlying assertion is
+// classified exactly once: dropped (masked for DropACTs activations, then
+// re-raised), delayed (masked for AlertDelayACTs activations), or passed
+// through. Spurious assertions from AlertDupRate short-circuit to true.
+func (w *wrapped) WantsALERT() bool {
+	if w.forced {
+		return true
+	}
+	if !w.m.WantsALERT() {
+		w.asserted = false
+		w.maskACTs = 0
+		w.dropped = false
+		return false
+	}
+	if !w.asserted {
+		w.asserted = true
+		switch {
+		case !w.plan.active(w.now):
+			// Outside the injection window assertions pass untouched.
+		case w.plan.AlertDropRate > 0 && w.rng.Float64() < w.plan.AlertDropRate:
+			w.maskACTs = w.plan.DropACTs
+			w.dropped = true
+			w.log.add(Event{AlertDrop, w.now, w.stream, fmt.Sprintf("masked for %d ACTs", w.maskACTs)})
+		case w.plan.AlertDelayACTs > 0:
+			w.maskACTs = w.plan.AlertDelayACTs
+			w.log.add(Event{AlertDelay, w.now, w.stream, fmt.Sprintf("delayed %d ACTs", w.maskACTs)})
+		}
+	}
+	return w.maskACTs == 0
+}
+
+// OnREF implements track.Mitigator (refresh is never suppressed: demand
+// refresh failures are outside the threat model).
+func (w *wrapped) OnREF(refIndex int, now dram.Time) {
+	w.now = now
+	w.m.OnREF(refIndex, now)
+}
+
+// OnRFM implements track.Mitigator, possibly swallowing the opportunity.
+func (w *wrapped) OnRFM(bank int, now dram.Time) {
+	w.now = now
+	if w.plan.RFMDropRate > 0 && w.plan.active(now) && w.rng.Float64() < w.plan.RFMDropRate {
+		w.log.add(Event{RFMDrop, now, w.stream, fmt.Sprintf("bank=%d", bank)})
+		return
+	}
+	w.m.OnRFM(bank, now)
+}
+
+// ServiceALERT implements track.Mitigator. Servicing clears any spurious
+// assertion; real service always reaches the tracker.
+func (w *wrapped) ServiceALERT(now dram.Time) {
+	w.now = now
+	w.forced = false
+	w.m.ServiceALERT(now)
+}
+
+// WeakRowModel deterministically assigns a depressed Rowhammer threshold
+// to a fraction of rows ("weak rows": cells whose retention/disturbance
+// margin sits in the tail of the process distribution). Row weakness is a
+// pure hash of (Seed, row), so every component of a run agrees on which
+// rows are weak without shared state.
+type WeakRowModel struct {
+	Rate    float64 // fraction of weak rows
+	Factor  float64 // threshold multiplier in (0,1]
+	Seed    uint64
+	BaseTRH int // nominal threshold for normal rows
+}
+
+// WeakRows builds the model for a base threshold, or nil when the plan
+// declares no weak rows.
+func (p Plan) WeakRows(baseTRH int) *WeakRowModel {
+	if p.WeakRowRate <= 0 {
+		return nil
+	}
+	f := p.WeakRowFactor
+	if f <= 0 || f > 1 {
+		f = 0.5
+	}
+	return &WeakRowModel{Rate: p.WeakRowRate, Factor: f, Seed: p.Seed, BaseTRH: baseTRH}
+}
+
+// IsWeak reports whether row is a weak row.
+func (m *WeakRowModel) IsWeak(row int) bool {
+	if m == nil {
+		return false
+	}
+	// Map the hash to [0,1) the same way stats.RNG.Float64 does.
+	u := float64(mix(m.Seed^0x57454b52 /* "WEKR" */, uint64(row))>>11) / float64(1<<53)
+	return u < m.Rate
+}
+
+// ThresholdOf returns the row's effective threshold: BaseTRH, depressed
+// by Factor for weak rows (never below 1).
+func (m *WeakRowModel) ThresholdOf(row int) int {
+	if !m.IsWeak(row) {
+		return m.BaseTRH
+	}
+	t := int(float64(m.BaseTRH) * m.Factor)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// mix folds a stream id into a seed with splitmix64 so distinct streams
+// yield decorrelated RNGs.
+func mix(seed, stream uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

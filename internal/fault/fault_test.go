@@ -1,0 +1,323 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/stats"
+	"mirza/internal/track"
+)
+
+// fakeMitigator is a minimal tracker for exercising the wrapper: it wants
+// an ALERT whenever its pending count is positive, raises one pending unit
+// every alertEvery activations, and clears one on service. It implements
+// StateInjector by counting calls.
+type fakeMitigator struct {
+	alertEvery int
+	acts       int
+	pending    int
+	rfms       int
+	services   int
+	injects    int
+}
+
+func (f *fakeMitigator) Name() string { return "fake" }
+func (f *fakeMitigator) OnActivate(bank, row int, now dram.Time) {
+	f.acts++
+	if f.alertEvery > 0 && f.acts%f.alertEvery == 0 {
+		f.pending++
+	}
+}
+func (f *fakeMitigator) WantsALERT() bool              { return f.pending > 0 }
+func (f *fakeMitigator) OnREF(i int, now dram.Time)    {}
+func (f *fakeMitigator) OnRFM(bank int, now dram.Time) { f.rfms++ }
+func (f *fakeMitigator) ServiceALERT(now dram.Time) {
+	f.services++
+	if f.pending > 0 {
+		f.pending--
+	}
+}
+func (f *fakeMitigator) InjectStateFault(rng *stats.RNG) string {
+	f.injects++
+	return fmt.Sprintf("fake inject %d", f.injects)
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "seed=7,bitflip=1e-05,alertdrop=0.2,dropacts=64,alertdelay=32,alertdup=0.01,rfmdrop=0.5,weakrows=0.001,weakfactor=0.25,start-ms=1,end-ms=5"
+	p, err := Parse(in)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 7 || p.BitFlipRate != 1e-5 || p.AlertDropRate != 0.2 ||
+		p.DropACTs != 64 || p.AlertDelayACTs != 32 || p.AlertDupRate != 0.01 ||
+		p.RFMDropRate != 0.5 || p.WeakRowRate != 0.001 || p.WeakRowFactor != 0.25 {
+		t.Fatalf("fields wrong: %+v", p)
+	}
+	if p.Start != dram.Millisecond || p.End != 5*dram.Millisecond {
+		t.Fatalf("window wrong: start=%v end=%v", p.Start, p.End)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", p.String(), err)
+	}
+	if p2 != p {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", p, p2)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	p, err := Parse("")
+	if err != nil || !p.Empty() {
+		t.Fatalf("empty string: plan=%+v err=%v", p, err)
+	}
+	for _, bad := range []string{
+		"nosuchkey=1",
+		"bitflip",                   // not key=value
+		"bitflip=x",                 // bad float
+		"bitflip=1.5",               // rate out of range
+		"alertdelay=-3",             // negative
+		"weakrows=0.1,weakfactor=2", // factor out of range
+		"start-ms=5,end-ms=1",       // inverted window
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", bad)
+		}
+	}
+}
+
+func TestWrapEmptyPlanReturnsSameMitigator(t *testing.T) {
+	m := &fakeMitigator{alertEvery: 10}
+	for _, p := range []Plan{{}, {Seed: 42}, {WeakRowRate: 0.5, WeakRowFactor: 0.5}} {
+		if got := Wrap(p, m, 0, NewLog()); got != track.Mitigator(m) {
+			t.Fatalf("Wrap with plan %+v: want the mitigator unchanged, got %T", p, got)
+		}
+	}
+}
+
+// drive runs a fixed activation/poll/service/RFM schedule against a
+// wrapped mitigator and returns the fault log plus the count of ALERTs the
+// driver observed and serviced.
+func drive(t *testing.T, plan Plan, stream uint64, acts int) (*Log, int, *fakeMitigator) {
+	t.Helper()
+	fake := &fakeMitigator{alertEvery: 50}
+	log := NewLog()
+	m := Wrap(plan, fake, stream, log)
+	if m == track.Mitigator(fake) {
+		t.Fatal("plan should have wrapped the mitigator")
+	}
+	serviced := 0
+	for i := 0; i < acts; i++ {
+		now := dram.Time(i) * 45 * dram.Nanosecond
+		m.OnActivate(i%4, i%1024, now)
+		if m.WantsALERT() {
+			m.ServiceALERT(now)
+			serviced++
+		}
+		if i%97 == 0 {
+			m.OnRFM(i%4, now)
+		}
+		if i%200 == 0 {
+			m.OnREF(i/200, now)
+		}
+	}
+	return log, serviced, fake
+}
+
+func TestFaultSequenceDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:           123,
+		BitFlipRate:    0.01,
+		AlertDropRate:  0.5,
+		DropACTs:       32,
+		AlertDupRate:   0.005,
+		RFMDropRate:    0.3,
+		AlertDelayACTs: 4,
+	}
+	logA, servicedA, _ := drive(t, plan, 3, 5000)
+	logB, servicedB, _ := drive(t, plan, 3, 5000)
+	if !reflect.DeepEqual(logA.Events(), logB.Events()) {
+		t.Fatal("same plan+seed+stream: event sequences differ")
+	}
+	if servicedA != servicedB {
+		t.Fatalf("same plan: serviced %d vs %d", servicedA, servicedB)
+	}
+	if logA.Total() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+
+	logC, _, _ := drive(t, plan, 4, 5000)
+	if reflect.DeepEqual(logA.Events(), logC.Events()) {
+		t.Fatal("different streams produced identical fault sequences")
+	}
+	plan2 := plan
+	plan2.Seed = 124
+	logD, _, _ := drive(t, plan2, 3, 5000)
+	if reflect.DeepEqual(logA.Events(), logD.Events()) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestAlertDropMasksAndRearms(t *testing.T) {
+	fake := &fakeMitigator{}
+	m := Wrap(Plan{Seed: 1, AlertDropRate: 1, DropACTs: 3}, fake, 0, nil)
+	fake.pending = 1 // device wants an ALERT
+	if m.WantsALERT() {
+		t.Fatal("assertion with drop rate 1 should be masked")
+	}
+	// The mask expires after DropACTs activations, then the persistent
+	// want state is re-evaluated (and dropped again, rate is 1).
+	for i := 0; i < 3; i++ {
+		if m.WantsALERT() {
+			t.Fatalf("ACT %d: still masked", i)
+		}
+		m.OnActivate(0, 0, 0)
+	}
+	if m.WantsALERT() {
+		t.Fatal("re-evaluated assertion should be dropped again at rate 1")
+	}
+}
+
+func TestAlertDelay(t *testing.T) {
+	fake := &fakeMitigator{}
+	m := Wrap(Plan{Seed: 1, AlertDelayACTs: 2}, fake, 0, nil)
+	fake.pending = 1
+	if m.WantsALERT() {
+		t.Fatal("assertion should be delayed")
+	}
+	m.OnActivate(0, 0, 0)
+	if m.WantsALERT() {
+		t.Fatal("assertion should still be delayed after 1 ACT")
+	}
+	m.OnActivate(0, 0, 0)
+	if !m.WantsALERT() {
+		t.Fatal("assertion should be visible after the delay expires")
+	}
+	m.ServiceALERT(0)
+	if fake.services != 1 {
+		t.Fatalf("service did not reach the tracker: %d", fake.services)
+	}
+	if m.WantsALERT() {
+		t.Fatal("want should clear once the tracker is satisfied")
+	}
+}
+
+func TestAlertDupForcedUntilServiced(t *testing.T) {
+	fake := &fakeMitigator{}
+	log := NewLog()
+	m := Wrap(Plan{Seed: 1, AlertDupRate: 1}, fake, 0, log)
+	m.OnActivate(0, 0, 0)
+	if !m.WantsALERT() {
+		t.Fatal("dup rate 1: expected a spurious ALERT")
+	}
+	m.ServiceALERT(0)
+	if fake.services != 1 {
+		t.Fatal("spurious ALERT service must still reach the tracker")
+	}
+	if m.WantsALERT() {
+		t.Fatal("servicing should clear the spurious assertion")
+	}
+	if log.Count(AlertDup) != 1 {
+		t.Fatalf("want 1 alert-dup event, got %d", log.Count(AlertDup))
+	}
+}
+
+func TestRFMDropSuppressesOpportunity(t *testing.T) {
+	fake := &fakeMitigator{}
+	log := NewLog()
+	m := Wrap(Plan{Seed: 1, RFMDropRate: 1}, fake, 0, log)
+	for i := 0; i < 5; i++ {
+		m.OnRFM(i, dram.Time(i))
+	}
+	if fake.rfms != 0 {
+		t.Fatalf("all RFMs should be swallowed, tracker saw %d", fake.rfms)
+	}
+	if log.Count(RFMDrop) != 5 {
+		t.Fatalf("want 5 rfm-drop events, got %d", log.Count(RFMDrop))
+	}
+}
+
+func TestWindowGating(t *testing.T) {
+	plan := Plan{Seed: 1, RFMDropRate: 1, Start: 10 * dram.Nanosecond, End: 20 * dram.Nanosecond}
+	fake := &fakeMitigator{}
+	m := Wrap(plan, fake, 0, nil)
+	m.OnRFM(0, 5*dram.Nanosecond)  // before window: passes
+	m.OnRFM(0, 15*dram.Nanosecond) // inside: dropped
+	m.OnRFM(0, 25*dram.Nanosecond) // after: passes
+	if fake.rfms != 2 {
+		t.Fatalf("want 2 RFMs delivered, got %d", fake.rfms)
+	}
+}
+
+func TestBitFlipUsesStateInjector(t *testing.T) {
+	fake := &fakeMitigator{}
+	log := NewLog()
+	m := Wrap(Plan{Seed: 9, BitFlipRate: 1}, fake, 0, log)
+	for i := 0; i < 10; i++ {
+		m.OnActivate(0, i, dram.Time(i))
+	}
+	if fake.injects != 10 {
+		t.Fatalf("want 10 injections, got %d", fake.injects)
+	}
+	if log.Count(BitFlip) != 10 {
+		t.Fatalf("want 10 bitflip events, got %d", log.Count(BitFlip))
+	}
+	if ev := log.Events(); ev[0].Detail != "fake inject 1" {
+		t.Fatalf("event detail not threaded through: %q", ev[0].Detail)
+	}
+}
+
+func TestLogCapAndSummary(t *testing.T) {
+	log := NewLog()
+	for i := 0; i < logCap+100; i++ {
+		log.add(Event{Kind: BitFlip, At: dram.Time(i)})
+	}
+	log.add(Event{Kind: RFMDrop})
+	if got := len(log.Events()); got != logCap {
+		t.Fatalf("retained %d events, want cap %d", got, logCap)
+	}
+	if log.Count(BitFlip) != logCap+100 || log.Total() != logCap+101 {
+		t.Fatalf("counts wrong: bitflip=%d total=%d", log.Count(BitFlip), log.Total())
+	}
+	if s := log.Summary(); s != "bitflip=612 rfm-drop=1" {
+		t.Fatalf("summary: %q", s)
+	}
+	if s := NewLog().Summary(); s != "none" {
+		t.Fatalf("empty summary: %q", s)
+	}
+}
+
+func TestWeakRowModel(t *testing.T) {
+	plan := Plan{Seed: 5, WeakRowRate: 0.01, WeakRowFactor: 0.5}
+	m := plan.WeakRows(1000)
+	if m == nil {
+		t.Fatal("want a model")
+	}
+	weak := 0
+	const rows = 100000
+	for r := 0; r < rows; r++ {
+		if m.IsWeak(r) {
+			weak++
+			if got := m.ThresholdOf(r); got != 500 {
+				t.Fatalf("weak row %d threshold %d, want 500", r, got)
+			}
+		} else if got := m.ThresholdOf(r); got != 1000 {
+			t.Fatalf("normal row %d threshold %d, want 1000", r, got)
+		}
+	}
+	// 1% of 100k rows, binomial stddev ~31: accept a generous band.
+	if weak < 800 || weak > 1200 {
+		t.Fatalf("weak fraction off: %d/%d", weak, rows)
+	}
+	// Deterministic: a second model from the same plan agrees everywhere.
+	m2 := plan.WeakRows(1000)
+	for r := 0; r < 1000; r++ {
+		if m.IsWeak(r) != m2.IsWeak(r) {
+			t.Fatalf("row %d weakness not deterministic", r)
+		}
+	}
+	if (Plan{}).WeakRows(1000) != nil {
+		t.Fatal("no weak rows declared: want nil model")
+	}
+}

@@ -30,11 +30,20 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// recentEvents is the size of the executed-event ring kept for watchdog
+// diagnostics.
+const recentEvents = 16
+
 // Kernel is a discrete-event scheduler. The zero value is ready to use.
 type Kernel struct {
 	now    dram.Time
 	seq    uint64
 	events eventHeap
+
+	// recent is a ring of the times of the most recently executed events,
+	// reported in watchdog stall diagnostics.
+	recent   [recentEvents]dram.Time
+	executed uint64
 }
 
 // Now returns the current simulation time.
@@ -66,8 +75,42 @@ func (k *Kernel) Step() bool {
 	}
 	e := heap.Pop(&k.events).(event)
 	k.now = e.at
+	k.recent[k.executed%recentEvents] = e.at
+	k.executed++
 	e.fn()
 	return true
+}
+
+// Executed returns the number of events the kernel has run.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// RecentTimes returns the execution times of up to the last 16 events,
+// oldest first (watchdog diagnostics).
+func (k *Kernel) RecentTimes() []dram.Time {
+	n := k.executed
+	if n > recentEvents {
+		n = recentEvents
+	}
+	out := make([]dram.Time, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, k.recent[(k.executed-n+i)%recentEvents])
+	}
+	return out
+}
+
+// NextTimes returns the times of up to the n earliest pending events,
+// soonest first, without disturbing the queue (watchdog diagnostics).
+func (k *Kernel) NextTimes(n int) []dram.Time {
+	if n > len(k.events) {
+		n = len(k.events)
+	}
+	cp := make(eventHeap, len(k.events))
+	copy(cp, k.events)
+	out := make([]dram.Time, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, heap.Pop(&cp).(event).at)
+	}
+	return out
 }
 
 // RunUntil executes events until the clock would pass deadline or the queue

@@ -64,6 +64,50 @@ func TestKernelSelfScheduling(t *testing.T) {
 	}
 }
 
+func TestRunUntilEmptyQueue(t *testing.T) {
+	var k Kernel
+	k.RunUntil(500 * dram.Nanosecond)
+	if k.Now() != 500*dram.Nanosecond {
+		t.Errorf("empty-queue RunUntil must still advance the clock: now = %v", k.Now())
+	}
+	// Running backwards-compatible: a second RunUntil with an earlier
+	// deadline is a no-op (the clock never rewinds).
+	k.RunUntil(100 * dram.Nanosecond)
+	if k.Now() != 500*dram.Nanosecond {
+		t.Errorf("clock rewound to %v", k.Now())
+	}
+	if k.Pending() != 0 || k.Step() {
+		t.Error("queue should remain empty")
+	}
+}
+
+func TestSameTimeFIFOInterleaved(t *testing.T) {
+	// Events scheduled at the same instant through interleaved Schedule and
+	// After calls — including from inside running events — must execute in
+	// submission order.
+	var k Kernel
+	var got []int
+	k.Schedule(10, func() {
+		got = append(got, 0)
+		// Same-time events enqueued mid-execution run after the ones
+		// already queued for this instant, in submission order.
+		k.Schedule(10, func() { got = append(got, 3) })
+		k.After(0, func() { got = append(got, 4) })
+	})
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.After(10, func() { got = append(got, 2) }) // After from t=0 lands at 10 too
+	k.RunUntil(20)
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestSchedulePastPanics(t *testing.T) {
 	var k Kernel
 	k.Schedule(100, func() {})

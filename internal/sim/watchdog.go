@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mirza/internal/dram"
+)
+
+// Watchdog detects a stalled or livelocked simulation: event processing
+// that burns wall-clock time without meaningfully advancing the simulated
+// clock. The classic failure mode it guards against is a pathological
+// zero-delay (or picosecond-delay) event loop — e.g. an ALERT back-off
+// cycle that re-arms itself at now+1ps forever — which would otherwise
+// hang a run silently.
+//
+// A Watchdog is attached to a single RunUntilWatched call; reuse across
+// calls is fine (it keeps no state between calls). The zero value with a
+// positive Budget is ready to use.
+type Watchdog struct {
+	// Budget is the wall-clock allowance between observations of forward
+	// progress. A non-positive Budget disables the watchdog entirely.
+	Budget time.Duration
+
+	// MinAdvance is the simulated-time advance that counts as progress.
+	// Defaults to 1ns: a loop re-arming events picoseconds apart is still
+	// a livelock even though the clock technically moves.
+	MinAdvance dram.Time
+
+	// CheckEvery is the number of executed events between wall-clock
+	// samples (default 4096). Sampling keeps time.Now off the per-event
+	// hot path.
+	CheckEvery int
+
+	// clock overrides time.Now in tests.
+	clock func() time.Time
+}
+
+func (w *Watchdog) now() time.Time {
+	if w.clock != nil {
+		return w.clock()
+	}
+	return time.Now()
+}
+
+// StallError is returned when the watchdog aborts a run. It carries a
+// diagnostic snapshot of the kernel: the stuck simulation time, the
+// pending-event queue depth and earliest deadlines, and the times of the
+// most recently executed events.
+type StallError struct {
+	Now      dram.Time     // simulated time at abort
+	Stalled  time.Duration // wall-clock elapsed without progress
+	Executed uint64        // total events the kernel has run
+	Pending  int           // events still queued
+	Next     []dram.Time   // earliest pending event times, soonest first
+	Recent   []dram.Time   // most recently executed event times, oldest first
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sim: watchdog abort: no event-time advance for %v at t=%v (%d events executed, %d pending)",
+		e.Stalled.Round(time.Millisecond), e.Now, e.Executed, e.Pending)
+	if len(e.Next) > 0 {
+		fmt.Fprintf(&sb, "; next events at %v", e.Next)
+	}
+	if len(e.Recent) > 0 {
+		fmt.Fprintf(&sb, "; recent events at %v", e.Recent)
+	}
+	return sb.String()
+}
+
+// RunUntilWatched is RunUntil under watchdog supervision: it executes
+// events until the clock would pass deadline or the queue empties, but
+// aborts with a *StallError if the simulated clock stops advancing (by at
+// least w.MinAdvance) for longer than w.Budget of wall-clock time. A nil
+// watchdog or a non-positive budget degrades to plain RunUntil.
+//
+// On abort the kernel is left mid-run (clock at the stall point, pending
+// events still queued) so the caller can inspect it; it must not be
+// resumed.
+func (k *Kernel) RunUntilWatched(deadline dram.Time, w *Watchdog) error {
+	if w == nil || w.Budget <= 0 {
+		k.RunUntil(deadline)
+		return nil
+	}
+	checkEvery := w.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 4096
+	}
+	minAdvance := w.MinAdvance
+	if minAdvance <= 0 {
+		minAdvance = dram.Nanosecond
+	}
+
+	lastProgress := w.now()
+	lastNow := k.now
+	sinceCheck := 0
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+		sinceCheck++
+		if sinceCheck < checkEvery {
+			continue
+		}
+		sinceCheck = 0
+		if k.now-lastNow >= minAdvance {
+			lastNow = k.now
+			lastProgress = w.now()
+			continue
+		}
+		if elapsed := w.now().Sub(lastProgress); elapsed > w.Budget {
+			return &StallError{
+				Now:      k.now,
+				Stalled:  elapsed,
+				Executed: k.executed,
+				Pending:  len(k.events),
+				Next:     k.NextTimes(8),
+				Recent:   k.RecentTimes(),
+			}
+		}
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}

@@ -158,6 +158,26 @@ func (m *MINT) ServiceALERT(now dram.Time) {
 	}
 }
 
+// InjectStateFault implements StateInjector: it flips one bit of a random
+// bank's sampler state — the window position or the random target — the
+// two SRAM fields a transient upset can reach in a MINT implementation.
+func (m *MINT) InjectStateFault(rng *stats.RNG) string {
+	bank := rng.Intn(len(m.samplers))
+	return m.samplers[bank].injectFault(bank, rng)
+}
+
+// injectFault flips one bit of the sampler's 7-bit count or target field
+// (see core.Config.FixedSRAMBytes for the field widths).
+func (s *MINTSampler) injectFault(bank int, rng *stats.RNG) string {
+	bit := rng.Intn(7)
+	if rng.Intn(2) == 0 {
+		s.count ^= 1 << bit
+		return fmt.Sprintf("mint[bank=%d].count bit %d", bank, bit)
+	}
+	s.target ^= 1 << bit
+	return fmt.Sprintf("mint[bank=%d].target bit %d", bank, bit)
+}
+
 func (m *MINT) mitigate(bank int, now dram.Time) {
 	row, ok := m.samplers[bank].Take()
 	if !ok {

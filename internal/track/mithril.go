@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mirza/internal/dram"
+	"mirza/internal/stats"
 )
 
 // spaceSaving is a Space-Saving frequent-items summary: the counter-based
@@ -190,6 +191,24 @@ func (m *Mithril) ServiceALERT(now dram.Time) {
 	for bank := range m.tables {
 		m.mitigate(bank, now)
 	}
+}
+
+// InjectStateFault implements StateInjector: it flips one bit of a random
+// Space-Saving entry's count in a random bank and restores the heap
+// invariant (the hardware analogue is a corrupted counter that the
+// comparator network keeps consuming as if it were genuine).
+func (m *Mithril) InjectStateFault(rng *stats.RNG) string {
+	bank := rng.Intn(len(m.tables))
+	tab := m.tables[bank]
+	if len(tab.entries) == 0 {
+		return fmt.Sprintf("mithril[bank=%d] empty (no-op)", bank)
+	}
+	i := rng.Intn(len(tab.entries))
+	bit := rng.Intn(16)
+	row := tab.entries[i].row
+	tab.entries[i].count ^= 1 << bit
+	heap.Fix(tab, i)
+	return fmt.Sprintf("mithril[bank=%d][row=%d] bit %d", bank, row, bit)
 }
 
 func (m *Mithril) mitigate(bank int, now dram.Time) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mirza/internal/dram"
+	"mirza/internal/stats"
 )
 
 // PRACConfig configures the PRAC+ABO mitigator.
@@ -160,6 +161,21 @@ func (p *PRAC) recomputeWant() {
 		}
 	}
 	p.want = false
+}
+
+// InjectStateFault implements StateInjector: it flips one low-order bit of
+// a random row's activation counter in a random bank, modeling a transient
+// upset of a PRAC counter stored in the DRAM array. A downward flip hides
+// real activations from the tracker; an upward flip can push a benign row
+// over the ALERT threshold without the crossing ever being observed by
+// OnActivate (the counter saturates silently) — both are the corruptions
+// whose effect on the security margin the fault harness measures.
+func (p *PRAC) InjectStateFault(rng *stats.RNG) string {
+	bank := rng.Intn(len(p.counters))
+	row := rng.Intn(len(p.counters[bank]))
+	bit := rng.Intn(12) // ATH values need at most 12 bits
+	p.counters[bank][row] ^= 1 << bit
+	return fmt.Sprintf("prac[bank=%d][row=%d] bit %d", bank, row, bit)
 }
 
 // MaxCounter returns the largest per-row counter value currently held in

@@ -13,6 +13,7 @@ package track
 
 import (
 	"mirza/internal/dram"
+	"mirza/internal/stats"
 )
 
 // Sink receives mitigation events. The performance simulator plugs in an
@@ -82,6 +83,20 @@ type Mitigator interface {
 	// ServiceALERT is invoked when the ALERT's back-off RFM executes:
 	// every bank with pending mitigation work mitigates one entry.
 	ServiceALERT(now dram.Time)
+}
+
+// StateInjector is the fault-injection hook on a Mitigator: trackers that
+// expose their SRAM state to the internal/fault harness implement it. One
+// call models a single transient upset — it flips one pseudo-randomly
+// chosen bit of internal tracker state (an RCT counter, a sampler window
+// position, a per-row activation counter, ...), drawing every choice from
+// rng so the injected-fault sequence is deterministic for a given seed.
+// The returned string describes the flip for fault logs.
+//
+// Implementations must corrupt silently: no panic, no resynchronization —
+// the point is to observe how the mitigation degrades.
+type StateInjector interface {
+	InjectStateFault(rng *stats.RNG) string
 }
 
 // MitigationVictims is the number of victim rows refreshed per aggressor
