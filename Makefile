@@ -6,8 +6,10 @@ GO ?= go
 
 # Short-fidelity preset: tiny timing windows and a single workload so the
 # race-enabled sweep finishes in CI time (see DefaultOptions in
-# internal/experiments for the variables).
-SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz
+# internal/experiments for the variables). MIRZA_PARALLELISM=4 runs the
+# experiment job engine with four workers so the race detector watches the
+# parallel path, not just -j 1.
+SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
 .PHONY: check vet build test test-race bench clean
 

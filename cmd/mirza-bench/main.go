@@ -41,7 +41,8 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 24)")
 		quick     = flag.Bool("quick", false, "tiny windows and a 3-workload subset (smoke run)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
-		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per experiment attempt (0 = none)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per engine job (0 = none)")
+		parallel  = flag.Int("j", 0, "worker count for the job engine (0 = GOMAXPROCS; 1 = sequential engine)")
 		stall     = flag.Duration("stall-budget", 2*time.Minute, "abort a simulation whose event time stops advancing for this long (0 = disabled)")
 		faults    = flag.String("faults", "", "fault-injection plan, e.g. seed=7,bitflip=1e-5,alertdrop=0.2 (see internal/fault)")
 		noRetry   = flag.Bool("no-retry", false, "disable the reduced-fidelity retry of failed experiments")
@@ -72,6 +73,7 @@ func main() {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 	opts.StallBudget = *stall
+	opts.Parallelism = *parallel
 	plan, err := fault.Parse(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mirza-bench:", err)
@@ -118,7 +120,16 @@ func main() {
 			if res.Degraded {
 				marker = " [DEGRADED: reduced fidelity]"
 			}
-			fmt.Printf("(%s took %.1fs%s)\n\n", res.ID, res.Duration.Seconds(), marker)
+			// Busy sums every job's wall-clock: an estimate of what a
+			// one-worker (-j 1) run would need, hence busy/duration
+			// estimates the parallel speedup actually achieved.
+			if res.Jobs > 0 && res.Duration > 0 {
+				fmt.Printf("(%s took %.1fs%s; %d jobs, %.1fs busy, est speedup %.1fx vs -j 1)\n\n",
+					res.ID, res.Duration.Seconds(), marker, res.Jobs,
+					res.Busy.Seconds(), res.Busy.Seconds()/res.Duration.Seconds())
+			} else {
+				fmt.Printf("(%s took %.1fs%s)\n\n", res.ID, res.Duration.Seconds(), marker)
+			}
 		}
 	}
 

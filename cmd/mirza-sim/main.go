@@ -1,15 +1,22 @@
-// Command mirza-sim runs one workload on the full-system simulator (8
-// out-of-order cores, shared DDR5 channel) under a selectable Rowhammer
-// mitigation and reports performance and memory-system statistics.
+// Command mirza-sim runs one or more workloads on the full-system
+// simulator (8 out-of-order cores, shared DDR5 channel) under a selectable
+// Rowhammer mitigation and reports performance and memory-system
+// statistics.
 //
 // Usage:
 //
 //	mirza-sim -workload fotonik3d -mitigation mirza -trhd 1000 -ms 2
 //	mirza-sim -workload mcf -mitigation prac -trhd 500
-//	mirza-sim -workload bc -mitigation mint-rfm -trhd 1000
+//	mirza-sim -workload fotonik3d,lbm,mcf -j 4
 //	mirza-sim -list-workloads
 //
 // Mitigations: none, mirza, naive-mirza, prac, mint-rfm, trr.
+//
+// With a comma-separated -workload list the simulations run as independent
+// jobs on -j workers; reports are printed in the order the workloads were
+// listed, and each report is identical to what a separate single-workload
+// invocation would print (every simulation is seeded by workload identity,
+// not execution order).
 package main
 
 import (
@@ -17,12 +24,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
 	"mirza/internal/fault"
+	"mirza/internal/jobs"
 	"mirza/internal/mem"
 	"mirza/internal/security"
 	"mirza/internal/sim"
@@ -30,9 +39,19 @@ import (
 	"mirza/internal/track"
 )
 
+// runConfig carries the flag settings shared by every simulation job.
+type runConfig struct {
+	mitigation string
+	trhd       int
+	ms, warmMS float64
+	seed       uint64
+	plan       fault.Plan
+	stall      time.Duration
+}
+
 func main() {
 	var (
-		workload   = flag.String("workload", "fotonik3d", "workload name (see -list-workloads)")
+		workload   = flag.String("workload", "fotonik3d", "workload name or comma-separated list (see -list-workloads)")
 		mitigation = flag.String("mitigation", "mirza", "none | mirza | naive-mirza | prac | mint-rfm | trr")
 		trhd       = flag.Int("trhd", 1000, "target double-sided Rowhammer threshold")
 		ms         = flag.Float64("ms", 2, "simulated milliseconds")
@@ -41,6 +60,7 @@ func main() {
 		listWl     = flag.Bool("list-workloads", false, "list workloads and exit")
 		faultsFlag = flag.String("faults", "", "fault-injection plan, e.g. seed=7,alertdrop=0.5 (see internal/fault)")
 		stall      = flag.Duration("stall-budget", 2*time.Minute, "abort if simulated time stops advancing for this long (0 = disabled)")
+		parallel   = flag.Int("j", 0, "worker count for multi-workload runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -48,7 +68,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	faultLog := fault.NewLog()
 
 	if *listWl {
 		for _, w := range trace.Workloads() {
@@ -58,37 +77,92 @@ func main() {
 		return
 	}
 
-	spec, err := trace.Lookup(*workload)
-	if err != nil {
-		fatal(err)
+	cfg := runConfig{
+		mitigation: *mitigation,
+		trhd:       *trhd,
+		ms:         *ms,
+		warmMS:     *warmMS,
+		seed:       *seed,
+		plan:       plan,
+		stall:      *stall,
 	}
-	gens, err := trace.PerCore(spec, 8, *seed)
+
+	var names []string
+	for _, n := range strings.Split(*workload, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no workload named"))
+	}
+
+	pool := make([]jobs.Job[string], len(names))
+	for i, name := range names {
+		name := name
+		pool[i] = jobs.Job[string]{
+			ID:  name,
+			Run: func() (string, error) { return runOne(name, cfg) },
+		}
+	}
+	results := jobs.Run(jobs.Options{Parallelism: *parallel}, pool)
+	exit := 0
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		if res.Err != nil {
+			exit = 1
+			var se *sim.StallError
+			if errors.As(res.Err, &se) {
+				fmt.Fprintln(os.Stderr, "mirza-sim:", se)
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "mirza-sim:", res.Err)
+			continue
+		}
+		fmt.Print(res.Value)
+	}
+	os.Exit(exit)
+}
+
+// runOne simulates a single workload and returns its formatted report.
+// Everything it touches — trace generators, trackers, the fault log — is
+// job-local, so concurrent runOne calls never share state.
+func runOne(workload string, rc runConfig) (string, error) {
+	faultLog := fault.NewLog()
+
+	spec, err := trace.Lookup(workload)
 	if err != nil {
-		fatal(err)
+		return "", err
+	}
+	gens, err := trace.PerCore(spec, 8, rc.seed)
+	if err != nil {
+		return "", err
 	}
 
 	timing := dram.DDR5()
 	bat := 0
 	var factory func(sub int, sink track.Sink) track.Mitigator
 	g := dram.Default()
-	switch *mitigation {
+	switch rc.mitigation {
 	case "none":
 	case "mirza", "naive-mirza":
-		cfg, err := core.ForTRHD(*trhd)
+		cfg, err := core.ForTRHD(rc.trhd)
 		if err != nil {
-			fatal(err)
+			return "", err
 		}
-		if *mitigation == "naive-mirza" {
+		if rc.mitigation == "naive-mirza" {
 			cfg.FTH = 0
 		}
 		// Validate here where the error can be reported cleanly; the
 		// factory closure below can only panic.
 		if err := cfg.Validate(); err != nil {
-			fatal(err)
+			return "", err
 		}
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			c := cfg
-			c.Seed = *seed + uint64(sub)
+			c.Seed = rc.seed + uint64(sub)
 			return core.MustNew(c, sink)
 		}
 	case "prac":
@@ -96,16 +170,16 @@ func main() {
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			return track.NewPRAC(track.PRACConfig{
 				Geometry: g, Mapping: dram.StridedR2SA,
-				AlertThreshold: track.ATHForTRHD(*trhd),
+				AlertThreshold: track.ATHForTRHD(rc.trhd),
 			}, sink)
 		}
 	case "mint-rfm":
-		w := security.DefaultMINTModel().WindowForTRHD(*trhd)
+		w := security.DefaultMINTModel().WindowForTRHD(rc.trhd)
 		bat = w
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			return track.NewMINT(track.MINTConfig{
 				Geometry: g, Mapping: dram.StridedR2SA,
-				Window: w, MitigateOnRFM: true, Seed: *seed + uint64(sub),
+				Window: w, MitigateOnRFM: true, Seed: rc.seed + uint64(sub),
 			}, sink)
 		}
 	case "trr":
@@ -116,13 +190,13 @@ func main() {
 			}, sink)
 		}
 	default:
-		fatal(fmt.Errorf("unknown mitigation %q", *mitigation))
+		return "", fmt.Errorf("unknown mitigation %q", rc.mitigation)
 	}
 
-	if factory != nil && !plan.Empty() {
+	if factory != nil && !rc.plan.Empty() {
 		inner := factory
 		factory = func(sub int, sink track.Sink) track.Mitigator {
-			return fault.Wrap(plan, inner(sub, sink), uint64(sub), faultLog)
+			return fault.Wrap(rc.plan, inner(sub, sink), uint64(sub), faultLog)
 		}
 	}
 
@@ -136,20 +210,20 @@ func main() {
 		},
 	}, gens)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 
-	if *stall > 0 {
-		sys.Watchdog = &sim.Watchdog{Budget: *stall}
+	if rc.stall > 0 {
+		sys.Watchdog = &sim.Watchdog{Budget: rc.stall}
 	}
-	warm := dram.Time(*warmMS * float64(dram.Millisecond))
-	horizon := warm + dram.Time(*ms*float64(dram.Millisecond))
+	warm := dram.Time(rc.warmMS * float64(dram.Millisecond))
+	horizon := warm + dram.Time(rc.ms*float64(dram.Millisecond))
 	if err := sys.RunChecked(warm); err != nil {
-		fatalStall(err)
+		return "", err
 	}
 	sys.Snapshot()
 	if err := sys.RunChecked(horizon); err != nil {
-		fatalStall(err)
+		return "", err
 	}
 
 	st := sys.MemStats()
@@ -158,33 +232,25 @@ func main() {
 	for _, v := range ipcs {
 		sum += v
 	}
-	fmt.Printf("workload   : %s (%s)\n", spec.Name, spec.Suite)
-	fmt.Printf("mitigation : %s (TRHD=%d)\n", *mitigation, *trhd)
-	fmt.Printf("window     : %v measured after %v warmup\n", sys.Window(), warm)
-	fmt.Printf("IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
-	fmt.Printf("bus util   : %.1f%%\n", sys.BusUtilization())
-	fmt.Printf("reads      : %d   writes: %d\n", st.Reads, st.Writes)
-	fmt.Printf("ACTs       : %d (ACT-PKI %.1f)\n", st.ACTs, actPKI(st.ACTs, ipcs, sys.Window()))
-	fmt.Printf("REFs       : %d   RFMs: %d\n", st.REFs, st.RFMs)
-	fmt.Printf("ALERTs     : %d (stall %v)\n", st.Alerts, st.AlertStall)
-	fmt.Printf("mitigations: %d aggressor rows (%d victim refreshes)\n", st.Mitigations, st.VictimRows)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload   : %s (%s)\n", spec.Name, spec.Suite)
+	fmt.Fprintf(&sb, "mitigation : %s (TRHD=%d)\n", rc.mitigation, rc.trhd)
+	fmt.Fprintf(&sb, "window     : %v measured after %v warmup\n", sys.Window(), warm)
+	fmt.Fprintf(&sb, "IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
+	fmt.Fprintf(&sb, "bus util   : %.1f%%\n", sys.BusUtilization())
+	fmt.Fprintf(&sb, "reads      : %d   writes: %d\n", st.Reads, st.Writes)
+	fmt.Fprintf(&sb, "ACTs       : %d (ACT-PKI %.1f)\n", st.ACTs, actPKI(st.ACTs, ipcs, sys.Window()))
+	fmt.Fprintf(&sb, "REFs       : %d   RFMs: %d\n", st.REFs, st.RFMs)
+	fmt.Fprintf(&sb, "ALERTs     : %d (stall %v)\n", st.Alerts, st.AlertStall)
+	fmt.Fprintf(&sb, "mitigations: %d aggressor rows (%d victim refreshes)\n", st.Mitigations, st.VictimRows)
 	if st.DemandRefreshRows > 0 {
-		fmt.Printf("refresh pwr: +%.2f%% (victim rows / demand rows)\n",
+		fmt.Fprintf(&sb, "refresh pwr: +%.2f%% (victim rows / demand rows)\n",
 			100*float64(st.VictimRows)/float64(st.DemandRefreshRows))
 	}
-	if !plan.Empty() {
-		fmt.Printf("faults     : %s (plan %s)\n", faultLog.Summary(), plan)
+	if !rc.plan.Empty() {
+		fmt.Fprintf(&sb, "faults     : %s (plan %s)\n", faultLog.Summary(), rc.plan)
 	}
-}
-
-// fatalStall reports a watchdog abort with its diagnostic snapshot.
-func fatalStall(err error) {
-	var se *sim.StallError
-	if errors.As(err, &se) {
-		fmt.Fprintln(os.Stderr, "mirza-sim:", se)
-		os.Exit(1)
-	}
-	fatal(err)
+	return sb.String(), nil
 }
 
 func actPKI(acts int64, ipcs []float64, window dram.Time) float64 {

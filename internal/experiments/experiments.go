@@ -15,8 +15,10 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mirza/internal/core"
@@ -61,11 +63,26 @@ type Options struct {
 	// StallBudget, when positive, arms a watchdog on every timing
 	// simulation: if simulated time stops advancing for this much
 	// wall-clock time the run aborts with a *sim.StallError diagnostic
-	// instead of spinning forever.
+	// instead of spinning forever. Each job arms its own watchdog
+	// instance, so one stalled simulation never trips another's budget.
 	StallBudget time.Duration
 
+	// Parallelism is the worker count of the job engine: every experiment
+	// decomposes into independent (workload, timing, mitigator-factory,
+	// seed) jobs executed on this many workers, with results gathered in
+	// submission order. 0 defaults to runtime.GOMAXPROCS(0), overridable
+	// through MIRZA_PARALLELISM; 1 reproduces the strictly sequential
+	// engine exactly (see DESIGN.md §9 for the determinism contract).
+	Parallelism int
+
+	// JobTimeout, when positive, is the wall-clock deadline per job. A
+	// job that exceeds it is abandoned and its experiment fails with a
+	// jobs.ErrTimeout-wrapped error.
+	JobTimeout time.Duration
+
 	// Logf receives progress lines. setDefaults installs a no-op when nil,
-	// so callers may invoke it unconditionally.
+	// so callers may invoke it unconditionally. It may be called from
+	// concurrent jobs and must be safe for concurrent use.
 	Logf func(format string, args ...any)
 }
 
@@ -102,6 +119,16 @@ func DefaultOptions() Options {
 	return o
 }
 
+// envParallelism reads MIRZA_PARALLELISM (0 when unset or invalid).
+func envParallelism() int {
+	if v := os.Getenv("MIRZA_PARALLELISM"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
 // QuickOptions returns heavily reduced settings for tests.
 func QuickOptions() Options {
 	return Options{
@@ -131,6 +158,13 @@ func (o *Options) setDefaults() {
 	if o.CalibrationWindow == 0 {
 		o.CalibrationWindow = dram.Millisecond
 	}
+	if o.Parallelism == 0 {
+		if n := envParallelism(); n > 0 {
+			o.Parallelism = n
+		} else {
+			o.Parallelism = runtime.GOMAXPROCS(0)
+		}
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -152,52 +186,129 @@ func (o *Options) workloadSpecs() ([]trace.WorkloadSpec, error) {
 	return out, nil
 }
 
-// Runner caches the expensive per-workload baselines across experiments in
-// one process.
+// Runner holds the state shared by every job of every experiment in one
+// process: the options, the single-flight per-workload calibration layer
+// (baselines and MLP budgets), and the merged fault log. All exported
+// methods are safe for concurrent use by parallel jobs.
 type Runner struct {
-	opts      Options
-	baselines map[string]*Baseline
-	mlp       map[string]int // calibrated per-workload MSHR budget
-	faultLog  *fault.Log     // faults injected under opts.Faults
+	opts Options
+
+	// mu guards the calibration maps. Baseline computation itself runs
+	// outside the lock under a per-workload once, so two jobs needing the
+	// same workload baseline block on one computation instead of running
+	// it twice (single-flight).
+	mu           sync.Mutex
+	baselines    map[string]*baselineEntry
+	mlp          map[string]int // calibrated per-workload MSHR budget
+	calibrations map[string]int // times each workload's baseline was computed
+
+	// faultLog is the merged log of faults injected under opts.Faults:
+	// per-job logs folded in deterministic job-submission order.
+	faultLog *fault.Log
+
+	// jobMu guards the job accounting used for speedup reporting.
+	jobMu   sync.Mutex
+	jobRuns int
+	jobBusy time.Duration
+}
+
+// baselineEntry is the single-flight slot for one workload's baseline.
+type baselineEntry struct {
+	once sync.Once
+	b    *Baseline
+	err  error
 }
 
 // NewRunner builds a Runner over opts.
 func NewRunner(opts Options) *Runner {
 	opts.setDefaults()
 	return &Runner{
-		opts:      opts,
-		baselines: make(map[string]*Baseline),
-		mlp:       make(map[string]int),
-		faultLog:  fault.NewLog(),
+		opts:         opts,
+		baselines:    make(map[string]*baselineEntry),
+		mlp:          make(map[string]int),
+		calibrations: make(map[string]int),
+		faultLog:     fault.NewLog(),
 	}
 }
 
 // Options returns the runner's effective options.
 func (r *Runner) Options() Options { return r.opts }
 
-// FaultLog returns the faults injected so far under Options.Faults (empty
-// for an empty plan).
+// FaultLog returns the merged log of faults injected so far under
+// Options.Faults (empty for an empty plan). Per-job logs are folded into
+// it in job-submission order, so its contents are independent of
+// Parallelism. It must not be read while experiments are running.
 func (r *Runner) FaultLog() *fault.Log { return r.faultLog }
 
-// wrapMit interposes the configured fault plan on one mitigator instance;
-// with an empty plan it returns m unchanged.
-func (r *Runner) wrapMit(m track.Mitigator, stream uint64) track.Mitigator {
-	return fault.Wrap(r.opts.Faults, m, stream, r.faultLog)
+// JobStats returns how many jobs the runner has executed and their summed
+// wall-clock durations — an estimate of the time a -j 1 run would need.
+func (r *Runner) JobStats() (n int, busy time.Duration) {
+	r.jobMu.Lock()
+	defer r.jobMu.Unlock()
+	return r.jobRuns, r.jobBusy
 }
 
-// wrapMits fault-wraps a mitigator slice in place (streams base+i).
-func (r *Runner) wrapMits(mits []track.Mitigator, base uint64) {
-	for i := range mits {
-		mits[i] = r.wrapMit(mits[i], base+uint64(i))
-	}
+// countJobs folds one engine batch into the job accounting.
+func (r *Runner) countJobs(n int, busy time.Duration) {
+	r.jobMu.Lock()
+	r.jobRuns += n
+	r.jobBusy += busy
+	r.jobMu.Unlock()
 }
 
-// watchdog builds the stall watchdog from the options (nil when disabled).
+// mlpFor returns the calibrated MSHR budget for a workload, if recorded.
+func (r *Runner) mlpFor(name string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.mlp[name]
+	return m, ok
+}
+
+// watchdog builds a stall watchdog from the options (nil when disabled).
+// Each call returns a fresh instance: watchdogs are armed per job, never
+// shared between concurrently running simulations.
 func (r *Runner) watchdog() *sim.Watchdog {
 	if r.opts.StallBudget <= 0 {
 		return nil
 	}
 	return &sim.Watchdog{Budget: r.opts.StallBudget}
+}
+
+// Exec is the execution context of one job: the shared Runner plus
+// job-isolated state (the fault log). Simulations always run through an
+// Exec so that parallel jobs never share a mutable log or RNG, which is
+// what keeps parallel output bit-identical to sequential (fault RNG
+// streams are keyed by (plan seed, stream id) — job identity — not by
+// execution order).
+type Exec struct {
+	r   *Runner
+	log *fault.Log
+}
+
+// newExec returns a context with a fresh fault log. Jobs get one each
+// from the engine; direct (non-engine) callers such as tests use one per
+// single-threaded run.
+func (r *Runner) newExec() *Exec {
+	return &Exec{r: r, log: fault.NewLog()}
+}
+
+// Baseline resolves the (cached) unprotected reference for name via the
+// shared single-flight layer.
+func (x *Exec) Baseline(name string) (*Baseline, error) {
+	return x.r.Baseline(name)
+}
+
+// wrapMit interposes the configured fault plan on one mitigator instance;
+// with an empty plan it returns m unchanged.
+func (x *Exec) wrapMit(m track.Mitigator, stream uint64) track.Mitigator {
+	return fault.Wrap(x.r.opts.Faults, m, stream, x.log)
+}
+
+// wrapMits fault-wraps a mitigator slice in place (streams base+i).
+func (x *Exec) wrapMits(mits []track.Mitigator, base uint64) {
+	for i := range mits {
+		mits[i] = x.wrapMit(mits[i], base+uint64(i))
+	}
 }
 
 // Baseline holds the unprotected reference run of one workload.
@@ -219,21 +330,22 @@ type timingResult struct {
 	Window dram.Time
 }
 
-// newSystem builds a full system for spec.
-func (r *Runner) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
+// newSystem builds a full system for spec, with a job-private watchdog.
+func (x *Exec) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 	factory func(sub int, sink track.Sink) track.Mitigator) (*cpu.System, error) {
+	r := x.r
 	gens, err := trace.PerCore(spec, r.opts.Cores, r.opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	mlp, ok := r.mlp[spec.Name]
+	mlp, ok := r.mlpFor(spec.Name)
 	if !ok {
 		mlp = spec.MLPLimit()
 	}
 	if factory != nil {
 		inner := factory
 		factory = func(sub int, sink track.Sink) track.Mitigator {
-			return r.wrapMit(inner(sub, sink), uint64(sub))
+			return x.wrapMit(inner(sub, sink), uint64(sub))
 		}
 	}
 	sys, err := cpu.NewSystem(cpu.SystemConfig{
@@ -254,19 +366,40 @@ func (r *Runner) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 }
 
 // Baseline runs (or returns the cached) unprotected reference for name.
+// Concurrent callers needing the same workload single-flight onto one
+// computation; the computation's RNG streams derive only from (spec,
+// options), so the result is bit-identical to the sequential engine's no
+// matter which job triggers it first.
 func (r *Runner) Baseline(name string) (*Baseline, error) {
-	if b, ok := r.baselines[name]; ok {
-		return b, nil
+	r.mu.Lock()
+	e, ok := r.baselines[name]
+	if !ok {
+		e = &baselineEntry{}
+		r.baselines[name] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.b, e.err = r.computeBaseline(name) })
+	return e.b, e.err
+}
+
+// computeBaseline performs the uncached baseline run. It executes inside
+// the workload's single-flight once, so it never runs twice for one name.
+func (r *Runner) computeBaseline(name string) (*Baseline, error) {
 	spec, err := trace.Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.calibrateMLP(spec); err != nil {
+	mlp, err := r.calibrateMLP(spec)
+	if err != nil {
 		return nil, err
 	}
-	r.opts.Logf("baseline %s (%v warmup + %v measure, MLP=%d)", name, r.opts.Warmup, r.opts.Measure, r.mlp[name])
-	sys, err := r.newSystem(spec, dram.DDR5(), 0, nil)
+	r.mu.Lock()
+	r.calibrations[name]++
+	r.mu.Unlock()
+	r.opts.Logf("baseline %s (%v warmup + %v measure, MLP=%d)", name, r.opts.Warmup, r.opts.Measure, mlp)
+	// Baselines are unprotected (no mitigator), so the throwaway Exec's
+	// fault log can never record anything.
+	sys, err := r.newExec().newSystem(spec, dram.DDR5(), 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -296,16 +429,17 @@ func (r *Runner) Baseline(name string) (*Baseline, error) {
 		b.MPKI = float64(b.Stats.Reads) / totalInstr * 1000
 		b.ACTPKI = float64(b.Stats.ACTs) / totalInstr * 1000
 	}
-	r.baselines[name] = b
 	return b, nil
 }
 
 // calibrateMLP searches the small integer MSHR budget whose measured
 // instruction rate lands closest to the workload's Table IV-implied rate
 // (so the activation-per-subarray statistics match the paper's scale).
-func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
-	if _, ok := r.mlp[spec.Name]; ok {
-		return nil
+// It runs inside the baseline single-flight, so each workload calibrates
+// exactly once per Runner.
+func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) (int, error) {
+	if m, ok := r.mlpFor(spec.Name); ok {
+		return m, nil
 	}
 	target := spec.ImpliedIPS()
 	measure := func(mlp int) (float64, error) {
@@ -338,7 +472,7 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
 	best := spec.MLPLimit()
 	bestIPS, err := measure(best)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for iter := 0; iter < 4; iter++ {
 		ratio := bestIPS / target
@@ -356,7 +490,7 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
 		}
 		ips, err := measure(next)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if abs64(ips-target) >= abs64(bestIPS-target) {
 			break
@@ -364,8 +498,10 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) error {
 		best, bestIPS = next, ips
 	}
 	r.opts.Logf("calibrated %s: MLP=%d (IPS %.2fG vs target %.2fG)", spec.Name, best, bestIPS/1e9, target/1e9)
+	r.mu.Lock()
 	r.mlp[spec.Name] = best
-	return nil
+	r.mu.Unlock()
+	return best, nil
 }
 
 func abs64(v float64) float64 {
@@ -376,21 +512,21 @@ func abs64(v float64) float64 {
 }
 
 // runTiming executes a protected timing simulation for workload name.
-func (r *Runner) runTiming(name string, timing dram.Timing, bat int,
+func (x *Exec) runTiming(name string, timing dram.Timing, bat int,
 	factory func(sub int, sink track.Sink) track.Mitigator) (*timingResult, error) {
 	spec, err := trace.Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := r.newSystem(spec, timing, bat, factory)
+	sys, err := x.newSystem(spec, timing, bat, factory)
 	if err != nil {
 		return nil, err
 	}
-	if err := sys.RunChecked(r.opts.Warmup); err != nil {
+	if err := sys.RunChecked(x.r.opts.Warmup); err != nil {
 		return nil, fmt.Errorf("timing %s warmup: %w", name, err)
 	}
 	sys.Snapshot()
-	if err := sys.RunChecked(r.opts.Warmup + r.opts.Measure); err != nil {
+	if err := sys.RunChecked(x.r.opts.Warmup + x.r.opts.Measure); err != nil {
 		return nil, fmt.Errorf("timing %s measure: %w", name, err)
 	}
 	return &timingResult{IPCs: sys.IPCs(), Stats: sys.MemStats(), Window: sys.Window()}, nil
@@ -432,7 +568,8 @@ func mirzaMits(cfg core.Config, seed uint64) ([]*core.Mirza, error) {
 // instances and returns them (stats reset) for use in the timing simulator.
 // The warm-up replay runs under the configured fault plan so the warmed
 // state carries any injected corruption into the measured phase.
-func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) {
+func (x *Exec) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) {
+	r := x.r
 	base, err := r.Baseline(name)
 	if err != nil {
 		return nil, err
@@ -449,7 +586,7 @@ func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) 
 	for i, m := range mits {
 		asMit[i] = m
 	}
-	r.wrapMits(asMit, 100)
+	x.wrapMits(asMit, 100)
 	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, asMit)
 	if err != nil {
 		return nil, err
@@ -464,7 +601,8 @@ func (r *Runner) warmMirza(name string, cfg core.Config) ([]*core.Mirza, error) 
 // replayRun replays workload name for the configured number of refresh
 // windows against per-sub-channel mitigators, returning the measured
 // (post-warmup) per-sub-channel stats and total measured time.
-func (r *Runner) replayRun(name string, mits []track.Mitigator, obs replay.Observer) (warm, measured []replay.Stats, measuredTime dram.Time, err error) {
+func (x *Exec) replayRun(name string, mits []track.Mitigator, obs replay.Observer) (warm, measured []replay.Stats, measuredTime dram.Time, err error) {
+	r := x.r
 	base, err := r.Baseline(name)
 	if err != nil {
 		return nil, nil, 0, err
@@ -475,7 +613,7 @@ func (r *Runner) replayRun(name string, mits []track.Mitigator, obs replay.Obser
 	}
 	if mits != nil {
 		mits = append([]track.Mitigator(nil), mits...)
-		r.wrapMits(mits, 200)
+		x.wrapMits(mits, 200)
 	}
 	run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
 	if err != nil {

@@ -96,8 +96,8 @@ func TestSlowdownExperimentQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiments are slow")
 	}
-	r := quickRunner()
-	sd, rp, err := r.runMINTRFM("xz", 1000)
+	x := quickRunner().newExec()
+	sd, rp, err := x.runMINTRFM("xz", 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestSlowdownExperimentQuick(t *testing.T) {
 	if rp <= 0 || rp > 50 {
 		t.Errorf("refresh power = %v%%, implausible", rp)
 	}
-	prac, err := r.runPRAC("xz", 1000)
+	prac, err := x.runPRAC("xz", 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

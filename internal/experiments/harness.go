@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mirza/internal/jobs"
 	"mirza/internal/sim"
 )
 
@@ -30,18 +31,28 @@ type Result struct {
 	// Attempts is how many attempts were made (1 or 2).
 	Attempts int
 	Duration time.Duration
+
+	// Jobs is how many engine jobs the experiment ran; Busy is their
+	// summed wall-clock — an estimate of a one-worker (-j 1) run's
+	// duration, used to report parallel speedup.
+	Jobs int
+	Busy time.Duration
 }
 
 // Failed reports whether the experiment produced no usable table.
 func (r Result) Failed() bool { return r.Err != nil }
 
-// ErrTimeout is wrapped into Result.Err when an experiment exceeds the
-// suite's per-experiment deadline.
-var ErrTimeout = errors.New("experiment deadline exceeded")
+// ErrTimeout is wrapped into Result.Err when an engine job exceeds the
+// suite's per-job deadline. It aliases jobs.ErrTimeout so errors.Is
+// matches at either layer.
+var ErrTimeout = jobs.ErrTimeout
 
 // SuiteConfig tunes the hardened runner.
 type SuiteConfig struct {
-	// Timeout is the wall-clock deadline per attempt (0 = none).
+	// Timeout is the wall-clock deadline per engine job (0 = none). It is
+	// enforced inside the job pool: a stuck simulation is abandoned and
+	// only its job fails, scaling naturally with Options.Parallelism
+	// instead of racing one shared per-experiment clock.
 	Timeout time.Duration
 
 	// NoRetry disables the reduced-fidelity retry after a failed attempt.
@@ -62,10 +73,14 @@ type Suite struct {
 	runner *Runner
 }
 
-// NewSuite builds a hardened runner over opts.
+// NewSuite builds a hardened runner over opts. The suite deadline is
+// plumbed into the job engine as Options.JobTimeout.
 func NewSuite(opts Options, cfg SuiteConfig) *Suite {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Timeout > 0 {
+		opts.JobTimeout = cfg.Timeout
 	}
 	return &Suite{opts: opts, cfg: cfg}
 }
@@ -106,6 +121,7 @@ func (s *Suite) Run(exp Experiment) Result {
 
 	a := s.attempt(exp, s.Runner())
 	res.Table, res.Err, res.Panicked, res.Stack = a.table, a.err, a.panicked, a.stack
+	res.Jobs, res.Busy = a.jobs, a.busy
 	if res.Err == nil {
 		res.Duration = time.Since(start)
 		return res
@@ -122,6 +138,8 @@ func (s *Suite) Run(exp Experiment) Result {
 
 	res.Attempts = 2
 	retry := s.attempt(exp, NewRunner(s.degradedOptions()))
+	res.Jobs += retry.jobs
+	res.Busy += retry.busy
 	if retry.err != nil {
 		// Keep the first attempt's error as primary; note the retry's.
 		res.Err = fmt.Errorf("%w (degraded retry also failed: %v)", res.Err, retry.err)
@@ -155,38 +173,34 @@ type attemptOutcome struct {
 	err      error
 	panicked bool
 	stack    string
+	jobs     int
+	busy     time.Duration
 }
 
-// attempt runs the experiment once in its own goroutine, converting a
-// panic into an error with a stack trace and enforcing the deadline. On
-// timeout the goroutine is abandoned (its Runner must not be reused).
-func (s *Suite) attempt(exp Experiment, runner *Runner) attemptOutcome {
-	done := make(chan attemptOutcome, 1)
-	go func() {
-		defer func() {
-			if p := recover(); p != nil {
-				done <- attemptOutcome{
-					err:      fmt.Errorf("experiment %s panicked: %v", exp.ID, p),
-					panicked: true,
-					stack:    string(debug.Stack()),
-				}
+// attempt runs the experiment once, converting a panic into an error with
+// a stack trace. Deadlines are enforced per job inside the engine (see
+// SuiteConfig.Timeout); a timed-out job surfaces here as an ordinary
+// experiment error wrapping ErrTimeout. The recover backstops panics in
+// enumeration/aggregation code — panics inside jobs are already converted
+// by the pool.
+func (s *Suite) attempt(exp Experiment, runner *Runner) (out attemptOutcome) {
+	j0, b0 := runner.JobStats()
+	defer func() {
+		if p := recover(); p != nil {
+			out = attemptOutcome{
+				err:      fmt.Errorf("experiment %s panicked: %v", exp.ID, p),
+				panicked: true,
+				stack:    string(debug.Stack()),
 			}
-		}()
-		t, err := exp.Run(runner)
-		if err != nil {
-			err = fmt.Errorf("experiment %s: %w", exp.ID, err)
 		}
-		done <- attemptOutcome{table: t, err: err}
+		j1, b1 := runner.JobStats()
+		out.jobs, out.busy = j1-j0, b1-b0
 	}()
-	if s.cfg.Timeout <= 0 {
-		return <-done
+	t, err := exp.Run(runner)
+	if err != nil {
+		err = fmt.Errorf("experiment %s: %w", exp.ID, err)
 	}
-	select {
-	case a := <-done:
-		return a
-	case <-time.After(s.cfg.Timeout):
-		return attemptOutcome{err: fmt.Errorf("experiment %s: %w after %v", exp.ID, ErrTimeout, s.cfg.Timeout)}
-	}
+	return attemptOutcome{table: t, err: err}
 }
 
 // Summary aggregates a batch of Results.

@@ -49,11 +49,22 @@ func TestHarnessPanicRecovery(t *testing.T) {
 }
 
 func TestHarnessTimeout(t *testing.T) {
+	// The suite deadline is enforced per engine job: a stuck simulation
+	// job is abandoned and its experiment fails with ErrTimeout.
 	s := NewSuite(quickOpts(), SuiteConfig{Timeout: 30 * time.Millisecond, NoRetry: true})
 	res := s.Run(Experiment{
 		ID: "slow",
 		Run: func(r *Runner) (*Table, error) {
-			time.Sleep(500 * time.Millisecond)
+			_, err := runJobs(r, []job[int]{{
+				id: "slow/stuck",
+				run: func(x *Exec) (int, error) {
+					time.Sleep(500 * time.Millisecond)
+					return 0, nil
+				},
+			}})
+			if err != nil {
+				return nil, err
+			}
 			return &Table{ID: "slow"}, nil
 		},
 	})
@@ -149,12 +160,13 @@ func TestSummarizeDetectsStalls(t *testing.T) {
 func replayMitigations(t *testing.T, opts Options) (alerts, mitig int64, log *fault.Log) {
 	t.Helper()
 	r := NewRunner(opts)
+	x := r.newExec()
 	cfg, err := core.ForTRHD(500)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Seed = 1
-	mits, err := r.warmMirza("xz", cfg)
+	mits, err := x.warmMirza("xz", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +174,7 @@ func replayMitigations(t *testing.T, opts Options) (alerts, mitig int64, log *fa
 	for i, m := range mits {
 		asMit[i] = m
 	}
-	_, measured, _, err := r.replayRun("xz", asMit, nil)
+	_, measured, _, err := x.replayRun("xz", asMit, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +184,7 @@ func replayMitigations(t *testing.T, opts Options) (alerts, mitig int64, log *fa
 	for _, m := range mits {
 		mitig += m.Stats.Mitigations
 	}
-	return alerts, mitig, r.FaultLog()
+	return alerts, mitig, x.log
 }
 
 func TestEmptyPlanIsBitIdentical(t *testing.T) {

@@ -36,13 +36,13 @@ func pracFactory(trhd int) func(sub int, sink track.Sink) track.Mitigator {
 
 // runMINTRFM measures the MINT+RFM slowdown and refresh power for one
 // workload at a target TRHD.
-func (r *Runner) runMINTRFM(name string, trhd int) (slowdown, refreshPower float64, err error) {
-	base, err := r.Baseline(name)
+func (x *Exec) runMINTRFM(name string, trhd int) (slowdown, refreshPower float64, err error) {
+	base, err := x.Baseline(name)
 	if err != nil {
 		return 0, 0, err
 	}
 	w := security.DefaultMINTModel().WindowForTRHD(trhd)
-	res, err := r.runTiming(name, dram.DDR5(), w, mintRFMFactory(w, r.opts.Seed))
+	res, err := x.runTiming(name, dram.DDR5(), w, mintRFMFactory(w, x.r.opts.Seed))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -51,12 +51,12 @@ func (r *Runner) runMINTRFM(name string, trhd int) (slowdown, refreshPower float
 }
 
 // runPRAC measures the PRAC+ABO slowdown for one workload.
-func (r *Runner) runPRAC(name string, trhd int) (slowdown float64, err error) {
-	base, err := r.Baseline(name)
+func (x *Exec) runPRAC(name string, trhd int) (slowdown float64, err error) {
+	base, err := x.Baseline(name)
 	if err != nil {
 		return 0, err
 	}
-	res, err := r.runTiming(name, dram.PRAC(), 0, pracFactory(trhd))
+	res, err := x.runTiming(name, dram.PRAC(), 0, pracFactory(trhd))
 	if err != nil {
 		return 0, err
 	}
@@ -65,12 +65,12 @@ func (r *Runner) runPRAC(name string, trhd int) (slowdown float64, err error) {
 
 // runMIRZA measures the MIRZA slowdown for one workload with a pre-warmed
 // Region Count Table.
-func (r *Runner) runMIRZA(name string, cfg core.Config) (slowdown float64, res *timingResult, err error) {
-	base, err := r.Baseline(name)
+func (x *Exec) runMIRZA(name string, cfg core.Config) (slowdown float64, res *timingResult, err error) {
+	base, err := x.Baseline(name)
 	if err != nil {
 		return 0, nil, err
 	}
-	warmed, err := r.warmMirza(name, cfg)
+	warmed, err := x.warmMirza(name, cfg)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -81,7 +81,7 @@ func (r *Runner) runMIRZA(name string, cfg core.Config) (slowdown float64, res *
 		// warmed instance does not have. Count via stats instead.
 		return warmed[sub]
 	}
-	res, err = r.runTiming(name, dram.DDR5(), 0, factory)
+	res, err = x.runTiming(name, dram.DDR5(), 0, factory)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -90,6 +90,8 @@ func (r *Runner) runMIRZA(name string, cfg core.Config) (slowdown float64, res *
 
 // Fig3 reproduces Figure 3: slowdown and refresh power overhead of the
 // proactive MINT+RFM baseline vs reactive PRAC+ABO at TRHD 500/1K/2K.
+// One job per (TRHD, workload); each job runs the MINT and PRAC timing
+// simulations back to back, as the sequential engine did.
 func (r *Runner) Fig3() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -106,21 +108,40 @@ func (r *Runner) Fig3() (*Table, error) {
 		1000: "5.8% / 8.2%, 6.5%",
 		2000: "2.9% / 4.1%, 6.5%",
 	}
-	for _, trhd := range []int{500, 1000, 2000} {
-		var sdSum, rpSum, pracSum float64
+	trhds := []int{500, 1000, 2000}
+	type cell struct{ sd, rp, prac float64 }
+	var js []job[cell]
+	for _, trhd := range trhds {
 		for _, spec := range specs {
-			r.opts.Logf("fig3 %s TRHD=%d", spec.Name, trhd)
-			sd, rp, err := r.runMINTRFM(spec.Name, trhd)
-			if err != nil {
-				return nil, err
-			}
-			prac, err := r.runPRAC(spec.Name, trhd)
-			if err != nil {
-				return nil, err
-			}
-			sdSum += sd
-			rpSum += rp
-			pracSum += prac
+			trhd, spec := trhd, spec
+			js = append(js, job[cell]{
+				id: fmt.Sprintf("fig3/trhd=%d/%s", trhd, spec.Name),
+				run: func(x *Exec) (cell, error) {
+					x.r.opts.Logf("fig3 %s TRHD=%d", spec.Name, trhd)
+					sd, rp, err := x.runMINTRFM(spec.Name, trhd)
+					if err != nil {
+						return cell{}, err
+					}
+					prac, err := x.runPRAC(spec.Name, trhd)
+					if err != nil {
+						return cell{}, err
+					}
+					return cell{sd, rp, prac}, nil
+				},
+			})
+		}
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	for ti, trhd := range trhds {
+		var sdSum, rpSum, pracSum float64
+		for si := range specs {
+			c := cells[ti*len(specs)+si]
+			sdSum += c.sd
+			rpSum += c.rp
+			pracSum += c.prac
 		}
 		n := float64(len(specs))
 		t.AddRow(d(int64(trhd)),
@@ -131,6 +152,7 @@ func (r *Runner) Fig3() (*Table, error) {
 
 // Fig11a reproduces Figure 11(a): per-workload slowdown of MIRZA (three
 // configurations) and PRAC+ABO, normalized to the unprotected baseline.
+// Per workload: three MIRZA jobs (TRHD 500/1K/2K) then one PRAC job.
 func (r *Runner) Fig11a() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -141,26 +163,41 @@ func (r *Runner) Fig11a() (*Table, error) {
 		Title:   "Slowdown of MIRZA and PRAC+ABO (% vs unprotected)",
 		Columns: []string{"Workload", "MIRZA-500", "MIRZA-1K", "MIRZA-2K", "PRAC"},
 	}
-	sums := make([]float64, 4)
+	const perSpec = 4
+	var js []job[float64]
 	for _, spec := range specs {
-		r.opts.Logf("fig11a %s", spec.Name)
+		spec := spec
+		for _, trhd := range []int{500, 1000, 2000} {
+			trhd := trhd
+			js = append(js, job[float64]{
+				id: fmt.Sprintf("fig11a/%s/mirza-%d", spec.Name, trhd),
+				run: func(x *Exec) (float64, error) {
+					x.r.opts.Logf("fig11a %s", spec.Name)
+					cfg, _ := core.ForTRHD(trhd)
+					cfg.Seed = x.r.opts.Seed
+					sd, _, err := x.runMIRZA(spec.Name, cfg)
+					return sd, err
+				},
+			})
+		}
+		js = append(js, job[float64]{
+			id: "fig11a/" + spec.Name + "/prac",
+			run: func(x *Exec) (float64, error) {
+				return x.runPRAC(spec.Name, 1000)
+			},
+		})
+	}
+	vals, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, perSpec)
+	for si, spec := range specs {
 		row := []string{spec.Name}
-		for i, trhd := range []int{500, 1000, 2000} {
-			cfg, _ := core.ForTRHD(trhd)
-			cfg.Seed = r.opts.Seed
-			sd, _, err := r.runMIRZA(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sums[i] += sd
-			row = append(row, f2(sd)+"%")
+		for c := 0; c < perSpec; c++ {
+			sums[c] += vals[si*perSpec+c]
+			row = append(row, f2(vals[si*perSpec+c])+"%")
 		}
-		prac, err := r.runPRAC(spec.Name, 1000)
-		if err != nil {
-			return nil, err
-		}
-		sums[3] += prac
-		row = append(row, f2(prac)+"%")
 		t.AddRow(row...)
 	}
 	n := float64(len(specs))
@@ -171,52 +208,74 @@ func (r *Runner) Fig11a() (*Table, error) {
 
 // Table5 reproduces Table V: slowdown of Naive MIRZA (no coarse-grained
 // filtering: FTH=0) as the MIRZA-Q size varies, for MINT windows 24/48/96.
+// One job per (MINT-W, Q, workload) timing simulation.
 func (r *Runner) Table5() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
 		return nil, err
 	}
 	queueSizes := []int{1, 2, 4, 8}
+	windows := []int{24, 48, 96}
 	t := &Table{
 		ID:      "table5",
 		Title:   "Naive MIRZA (MINT+ABO, no filtering) slowdown vs MIRZA-Q size",
 		Columns: []string{"MINT-W", "Q=1", "Q=2", "Q=4", "Q=8", "paper (Q=4)"},
 	}
 	paper := map[int]string{24: "10.95%", 48: "5.81%", 96: "3.08%"}
-	for _, w := range []int{24, 48, 96} {
-		row := []string{d(int64(w))}
+	var js []job[float64]
+	for _, w := range windows {
 		for _, q := range queueSizes {
-			var sum float64
 			for _, spec := range specs {
-				r.opts.Logf("table5 %s W=%d Q=%d", spec.Name, w, q)
-				base, err := r.Baseline(spec.Name)
-				if err != nil {
-					return nil, err
-				}
-				cfg, err := core.ForTRHD(1000)
-				if err != nil {
-					return nil, err
-				}
-				cfg.FTH = 0 // naive: every activation participates
-				cfg.MINTWindow = w
-				cfg.QueueSize = q
-				cfg.Seed = r.opts.Seed
-				// Validate here where an error can be returned; inside the
-				// factory closure MustNew can only panic (the hardened
-				// runner's recovery is the backstop for that).
-				if err := cfg.Validate(); err != nil {
-					return nil, fmt.Errorf("table5 W=%d Q=%d: %w", w, q, err)
-				}
-				factory := func(sub int, sink track.Sink) track.Mitigator {
-					c := cfg
-					c.Seed += uint64(sub) * 131
-					return core.MustNew(c, sink)
-				}
-				res, err := r.runTiming(spec.Name, dram.DDR5(), 0, factory)
-				if err != nil {
-					return nil, err
-				}
-				sum += slowdownVs(base, res)
+				w, q, spec := w, q, spec
+				js = append(js, job[float64]{
+					id: fmt.Sprintf("table5/w=%d/q=%d/%s", w, q, spec.Name),
+					run: func(x *Exec) (float64, error) {
+						x.r.opts.Logf("table5 %s W=%d Q=%d", spec.Name, w, q)
+						base, err := x.Baseline(spec.Name)
+						if err != nil {
+							return 0, err
+						}
+						cfg, err := core.ForTRHD(1000)
+						if err != nil {
+							return 0, err
+						}
+						cfg.FTH = 0 // naive: every activation participates
+						cfg.MINTWindow = w
+						cfg.QueueSize = q
+						cfg.Seed = x.r.opts.Seed
+						// Validate here where an error can be returned; inside the
+						// factory closure MustNew can only panic (the job engine's
+						// recovery is the backstop for that).
+						if err := cfg.Validate(); err != nil {
+							return 0, fmt.Errorf("table5 W=%d Q=%d: %w", w, q, err)
+						}
+						factory := func(sub int, sink track.Sink) track.Mitigator {
+							c := cfg
+							c.Seed += uint64(sub) * 131
+							return core.MustNew(c, sink)
+						}
+						res, err := x.runTiming(spec.Name, dram.DDR5(), 0, factory)
+						if err != nil {
+							return 0, err
+						}
+						return slowdownVs(base, res), nil
+					},
+				})
+			}
+		}
+	}
+	vals, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, w := range windows {
+		row := []string{d(int64(w))}
+		for range queueSizes {
+			var sum float64
+			for range specs {
+				sum += vals[i]
+				i++
 			}
 			row = append(row, f2(sum/float64(len(specs)))+"%")
 		}
@@ -229,7 +288,8 @@ func (r *Runner) Table5() (*Table, error) {
 }
 
 // Table9 reproduces Table IX: MIRZA's slowdown and remaining-activation
-// fraction at TRHD=1K as the (MINT-W, FTH) pair varies.
+// fraction at TRHD=1K as the (MINT-W, FTH) pair varies. One job per
+// (MINT-W, workload): the timing run plus the escape-fraction replay.
 func (r *Runner) Table9() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -242,7 +302,9 @@ func (r *Runner) Table9() (*Table, error) {
 		Columns: []string{"MINT-W", "FTH", "SRAM/Bank (B)", "Slowdown (%)", "Remaining ACTs (%)", "paper (sd/rem)"},
 	}
 	paper := map[int]string{4: "0.10/0.06", 8: "0.13/0.21", 12: "0.36/0.88", 16: "0.60/2.29"}
-	for _, w := range []int{4, 8, 12, 16} {
+	windows := []int{4, 8, 12, 16}
+	cfgs := make([]core.Config, len(windows))
+	for i, w := range windows {
 		cfg, _ := core.ForTRHD(1000)
 		cfg.MINTWindow = w
 		if w == 12 {
@@ -252,35 +314,62 @@ func (r *Runner) Table9() (*Table, error) {
 			cfg.FTH = security.FTHForTRHD(1000, w, cfg.QueueSize, cfg.QTH, model)
 		}
 		cfg.Seed = r.opts.Seed
-
+		cfgs[i] = cfg
+	}
+	type cell struct {
+		sd            float64
+		acts, escaped int64
+	}
+	var js []job[cell]
+	for wi, w := range windows {
+		cfg := cfgs[wi]
+		for _, spec := range specs {
+			w, cfg, spec := w, cfg, spec
+			js = append(js, job[cell]{
+				id: fmt.Sprintf("table9/w=%d/%s", w, spec.Name),
+				run: func(x *Exec) (cell, error) {
+					x.r.opts.Logf("table9 %s W=%d FTH=%d", spec.Name, w, cfg.FTH)
+					sd, _, err := x.runMIRZA(spec.Name, cfg)
+					if err != nil {
+						return cell{}, err
+					}
+					// Escape fraction from a replay pass.
+					mits, err := x.warmMirza(spec.Name, cfg)
+					if err != nil {
+						return cell{}, err
+					}
+					asMit := make([]track.Mitigator, len(mits))
+					for i, m := range mits {
+						asMit[i] = m
+					}
+					if _, _, _, err := x.replayRun(spec.Name, asMit, nil); err != nil {
+						return cell{}, err
+					}
+					c := cell{sd: sd}
+					for _, m := range mits {
+						c.acts += m.Stats.ACTs
+						c.escaped += m.Stats.Escaped
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range windows {
 		var sdSum float64
 		var acts, escaped int64
-		for _, spec := range specs {
-			r.opts.Logf("table9 %s W=%d FTH=%d", spec.Name, w, cfg.FTH)
-			sd, _, err := r.runMIRZA(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sdSum += sd
-			// Escape fraction from a replay pass.
-			mits, err := r.warmMirza(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			asMit := make([]track.Mitigator, len(mits))
-			for i, m := range mits {
-				asMit[i] = m
-			}
-			if _, _, _, err := r.replayRun(spec.Name, asMit, nil); err != nil {
-				return nil, err
-			}
-			for _, m := range mits {
-				acts += m.Stats.ACTs
-				escaped += m.Stats.Escaped
-			}
+		for si := range specs {
+			c := cells[wi*len(specs)+si]
+			sdSum += c.sd
+			acts += c.acts
+			escaped += c.escaped
 		}
 		n := float64(len(specs))
-		t.AddRow(d(int64(w)), d(int64(cfg.FTH)), d(int64(cfg.SRAMBytesPerBank())),
+		t.AddRow(d(int64(w)), d(int64(cfgs[wi].FTH)), d(int64(cfgs[wi].SRAMBytesPerBank())),
 			f2(sdSum/n), f2(100*float64(escaped)/float64(acts)), paper[w])
 	}
 	t.Notes = append(t.Notes,
@@ -289,7 +378,8 @@ func (r *Runner) Table9() (*Table, error) {
 }
 
 // Table13 reproduces Table XIII (Appendix A): average and worst-case
-// (performance-attack) slowdown for PRAC, MINT+RFM and MIRZA.
+// (performance-attack) slowdown for PRAC, MINT+RFM and MIRZA. One job per
+// (TRHD, workload) running the three trackers back to back.
 func (r *Runner) Table13() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -306,34 +396,58 @@ func (r *Runner) Table13() (*Table, error) {
 		"1000/PRAC": "1.1x/6.5%", "1000/MINT": "1.2x/5.81%", "1000/MIRZA": "1.8x/0.36%",
 		"2000/PRAC": "1.05x/6.5%", "2000/MINT": "1.1x/3.08%", "2000/MIRZA": "1.6x/0.05%",
 	}
-	for _, trhd := range []int{500, 1000, 2000} {
-		var pracSum, mintSum, mirzaSum float64
+	trhds := []int{500, 1000, 2000}
+	type cell struct{ prac, mint, mirza float64 }
+	cfgs := make([]core.Config, len(trhds))
+	for i, trhd := range trhds {
 		cfg, _ := core.ForTRHD(trhd)
 		cfg.Seed = r.opts.Seed
+		cfgs[i] = cfg
+	}
+	var js []job[cell]
+	for ti, trhd := range trhds {
+		cfg := cfgs[ti]
 		for _, spec := range specs {
-			r.opts.Logf("table13 %s TRHD=%d", spec.Name, trhd)
-			prac, err := r.runPRAC(spec.Name, trhd)
-			if err != nil {
-				return nil, err
-			}
-			mint, _, err := r.runMINTRFM(spec.Name, trhd)
-			if err != nil {
-				return nil, err
-			}
-			mirza, _, err := r.runMIRZA(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			pracSum += prac
-			mintSum += mint
-			mirzaSum += mirza
+			trhd, cfg, spec := trhd, cfg, spec
+			js = append(js, job[cell]{
+				id: fmt.Sprintf("table13/trhd=%d/%s", trhd, spec.Name),
+				run: func(x *Exec) (cell, error) {
+					x.r.opts.Logf("table13 %s TRHD=%d", spec.Name, trhd)
+					prac, err := x.runPRAC(spec.Name, trhd)
+					if err != nil {
+						return cell{}, err
+					}
+					mint, _, err := x.runMINTRFM(spec.Name, trhd)
+					if err != nil {
+						return cell{}, err
+					}
+					mirza, _, err := x.runMIRZA(spec.Name, cfg)
+					if err != nil {
+						return cell{}, err
+					}
+					return cell{prac, mint, mirza}, nil
+				},
+			})
+		}
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	for ti, trhd := range trhds {
+		var pracSum, mintSum, mirzaSum float64
+		for si := range specs {
+			c := cells[ti*len(specs)+si]
+			pracSum += c.prac
+			mintSum += c.mint
+			mirzaSum += c.mirza
 		}
 		n := float64(len(specs))
 		pracAtk, mintAtk := attack.BaselineAttackSlowdowns(trhd)
 		key := fmt.Sprintf("%d/", trhd)
 		t.AddRow(d(int64(trhd)), "PRAC+ABO", fmt.Sprintf("%.2fx", pracAtk), f2(pracSum/n)+"%", paper[key+"PRAC"])
 		t.AddRow("", "MINT+RFM", fmt.Sprintf("%.2fx", mintAtk), f2(mintSum/n)+"%", paper[key+"MINT"])
-		t.AddRow("", "MIRZA", fmt.Sprintf("%.2fx", pm.Slowdown(cfg.MINTWindow)), f2(mirzaSum/n)+"%", paper[key+"MIRZA"])
+		t.AddRow("", "MIRZA", fmt.Sprintf("%.2fx", pm.Slowdown(cfgs[ti].MINTWindow)), f2(mirzaSum/n)+"%", paper[key+"MIRZA"])
 	}
 	return t, nil
 }

@@ -38,7 +38,7 @@ func (p *probeSet) ServiceALERT(now dram.Time)    {}
 
 // Table4 reproduces Table IV: the workload characteristics, measured from
 // the simulator (MPKI and ACT-PKI from the timing baseline; ACTs/subarray
-// per tREFW from the replayer).
+// per tREFW from the replayer). One job per workload.
 func (r *Runner) Table4() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -50,30 +50,47 @@ func (r *Runner) Table4() (*Table, error) {
 		Columns: []string{"Workload", "MPKI", "ACT-PKI", "Bus Util (%)",
 			"ACT/SA mean", "ACT/SA sigma", "paper mean+/-sigma"},
 	}
-	g := dram.Default()
-	var avgMPKI, avgACT, avgBus, avgMean, avgSdev float64
+	type cell struct {
+		base       *Baseline
+		mean, sdev float64
+	}
+	js := make([]job[cell], 0, len(specs))
 	for _, spec := range specs {
-		base, err := r.Baseline(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		mean, sdev, err := r.actsPerSubarray(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(spec.Name, f1(base.MPKI), f1(base.ACTPKI), f1(base.BusUtil),
-			f1(mean), f1(sdev),
+		spec := spec
+		js = append(js, job[cell]{
+			id: "table4/" + spec.Name,
+			run: func(x *Exec) (cell, error) {
+				base, err := x.Baseline(spec.Name)
+				if err != nil {
+					return cell{}, err
+				}
+				mean, sdev, err := x.actsPerSubarray(spec.Name)
+				if err != nil {
+					return cell{}, err
+				}
+				return cell{base, mean, sdev}, nil
+			},
+		})
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	var avgMPKI, avgACT, avgBus, avgMean, avgSdev float64
+	for i, spec := range specs {
+		c := cells[i]
+		t.AddRow(spec.Name, f1(c.base.MPKI), f1(c.base.ACTPKI), f1(c.base.BusUtil),
+			f1(c.mean), f1(c.sdev),
 			fmt.Sprintf("%.0f +/- %.0f", spec.ActSAMean, spec.ActSASdev))
-		avgMPKI += base.MPKI
-		avgACT += base.ACTPKI
-		avgBus += base.BusUtil
-		avgMean += mean
-		avgSdev += sdev
+		avgMPKI += c.base.MPKI
+		avgACT += c.base.ACTPKI
+		avgBus += c.base.BusUtil
+		avgMean += c.mean
+		avgSdev += c.sdev
 	}
 	n := float64(len(specs))
 	t.AddRow("Average", f1(avgMPKI/n), f1(avgACT/n), f1(avgBus/n),
 		f1(avgMean/n), f1(avgSdev/n), "806 +/- 309")
-	_ = g
 	t.Notes = append(t.Notes, "paper averages: MPKI 24.4, ACT-PKI 18.5, bus util 63.4%")
 	return t, nil
 }
@@ -81,13 +98,13 @@ func (r *Runner) Table4() (*Table, error) {
 // actsPerSubarray replays the workload and returns the mean and standard
 // deviation of activations per subarray per tREFW (strided R2SA), averaged
 // over banks.
-func (r *Runner) actsPerSubarray(name string) (mean, sdev float64, err error) {
+func (x *Exec) actsPerSubarray(name string) (mean, sdev float64, err error) {
 	g := dram.Default()
 	counts := make([][]int64, g.SubChannels*g.BanksPerSubChannel)
 	for i := range counts {
 		counts[i] = make([]int64, g.Subarrays())
 	}
-	_, _, measuredTime, err := r.replayRun(name, nil, func(sub, bank, row int, now dram.Time) {
+	_, _, measuredTime, err := x.replayRun(name, nil, func(sub, bank, row int, now dram.Time) {
 		counts[sub*g.BanksPerSubChannel+bank][g.Subarray(dram.StridedR2SA, row)]++
 	})
 	if err != nil {
@@ -106,7 +123,7 @@ func (r *Runner) actsPerSubarray(name string) (mean, sdev float64, err error) {
 }
 
 // Fig6 reproduces Figure 6: average ACTs per subarray per tREFW for every
-// workload against the worst-case single-bank bound.
+// workload against the worst-case single-bank bound. One job per workload.
 func (r *Runner) Fig6() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -117,14 +134,25 @@ func (r *Runner) Fig6() (*Table, error) {
 		Title:   "Avg ACTs/subarray per tREFW vs worst case",
 		Columns: []string{"Workload", "ACTs/subarray/tREFW", "paper"},
 	}
-	var sum float64
+	js := make([]job[float64], 0, len(specs))
 	for _, spec := range specs {
-		mean, _, err := r.actsPerSubarray(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		sum += mean
-		t.AddRow(spec.Name, f1(mean), f1(spec.ActSAMean))
+		spec := spec
+		js = append(js, job[float64]{
+			id: "fig6/" + spec.Name,
+			run: func(x *Exec) (float64, error) {
+				mean, _, err := x.actsPerSubarray(spec.Name)
+				return mean, err
+			},
+		})
+	}
+	means, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for i, spec := range specs {
+		sum += means[i]
+		t.AddRow(spec.Name, f1(means[i]), f1(spec.ActSAMean))
 	}
 	t.AddRow("Average", f1(sum/float64(len(specs))), "806")
 	worst := dram.DDR5().MaxACTsPerBankPerTREFW()
@@ -134,7 +162,9 @@ func (r *Runner) Fig6() (*Table, error) {
 }
 
 // Table6 reproduces Table VI: the fraction of activations filtered by CGF
-// under sequential vs strided row-to-subarray mapping, as FTH varies.
+// under sequential vs strided row-to-subarray mapping, as FTH varies. One
+// job per workload; each job replays the workload once through a probe
+// fan-out covering every (mapping, FTH) pair.
 func (r *Runner) Table6() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -144,8 +174,94 @@ func (r *Runner) Table6() (*Table, error) {
 	mappings := []dram.R2SAMapping{dram.SequentialR2SA, dram.StridedR2SA}
 	g := dram.Default()
 
-	// probes[mapping][fth] aggregated over workloads and sub-channels.
+	// One job returns, per (mapping, fth) in enumeration order, the
+	// (acts, filtered) deltas aggregated over sub-channels.
 	type agg struct{ acts, filtered int64 }
+	js := make([]job[[]agg], 0, len(specs))
+	for _, spec := range specs {
+		spec := spec
+		js = append(js, job[[]agg]{
+			id: "table6/" + spec.Name,
+			run: func(x *Exec) ([]agg, error) {
+				r := x.r
+				r.opts.Logf("table6 %s", spec.Name)
+				mits := make([]track.Mitigator, g.SubChannels)
+				index := make(map[dram.R2SAMapping]map[int][]*core.Mirza)
+				for _, m := range mappings {
+					index[m] = make(map[int][]*core.Mirza)
+				}
+				for sub := range mits {
+					var probes []*core.Mirza
+					for _, m := range mappings {
+						for _, fth := range fths {
+							cfg, err := core.ForTRHD(1000)
+							if err != nil {
+								return nil, err
+							}
+							cfg.Mapping = m
+							cfg.FTH = fth
+							cfg.Seed = r.opts.Seed + uint64(sub)
+							probe, err := core.New(cfg, track.NopSink{})
+							if err != nil {
+								return nil, fmt.Errorf("table6 probe (FTH=%d): %w", fth, err)
+							}
+							probes = append(probes, probe)
+							index[m][fth] = append(index[m][fth], probe)
+						}
+					}
+					mits[sub] = x.wrapMit(&probeSet{probes: probes}, uint64(300+sub))
+				}
+
+				// Warm one window, snapshot, measure the rest.
+				snapshot := func() map[*core.Mirza]core.MirzaStats {
+					out := make(map[*core.Mirza]core.MirzaStats)
+					for _, m := range mappings {
+						for _, fth := range fths {
+							for _, p := range index[m][fth] {
+								out[p] = p.Stats
+							}
+						}
+					}
+					return out
+				}
+				base, err := r.Baseline(spec.Name)
+				if err != nil {
+					return nil, err
+				}
+				gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+13)
+				if err != nil {
+					return nil, err
+				}
+				run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
+				if err != nil {
+					return nil, err
+				}
+				tREFW := dram.DDR5().TREFW
+				run.Run(tREFW, nil)
+				snap := snapshot()
+				run.Run(dram.Time(r.opts.ReplayWindows)*tREFW, nil)
+				var out []agg
+				for _, m := range mappings {
+					for _, fth := range fths {
+						var a agg
+						for _, p := range index[m][fth] {
+							delta := p.Stats
+							prev := snap[p]
+							a.acts += delta.ACTs - prev.ACTs
+							a.filtered += delta.Filtered - prev.Filtered
+						}
+						out = append(out, a)
+					}
+				}
+				return out, nil
+			},
+		})
+	}
+	perSpec, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	// sums[mapping][fth], aggregated over workloads in submission order.
 	sums := make(map[dram.R2SAMapping]map[int]*agg)
 	for _, m := range mappings {
 		sums[m] = make(map[int]*agg)
@@ -153,72 +269,13 @@ func (r *Runner) Table6() (*Table, error) {
 			sums[m][fth] = &agg{}
 		}
 	}
-
-	for _, spec := range specs {
-		r.opts.Logf("table6 %s", spec.Name)
-		mits := make([]track.Mitigator, g.SubChannels)
-		index := make(map[dram.R2SAMapping]map[int][]*core.Mirza)
-		for _, m := range mappings {
-			index[m] = make(map[int][]*core.Mirza)
-		}
-		for sub := range mits {
-			var probes []*core.Mirza
-			for _, m := range mappings {
-				for _, fth := range fths {
-					cfg, err := core.ForTRHD(1000)
-					if err != nil {
-						return nil, err
-					}
-					cfg.Mapping = m
-					cfg.FTH = fth
-					cfg.Seed = r.opts.Seed + uint64(sub)
-					probe, err := core.New(cfg, track.NopSink{})
-					if err != nil {
-						return nil, fmt.Errorf("table6 probe (FTH=%d): %w", fth, err)
-					}
-					probes = append(probes, probe)
-					index[m][fth] = append(index[m][fth], probe)
-				}
-			}
-			mits[sub] = r.wrapMit(&probeSet{probes: probes}, uint64(300+sub))
-		}
-
-		// Warm one window, snapshot, measure the rest.
-		snapshot := func() map[*core.Mirza]core.MirzaStats {
-			out := make(map[*core.Mirza]core.MirzaStats)
-			for _, m := range mappings {
-				for _, fth := range fths {
-					for _, p := range index[m][fth] {
-						out[p] = p.Stats
-					}
-				}
-			}
-			return out
-		}
-		base, err := r.Baseline(spec.Name)
-		if err != nil {
-			return nil, err
-		}
-		gens, err := trace.PerCore(base.Spec, r.opts.Cores, r.opts.Seed+13)
-		if err != nil {
-			return nil, err
-		}
-		run, err := replay.NewRunner(replay.Config{IPS: base.IPS}, gens, mits)
-		if err != nil {
-			return nil, err
-		}
-		tREFW := dram.DDR5().TREFW
-		run.Run(tREFW, nil)
-		snap := snapshot()
-		run.Run(dram.Time(r.opts.ReplayWindows)*tREFW, nil)
+	for _, cells := range perSpec {
+		i := 0
 		for _, m := range mappings {
 			for _, fth := range fths {
-				for _, p := range index[m][fth] {
-					delta := p.Stats
-					prev := snap[p]
-					sums[m][fth].acts += delta.ACTs - prev.ACTs
-					sums[m][fth].filtered += delta.Filtered - prev.Filtered
-				}
+				sums[m][fth].acts += cells[i].acts
+				sums[m][fth].filtered += cells[i].filtered
+				i++
 			}
 		}
 	}
@@ -250,7 +307,30 @@ func (r *Runner) Table6() (*Table, error) {
 	return t, nil
 }
 
+// mirzaReplayCounts warms MIRZA for cfg, replays the workload and returns
+// the accumulated tracker counters (one self-contained replay job body).
+func (x *Exec) mirzaReplayCounts(name string, cfg core.Config) (acts, escaped, mitig int64, err error) {
+	mits, err := x.warmMirza(name, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	asMit := make([]track.Mitigator, len(mits))
+	for i, m := range mits {
+		asMit[i] = m
+	}
+	if _, _, _, err := x.replayRun(name, asMit, nil); err != nil {
+		return 0, 0, 0, err
+	}
+	for _, m := range mits {
+		acts += m.Stats.ACTs
+		escaped += m.Stats.Escaped
+		mitig += m.Stats.Mitigations
+	}
+	return acts, escaped, mitig, nil
+}
+
 // Table8 reproduces Table VIII: the mitigation overhead of MINT vs MIRZA.
+// One job per (TRHD, workload) replay.
 func (r *Runner) Table8() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -263,29 +343,36 @@ func (r *Runner) Table8() (*Table, error) {
 		Columns: []string{"TRHD", "MINT (1/W)", "MIRZA escape prob",
 			"MIRZA rate", "Difference"},
 	}
-	for _, trhd := range []int{2000, 1000, 500} {
+	trhds := []int{2000, 1000, 500}
+	type counts struct{ acts, escaped, mitig int64 }
+	var js []job[counts]
+	for _, trhd := range trhds {
 		cfg, err := core.ForTRHD(trhd)
 		if err != nil {
 			return nil, err
 		}
-		var acts, escaped, mitig int64
 		for _, spec := range specs {
-			mits, err := r.warmMirza(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			asMit := make([]track.Mitigator, len(mits))
-			for i, m := range mits {
-				asMit[i] = m
-			}
-			if _, _, _, err := r.replayRun(spec.Name, asMit, nil); err != nil {
-				return nil, err
-			}
-			for _, m := range mits {
-				acts += m.Stats.ACTs
-				escaped += m.Stats.Escaped
-				mitig += m.Stats.Mitigations
-			}
+			cfg, spec := cfg, spec
+			js = append(js, job[counts]{
+				id: fmt.Sprintf("table8/trhd=%d/%s", trhd, spec.Name),
+				run: func(x *Exec) (counts, error) {
+					acts, escaped, mitig, err := x.mirzaReplayCounts(spec.Name, cfg)
+					return counts{acts, escaped, mitig}, err
+				},
+			})
+		}
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	for ti, trhd := range trhds {
+		var acts, escaped, mitig int64
+		for si := range specs {
+			c := cells[ti*len(specs)+si]
+			acts += c.acts
+			escaped += c.escaped
+			mitig += c.mitig
 		}
 		mintW := model.WindowForTRHD(trhd)
 		escape := float64(escaped) / float64(acts)
@@ -306,7 +393,7 @@ func (r *Runner) Table8() (*Table, error) {
 }
 
 // Fig11b reproduces Figure 11(b): ALERTs per 100xtREFI per sub-channel for
-// MIRZA and PRAC.
+// MIRZA and PRAC. One job per (workload, tracker-config) replay.
 func (r *Runner) Fig11b() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -319,50 +406,75 @@ func (r *Runner) Fig11b() (*Table, error) {
 		Columns: []string{"Workload", "MIRZA-500", "MIRZA-1K", "MIRZA-2K", "PRAC"},
 	}
 	g := dram.Default()
-	avg := make([]float64, 4)
-	for _, spec := range specs {
-		row := []string{spec.Name}
-		for i, trhd := range []int{500, 1000, 2000} {
-			cfg, _ := core.ForTRHD(trhd)
-			mits, err := r.warmMirza(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			asMit := make([]track.Mitigator, len(mits))
-			for j, m := range mits {
-				asMit[j] = m
-			}
-			_, measured, mt, err := r.replayRun(spec.Name, asMit, nil)
-			if err != nil {
-				return nil, err
-			}
-			var alerts int64
-			for _, s := range measured {
-				alerts += s.Alerts
-			}
-			rate := float64(alerts) / float64(len(measured)) / (float64(mt) / float64(tREFI)) * 100
-			avg[i] += rate
-			row = append(row, f2(rate))
-		}
-		// PRAC.
-		pracMits := make([]track.Mitigator, g.SubChannels)
-		for j := range pracMits {
-			pracMits[j] = track.NewPRAC(track.PRACConfig{
-				Geometry: g, Mapping: dram.StridedR2SA,
-				AlertThreshold: track.ATHForTRHD(1000),
-			}, track.NopSink{})
-		}
-		_, measured, mt, err := r.replayRun(spec.Name, pracMits, nil)
-		if err != nil {
-			return nil, err
-		}
+	trhds := []int{500, 1000, 2000}
+
+	// alertRate converts measured replay stats to the figure's rate.
+	alertRate := func(measured []replay.Stats, mt dram.Time) float64 {
 		var alerts int64
 		for _, s := range measured {
 			alerts += s.Alerts
 		}
-		rate := float64(alerts) / float64(len(measured)) / (float64(mt) / float64(tREFI)) * 100
-		avg[3] += rate
-		row = append(row, f2(rate))
+		return float64(alerts) / float64(len(measured)) / (float64(mt) / float64(tREFI)) * 100
+	}
+
+	// Per workload: three MIRZA configurations then PRAC, in the order
+	// the sequential engine ran them.
+	const perSpec = 4
+	var js []job[float64]
+	for _, spec := range specs {
+		spec := spec
+		for _, trhd := range trhds {
+			trhd := trhd
+			js = append(js, job[float64]{
+				id: fmt.Sprintf("fig11b/%s/mirza-%d", spec.Name, trhd),
+				run: func(x *Exec) (float64, error) {
+					cfg, _ := core.ForTRHD(trhd)
+					mits, err := x.warmMirza(spec.Name, cfg)
+					if err != nil {
+						return 0, err
+					}
+					asMit := make([]track.Mitigator, len(mits))
+					for j, m := range mits {
+						asMit[j] = m
+					}
+					_, measured, mt, err := x.replayRun(spec.Name, asMit, nil)
+					if err != nil {
+						return 0, err
+					}
+					return alertRate(measured, mt), nil
+				},
+			})
+		}
+		js = append(js, job[float64]{
+			id: "fig11b/" + spec.Name + "/prac",
+			run: func(x *Exec) (float64, error) {
+				pracMits := make([]track.Mitigator, g.SubChannels)
+				for j := range pracMits {
+					pracMits[j] = track.NewPRAC(track.PRACConfig{
+						Geometry: g, Mapping: dram.StridedR2SA,
+						AlertThreshold: track.ATHForTRHD(1000),
+					}, track.NopSink{})
+				}
+				_, measured, mt, err := x.replayRun(spec.Name, pracMits, nil)
+				if err != nil {
+					return 0, err
+				}
+				return alertRate(measured, mt), nil
+			},
+		})
+	}
+	rates, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	avg := make([]float64, perSpec)
+	for si, spec := range specs {
+		row := []string{spec.Name}
+		for c := 0; c < perSpec; c++ {
+			rate := rates[si*perSpec+c]
+			avg[c] += rate
+			row = append(row, f2(rate))
+		}
 		t.AddRow(row...)
 	}
 	n := float64(len(specs))
@@ -372,6 +484,7 @@ func (r *Runner) Fig11b() (*Table, error) {
 }
 
 // Fig13 reproduces Figure 13: the refresh-power overhead of MINT vs MIRZA.
+// One job per (TRHD, workload) replay.
 func (r *Runner) Fig13() (*Table, error) {
 	specs, err := r.opts.workloadSpecs()
 	if err != nil {
@@ -385,34 +498,57 @@ func (r *Runner) Fig13() (*Table, error) {
 		Columns: []string{"TRHD", "MINT+RFM", "MIRZA", "paper MINT", "paper MIRZA"},
 	}
 	paperMINT := map[int]string{500: "16.4%", 1000: "8.2%", 2000: "4.1%"}
-	for _, trhd := range []int{500, 1000, 2000} {
+	trhds := []int{500, 1000, 2000}
+	type counts struct{ acts, mirzaVictims, demandRows int64 }
+	var js []job[counts]
+	for _, trhd := range trhds {
 		cfg, _ := core.ForTRHD(trhd)
+		for _, spec := range specs {
+			cfg, spec := cfg, spec
+			js = append(js, job[counts]{
+				id: fmt.Sprintf("fig13/trhd=%d/%s", trhd, spec.Name),
+				run: func(x *Exec) (counts, error) {
+					mits, err := x.warmMirza(spec.Name, cfg)
+					if err != nil {
+						return counts{}, err
+					}
+					asMit := make([]track.Mitigator, len(mits))
+					for i, m := range mits {
+						asMit[i] = m
+					}
+					snapMit := make([]int64, len(mits))
+					for i, m := range mits {
+						snapMit[i] = m.Stats.Mitigations
+					}
+					_, measured, _, err := x.replayRun(spec.Name, asMit, nil)
+					if err != nil {
+						return counts{}, err
+					}
+					var c counts
+					for i, m := range mits {
+						c.mirzaVictims += (m.Stats.Mitigations - snapMit[i]) * track.MitigationVictims
+					}
+					for _, s := range measured {
+						c.acts += s.ACTs
+						c.demandRows += s.REFs * int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	cells, err := runJobs(r, js)
+	if err != nil {
+		return nil, err
+	}
+	for ti, trhd := range trhds {
 		mintW := model.WindowForTRHD(trhd)
 		var acts, mirzaVictims, demandRows int64
-		for _, spec := range specs {
-			mits, err := r.warmMirza(spec.Name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			asMit := make([]track.Mitigator, len(mits))
-			for i, m := range mits {
-				asMit[i] = m
-			}
-			snapMit := make([]int64, len(mits))
-			for i, m := range mits {
-				snapMit[i] = m.Stats.Mitigations
-			}
-			_, measured, _, err := r.replayRun(spec.Name, asMit, nil)
-			if err != nil {
-				return nil, err
-			}
-			for i, m := range mits {
-				mirzaVictims += (m.Stats.Mitigations - snapMit[i]) * track.MitigationVictims
-			}
-			for _, s := range measured {
-				acts += s.ACTs
-				demandRows += s.REFs * int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
-			}
+		for si := range specs {
+			c := cells[ti*len(specs)+si]
+			acts += c.acts
+			mirzaVictims += c.mirzaVictims
+			demandRows += c.demandRows
 		}
 		mintVictims := acts / int64(mintW) * track.MitigationVictims
 		t.AddRow(d(int64(trhd)),
@@ -420,7 +556,6 @@ func (r *Runner) Fig13() (*Table, error) {
 			fmt.Sprintf("%.2f%%", 100*float64(mirzaVictims)/float64(demandRows)),
 			paperMINT[trhd],
 			"~0.3% at 1K")
-		_ = paperMINT
 	}
 	t.Notes = append(t.Notes,
 		"MINT+RFM mitigates every W activations (4 victim rows each); MIRZA mitigates only queue drains")

@@ -287,7 +287,8 @@ const logCap = 512
 
 // Log aggregates the faults injected by every wrapper sharing it. It is
 // not safe for concurrent use: share one Log per single-threaded
-// simulation run.
+// simulation run (the experiment engine gives each job its own Log and
+// folds them together afterwards with Merge, in job-submission order).
 type Log struct {
 	events []Event
 	counts [numKinds]int64
@@ -333,6 +334,27 @@ func (l *Log) Count(k Kind) int64 {
 		return 0
 	}
 	return l.counts[k]
+}
+
+// Merge folds other into l: counts add in full, and other's retained
+// events append in order until l's retention cap. Because both the
+// per-run cap and the per-job caps are prefix truncations, merging
+// per-job logs in submission order yields byte-identical contents to one
+// shared log written by a sequential run.
+func (l *Log) Merge(other *Log) {
+	if l == nil || other == nil {
+		return
+	}
+	for k, c := range other.counts {
+		l.counts[k] += c
+	}
+	if room := logCap - len(l.events); room > 0 {
+		ev := other.events
+		if len(ev) > room {
+			ev = ev[:room]
+		}
+		l.events = append(l.events, ev...)
+	}
 }
 
 // Summary renders "kind=count" pairs for the kinds that fired, sorted by

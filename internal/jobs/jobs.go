@@ -1,0 +1,212 @@
+// Package jobs provides a deterministic worker pool for embarrassingly
+// parallel simulation jobs.
+//
+// The experiment pipeline decomposes into independent units — one
+// (workload, timing, mitigator-factory, seed) simulation each — whose
+// results must not depend on how many workers execute them. The pool
+// therefore guarantees:
+//
+//   - Results are gathered in submission order, whatever order jobs
+//     finish in. Aggregation done over the returned slice is identical at
+//     any parallelism (including floating-point accumulation order).
+//   - A failure at submission index i prevents jobs after i that have not
+//     yet started from starting (they are marked Skipped). Jobs submitted
+//     before i always run to completion, so the lowest failing index — and
+//     with one worker the exact fail-fast behaviour of a sequential loop —
+//     is deterministic.
+//   - A panicking job becomes an error Result carrying the recovered stack
+//     instead of taking down the process.
+//   - An optional per-job wall-clock deadline abandons a stuck job (its
+//     goroutine keeps running against job-local state) and reports
+//     ErrTimeout, so one livelocked simulation cannot hang a whole sweep.
+//
+// Jobs must be self-contained: shared state they touch has to be safe for
+// concurrent use (see the single-flight calibration layer in
+// internal/experiments for the canonical pattern).
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout is wrapped into a Result's Err when a job exceeds the
+// per-job deadline.
+var ErrTimeout = errors.New("job deadline exceeded")
+
+// Job is one independent unit of work. Run must be a pure function of the
+// job's identity (plus concurrency-safe shared caches): the pool may
+// execute it on any worker at any time before its result is gathered.
+type Job[T any] struct {
+	// ID names the job in errors ("fig3/mcf/trhd=500/mint").
+	ID string
+
+	// Run produces the job's result. It is called at most once.
+	Run func() (T, error)
+}
+
+// Result is the outcome of one job, reported at the job's submission
+// index.
+type Result[T any] struct {
+	ID    string
+	Value T
+	Err   error
+
+	// Skipped marks a job that never started because an earlier-indexed
+	// job had already failed.
+	Skipped bool
+
+	// Panicked marks an Err produced from a recovered panic; Stack then
+	// carries the goroutine's stack trace.
+	Panicked bool
+	Stack    string
+
+	// Duration is the job's wall-clock execution time (zero if skipped).
+	Duration time.Duration
+}
+
+// Options tunes a Run call.
+type Options struct {
+	// Parallelism is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	// 1 reproduces a strictly sequential loop exactly.
+	Parallelism int
+
+	// Timeout, when positive, bounds each job's wall-clock execution. A
+	// job that exceeds it is abandoned and reported with ErrTimeout.
+	Timeout time.Duration
+}
+
+// Run executes jobs on a worker pool and returns one Result per job in
+// submission order. It never panics and always returns len(jobs) results.
+func Run[T any](opts Options, jobs []Job[T]) []Result[T] {
+	n := len(jobs)
+	results := make([]Result[T], n)
+	if n == 0 {
+		return results
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// minFail is the lowest submission index that has failed so far
+	// (n = none). Jobs with a higher index that have not started yet are
+	// skipped; lower-indexed jobs are unaffected, so the final value is
+	// independent of worker count.
+	minFail := int64(n)
+
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if int64(i) > atomic.LoadInt64(&minFail) {
+					results[i] = Result[T]{ID: jobs[i].ID, Skipped: true}
+					continue
+				}
+				results[i] = execute(jobs[i], opts.Timeout)
+				if results[i].Err != nil {
+					storeMin(&minFail, int64(i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// execute runs one job in its own goroutine so a deadline can abandon it;
+// panics are converted to errors.
+func execute[T any](job Job[T], timeout time.Duration) Result[T] {
+	start := time.Now()
+	done := make(chan Result[T], 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- Result[T]{
+					ID:       job.ID,
+					Err:      fmt.Errorf("job %s panicked: %v", job.ID, p),
+					Panicked: true,
+					Stack:    string(debug.Stack()),
+				}
+			}
+		}()
+		v, err := job.Run()
+		if err != nil {
+			err = fmt.Errorf("job %s: %w", job.ID, err)
+		}
+		done <- Result[T]{ID: job.ID, Value: v, Err: err}
+	}()
+
+	var res Result[T]
+	if timeout <= 0 {
+		res = <-done
+	} else {
+		select {
+		case res = <-done:
+		case <-time.After(timeout):
+			// The goroutine is abandoned; it only touches job-local state
+			// and its eventual send lands in the buffered channel.
+			res = Result[T]{ID: job.ID, Err: fmt.Errorf("job %s: %w after %v", job.ID, ErrTimeout, timeout)}
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// storeMin atomically lowers *addr to v if v is smaller.
+func storeMin(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v >= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// FirstError returns the error of the lowest-indexed failed result (nil
+// when every job succeeded). Skipped results never carry errors, so this
+// is the same error a sequential fail-fast loop would have returned.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// Values extracts the result values in submission order. It must only be
+// used after FirstError returned nil (skipped/failed slots hold zero
+// values).
+func Values[T any](results []Result[T]) []T {
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out
+}
+
+// TotalBusy sums the per-job execution durations: an estimate of the
+// wall-clock a one-worker run would need, used to report speedup.
+func TotalBusy[T any](results []Result[T]) time.Duration {
+	var d time.Duration
+	for i := range results {
+		d += results[i].Duration
+	}
+	return d
+}

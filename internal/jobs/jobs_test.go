@@ -1,0 +1,142 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ids(n int) []Job[int] {
+	js := make([]Job[int], n)
+	for i := range js {
+		i := i
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) { return i * i, nil }}
+	}
+	return js
+}
+
+func TestOrderedResultsAtAnyParallelism(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 0} {
+		res := Run(Options{Parallelism: p}, ids(37))
+		if err := FirstError(res); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range Values(res) {
+			if v != i*i {
+				t.Fatalf("p=%d: result %d = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if res := Run(Options{}, []Job[string]{}); len(res) != 0 {
+		t.Fatalf("empty job list: %v", res)
+	}
+	res := Run(Options{Parallelism: 4}, []Job[string]{{ID: "one", Run: func() (string, error) { return "ok", nil }}})
+	if res[0].Value != "ok" || res[0].Err != nil || res[0].Duration < 0 {
+		t.Fatalf("single job: %+v", res[0])
+	}
+}
+
+func TestFailureSkipsLaterJobsSequentially(t *testing.T) {
+	var ran int32
+	js := make([]Job[int], 10)
+	for i := range js {
+		i := i
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}}
+	}
+	res := Run(Options{Parallelism: 1}, js)
+	if int(ran) != 4 {
+		t.Errorf("sequential fail-fast ran %d jobs, want 4", ran)
+	}
+	err := FirstError(res)
+	if err == nil || !strings.Contains(err.Error(), "j3") {
+		t.Fatalf("first error = %v, want j3", err)
+	}
+	for i := 4; i < 10; i++ {
+		if !res[i].Skipped {
+			t.Errorf("job %d should be skipped after failure", i)
+		}
+	}
+}
+
+func TestLowestFailingIndexDeterministicInParallel(t *testing.T) {
+	// Jobs 2 and 7 both fail; job 2 must always be the reported error
+	// because jobs submitted before a failure always complete.
+	js := make([]Job[int], 12)
+	for i := range js {
+		i := i
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+			if i == 2 || i == 7 {
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return i, nil
+		}}
+	}
+	for trial := 0; trial < 20; trial++ {
+		res := Run(Options{Parallelism: 6}, js)
+		err := FirstError(res)
+		if err == nil || !strings.Contains(err.Error(), "fail-2") {
+			t.Fatalf("trial %d: first error = %v, want fail-2", trial, err)
+		}
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	js := []Job[int]{
+		{ID: "ok", Run: func() (int, error) { return 1, nil }},
+		{ID: "boom", Run: func() (int, error) { panic("deliberate") }},
+	}
+	res := Run(Options{Parallelism: 2}, js)
+	if res[0].Err != nil || res[0].Value != 1 {
+		t.Fatalf("healthy job affected: %+v", res[0])
+	}
+	if res[1].Err == nil || !res[1].Panicked {
+		t.Fatalf("panic not converted to error: %+v", res[1])
+	}
+	if !strings.Contains(res[1].Err.Error(), "deliberate") || !strings.Contains(res[1].Stack, "goroutine") {
+		t.Errorf("panic diagnostics incomplete: err=%v stack=%q", res[1].Err, res[1].Stack)
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	js := []Job[int]{
+		{ID: "fast", Run: func() (int, error) { return 7, nil }},
+		{ID: "stuck", Run: func() (int, error) { time.Sleep(2 * time.Second); return 0, nil }},
+	}
+	start := time.Now()
+	res := Run(Options{Parallelism: 1, Timeout: 50 * time.Millisecond}, js)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout did not abandon the stuck job (took %v)", elapsed)
+	}
+	if res[0].Err != nil || res[0].Value != 7 {
+		t.Fatalf("fast job: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, ErrTimeout) {
+		t.Fatalf("stuck job error = %v, want ErrTimeout", res[1].Err)
+	}
+}
+
+func TestTotalBusy(t *testing.T) {
+	js := make([]Job[int], 4)
+	for i := range js {
+		js[i] = Job[int]{ID: "sleep", Run: func() (int, error) {
+			time.Sleep(10 * time.Millisecond)
+			return 0, nil
+		}}
+	}
+	res := Run(Options{Parallelism: 4}, js)
+	if busy := TotalBusy(res); busy < 40*time.Millisecond {
+		t.Errorf("TotalBusy = %v, want >= 40ms", busy)
+	}
+}

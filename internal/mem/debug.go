@@ -2,7 +2,12 @@ package mem
 
 import "mirza/internal/dram"
 
-// Test-only instrumentation counters.
+// Test-only instrumentation counters, populated only after
+// InstallDebugHooks. They are plain (unsynchronized) package-level state,
+// so they must never be armed while simulations run on multiple
+// goroutines — the job engine runs one simulation per worker, and the
+// hooks would race. Production runs leave the hook pointers nil, which
+// also keeps the per-wake overhead off the hot path.
 var (
 	DebugWakes, DebugNoProgress, DebugSteps int64
 	DebugClamps                             = map[string]int64{}
@@ -10,7 +15,9 @@ var (
 	DebugArmDelta                           = map[string]dram.Time{}
 )
 
-func init() {
+// InstallDebugHooks arms the instrumentation counters above. Call it only
+// from single-goroutine tests that need wake/clamp/arm telemetry.
+func InstallDebugHooks() {
 	debugHook = func(progress int) {
 		DebugWakes++
 		DebugSteps += int64(progress)
@@ -23,4 +30,10 @@ func init() {
 		DebugArmLabel[label]++
 		DebugArmDelta[label] += delta
 	}
+}
+
+// RemoveDebugHooks disarms the instrumentation installed by
+// InstallDebugHooks and leaves the counters at their current values.
+func RemoveDebugHooks() {
+	debugHook, debugClamp, debugArm = nil, nil, nil
 }

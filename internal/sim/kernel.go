@@ -99,18 +99,52 @@ func (k *Kernel) RecentTimes() []dram.Time {
 }
 
 // NextTimes returns the times of up to the n earliest pending events,
-// soonest first, without disturbing the queue (watchdog diagnostics).
+// soonest first, without disturbing the queue (watchdog diagnostics). It
+// walks the queue through an auxiliary heap of candidate indices — the
+// root, then the children of each visited node — so the cost is
+// O(n log n) rather than a copy of the whole queue, which matters when a
+// watchdog fires against a simulation with a large event backlog.
 func (k *Kernel) NextTimes(n int) []dram.Time {
 	if n > len(k.events) {
 		n = len(k.events)
 	}
-	cp := make(eventHeap, len(k.events))
-	copy(cp, k.events)
 	out := make([]dram.Time, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, heap.Pop(&cp).(event).at)
+	if n == 0 {
+		return out
+	}
+	cand := candidateHeap{events: k.events, idx: make([]int, 0, n+1)}
+	cand.idx = append(cand.idx, 0)
+	for len(out) < n {
+		i := heap.Pop(&cand).(int)
+		out = append(out, k.events[i].at)
+		if l := 2*i + 1; l < len(k.events) {
+			heap.Push(&cand, l)
+		}
+		if r := 2*i + 2; r < len(k.events) {
+			heap.Push(&cand, r)
+		}
 	}
 	return out
+}
+
+// candidateHeap orders event-queue indices by their event's (time, seq)
+// key. NextTimes uses it to visit events soonest-first without mutating
+// the queue; it never holds more than n+1 indices.
+type candidateHeap struct {
+	events eventHeap
+	idx    []int
+}
+
+func (c candidateHeap) Len() int           { return len(c.idx) }
+func (c candidateHeap) Less(i, j int) bool { return c.events.Less(c.idx[i], c.idx[j]) }
+func (c candidateHeap) Swap(i, j int)      { c.idx[i], c.idx[j] = c.idx[j], c.idx[i] }
+func (c *candidateHeap) Push(x any)        { c.idx = append(c.idx, x.(int)) }
+func (c *candidateHeap) Pop() any {
+	old := c.idx
+	n := len(old)
+	v := old[n-1]
+	c.idx = old[:n-1]
+	return v
 }
 
 // RunUntil executes events until the clock would pass deadline or the queue

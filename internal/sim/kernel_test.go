@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 
 	"mirza/internal/dram"
@@ -135,5 +136,70 @@ func TestDrain(t *testing.T) {
 	k2.Schedule(0, reschedule)
 	if err := k2.Drain(100); err == nil {
 		t.Error("unbounded drain should report an error")
+	}
+}
+
+func TestNextTimes(t *testing.T) {
+	var k Kernel
+	// Schedule in an order that leaves the heap internally unsorted, with
+	// duplicates to exercise the (time, seq) tie-break.
+	for _, at := range []dram.Time{50, 10, 40, 10, 30, 20, 60, 5} {
+		k.Schedule(at, func() {})
+	}
+	got := k.NextTimes(5)
+	want := []dram.Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("NextTimes(5) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextTimes(5) = %v, want %v", got, want)
+		}
+	}
+	// Asking for more than pending clamps; the queue must be undisturbed.
+	if all := k.NextTimes(100); len(all) != 8 {
+		t.Fatalf("NextTimes(100) returned %d times", len(all))
+	}
+	if k.NextTimes(0) == nil || len(k.NextTimes(0)) != 0 {
+		t.Error("NextTimes(0) should be an empty slice")
+	}
+	if k.Pending() != 8 {
+		t.Fatalf("NextTimes disturbed the queue: %d pending", k.Pending())
+	}
+	// Execution order is still intact after peeking.
+	var ran []dram.Time
+	prev := dram.Time(-1)
+	for k.Step() {
+		ran = append(ran, k.Now())
+		if k.Now() < prev {
+			t.Fatalf("events out of order after NextTimes: %v", ran)
+		}
+		prev = k.Now()
+	}
+	if len(ran) != 8 {
+		t.Fatalf("ran %d events, want 8", len(ran))
+	}
+}
+
+func TestNextTimesLargeBacklog(t *testing.T) {
+	// The candidate-heap walk must return the true n smallest against a
+	// reference sort for a large pseudo-random backlog.
+	var k Kernel
+	state := uint64(0x9E3779B97F4A7C15)
+	var ref []dram.Time
+	for i := 0; i < 5000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		at := dram.Time(state % 100000)
+		ref = append(ref, at)
+		k.Schedule(at, func() {})
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	got := k.NextTimes(64)
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("NextTimes[%d] = %v, want %v", i, got[i], ref[i])
+		}
 	}
 }

@@ -153,14 +153,18 @@ func NewHistogram(n int, width float64) *Histogram {
 	return &Histogram{BucketWidth: width, Counts: make([]int64, n)}
 }
 
-// Add records one observation of x.
+// Add records one observation of x. Non-finite observations are clamped —
+// NaN and -Inf into the first bucket, +Inf into the last — before the
+// float-to-int conversion, whose behaviour for out-of-range values is
+// implementation-defined in Go.
 func (h *Histogram) Add(x float64) {
-	i := int(x / h.BucketWidth)
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(h.Counts) {
-		i = len(h.Counts) - 1
+	last := len(h.Counts) - 1
+	i := 0
+	// NaN fails both comparisons and stays in the first bucket.
+	if f := x / h.BucketWidth; f >= float64(last) {
+		i = last
+	} else if f > 0 {
+		i = int(f)
 	}
 	h.Counts[i]++
 	h.total++

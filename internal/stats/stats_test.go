@@ -145,6 +145,41 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(8, 1.0)
+	h.Add(math.NaN())
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	if h.Total() != 3 {
+		t.Fatalf("total = %d, want 3", h.Total())
+	}
+	// NaN and -Inf clamp to the first bucket, +Inf to the last; the index
+	// must stay in range on every platform (float-to-int conversion of
+	// out-of-range values is implementation-defined).
+	if h.Counts[0] != 2 {
+		t.Errorf("first bucket = %d, want 2 (NaN and -Inf)", h.Counts[0])
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("last bucket = %d, want 1 (+Inf)", h.Counts[len(h.Counts)-1])
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Errorf("buckets hold %d observations, want 3 (none lost out of range)", sum)
+	}
+	// A zero-width histogram divides by zero; the result must still land
+	// in a valid bucket.
+	z := &Histogram{BucketWidth: 0, Counts: make([]int64, 4)}
+	z.Add(1)  // 1/0 = +Inf
+	z.Add(0)  // 0/0 = NaN
+	z.Add(-1) // -1/0 = -Inf
+	if z.Counts[0] != 2 || z.Counts[3] != 1 {
+		t.Errorf("zero-width histogram buckets = %v", z.Counts)
+	}
+}
+
 func TestIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
