@@ -11,9 +11,9 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race bench clean
+.PHONY: check vet build test test-race test-telemetry bench clean
 
-check: vet build test-race
+check: vet build test-race test-telemetry
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,12 @@ test:
 
 test-race:
 	$(SHORT_ENV) $(GO) test -race -short ./...
+
+# The telemetry and job-pool suites at full fidelity under the race
+# detector: these cover the only registry writes that happen live during
+# a parallel run (pool gauges, per-REF histogram observes).
+test-telemetry:
+	$(GO) test -race ./internal/telemetry/ ./internal/jobs/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...

@@ -22,13 +22,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"mirza/internal/cliflags"
 	"mirza/internal/dram"
 	"mirza/internal/experiments"
-	"mirza/internal/fault"
+	"mirza/internal/telemetry"
 )
 
 func main() {
@@ -42,12 +46,17 @@ func main() {
 		quick     = flag.Bool("quick", false, "tiny windows and a 3-workload subset (smoke run)")
 		verbose   = flag.Bool("v", false, "log per-run progress to stderr")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per engine job (0 = none)")
-		parallel  = flag.Int("j", 0, "worker count for the job engine (0 = GOMAXPROCS; 1 = sequential engine)")
-		stall     = flag.Duration("stall-budget", 2*time.Minute, "abort a simulation whose event time stops advancing for this long (0 = disabled)")
-		faults    = flag.String("faults", "", "fault-injection plan, e.g. seed=7,bitflip=1e-5,alertdrop=0.2 (see internal/fault)")
+		listen    = flag.String("listen", "", "serve live /metrics, /manifest and /debug/pprof on this address (e.g. :6060)")
 		noRetry   = flag.Bool("no-retry", false, "disable the reduced-fidelity retry of failed experiments")
+		common    = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
+
+	shared, err := common.Resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mirza-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -72,19 +81,57 @@ func main() {
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
-	opts.StallBudget = *stall
-	opts.Parallelism = *parallel
-	plan, err := fault.Parse(*faults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mirza-bench:", err)
-		os.Exit(2)
-	}
+	opts.StallBudget = shared.StallBudget
+	opts.Parallelism = shared.Parallelism
+	plan := shared.Faults
 	opts.Faults = plan
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 	}
 	if *verbose {
 		opts.Logf = logf
+	}
+
+	var reg *telemetry.Registry
+	if shared.MetricsPath != "" || *listen != "" {
+		reg = telemetry.New()
+	}
+	opts.Telemetry = reg
+
+	start := time.Now()
+	config := map[string]string{
+		"exp":            *exp,
+		"measure-ms":     strconv.FormatFloat(*measureMS, 'g', -1, 64),
+		"warmup-ms":      strconv.FormatFloat(*warmupMS, 'g', -1, 64),
+		"replay-windows": strconv.Itoa(*windows),
+		"workloads":      *workloads,
+		"quick":          strconv.FormatBool(*quick),
+		"j":              strconv.Itoa(shared.Parallelism),
+	}
+	buildManifest := func() *telemetry.RunManifest {
+		m := telemetry.NewManifest("mirza-bench", config)
+		m.Seed = opts.Seed
+		m.FaultPlan = plan.String()
+		m.FillFromSnapshot(reg.Snapshot())
+		m.WallClockSeconds = time.Since(start).Seconds()
+		m.WrittenAt = time.Now().UTC().Format(time.RFC3339)
+		return m
+	}
+	if *listen != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.PrometheusHandler(reg.Snapshot))
+		mux.Handle("/manifest", telemetry.ManifestHandler(buildManifest))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "mirza-bench: listen:", err)
+			}
+		}()
+		logf("serving /metrics, /manifest and /debug/pprof on %s", *listen)
 	}
 
 	var ids []string
@@ -108,6 +155,14 @@ func main() {
 	for _, id := range ids {
 		res := suite.RunAll([]string{id})[0]
 		results = append(results, res)
+		switch {
+		case res.Failed():
+			reg.Counter("experiments_total", telemetry.L("status", "failed")).Inc()
+		case res.Degraded:
+			reg.Counter("experiments_total", telemetry.L("status", "degraded")).Inc()
+		default:
+			reg.Counter("experiments_total", telemetry.L("status", "ok")).Inc()
+		}
 		switch {
 		case res.Failed():
 			fmt.Fprintf(os.Stderr, "FAIL %s after %.1fs: %v\n", res.ID, res.Duration.Seconds(), res.Err)
@@ -135,6 +190,12 @@ func main() {
 
 	if !plan.Empty() {
 		fmt.Printf("injected faults: %s (plan %s)\n", suite.Runner().FaultLog().Summary(), plan)
+	}
+	if shared.MetricsPath != "" {
+		if err := buildManifest().WriteFile(shared.MetricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mirza-bench: writing manifest:", err)
+			os.Exit(1)
+		}
 	}
 	// Only print the summary when there is something to report: a clean
 	// run's stdout stays byte-identical to the pre-harness output.

@@ -24,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"mirza/internal/cliflags"
 	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
@@ -35,6 +37,7 @@ import (
 	"mirza/internal/mem"
 	"mirza/internal/security"
 	"mirza/internal/sim"
+	"mirza/internal/telemetry"
 	"mirza/internal/trace"
 	"mirza/internal/track"
 )
@@ -47,6 +50,7 @@ type runConfig struct {
 	seed       uint64
 	plan       fault.Plan
 	stall      time.Duration
+	reg        *telemetry.Registry
 }
 
 func main() {
@@ -58,13 +62,11 @@ func main() {
 		warmMS     = flag.Float64("warmup-ms", 0.5, "warmup before measurement")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		listWl     = flag.Bool("list-workloads", false, "list workloads and exit")
-		faultsFlag = flag.String("faults", "", "fault-injection plan, e.g. seed=7,alertdrop=0.5 (see internal/fault)")
-		stall      = flag.Duration("stall-budget", 2*time.Minute, "abort if simulated time stops advancing for this long (0 = disabled)")
-		parallel   = flag.Int("j", 0, "worker count for multi-workload runs (0 = GOMAXPROCS)")
+		common     = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
-	plan, err := fault.Parse(*faultsFlag)
+	shared, err := common.Resolve()
 	if err != nil {
 		fatal(err)
 	}
@@ -77,14 +79,19 @@ func main() {
 		return
 	}
 
+	var reg *telemetry.Registry
+	if shared.MetricsPath != "" {
+		reg = telemetry.New()
+	}
 	cfg := runConfig{
 		mitigation: *mitigation,
 		trhd:       *trhd,
 		ms:         *ms,
 		warmMS:     *warmMS,
 		seed:       *seed,
-		plan:       plan,
-		stall:      *stall,
+		plan:       shared.Faults,
+		stall:      shared.StallBudget,
+		reg:        reg,
 	}
 
 	var names []string
@@ -97,6 +104,7 @@ func main() {
 		fatal(fmt.Errorf("no workload named"))
 	}
 
+	start := time.Now()
 	pool := make([]jobs.Job[string], len(names))
 	for i, name := range names {
 		name := name
@@ -105,7 +113,10 @@ func main() {
 			Run: func() (string, error) { return runOne(name, cfg) },
 		}
 	}
-	results := jobs.Run(jobs.Options{Parallelism: *parallel}, pool)
+	results := jobs.RunOn(jobs.NewPool(jobs.Options{
+		Parallelism: shared.Parallelism,
+		Telemetry:   reg,
+	}), pool)
 	exit := 0
 	for i, res := range results {
 		if i > 0 {
@@ -122,6 +133,25 @@ func main() {
 			continue
 		}
 		fmt.Print(res.Value)
+	}
+	if shared.MetricsPath != "" {
+		m := telemetry.NewManifest("mirza-sim", map[string]string{
+			"workload":   *workload,
+			"mitigation": *mitigation,
+			"trhd":       strconv.Itoa(*trhd),
+			"ms":         strconv.FormatFloat(*ms, 'g', -1, 64),
+			"warmup-ms":  strconv.FormatFloat(*warmMS, 'g', -1, 64),
+			"j":          strconv.Itoa(shared.Parallelism),
+		})
+		m.Seed = *seed
+		m.FaultPlan = shared.Faults.String()
+		m.FillFromSnapshot(reg.Snapshot())
+		m.WallClockSeconds = time.Since(start).Seconds()
+		m.WrittenAt = time.Now().UTC().Format(time.RFC3339)
+		if err := m.WriteFile(shared.MetricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "mirza-sim: writing manifest:", err)
+			exit = 1
+		}
 	}
 	os.Exit(exit)
 }
@@ -207,6 +237,7 @@ func runOne(workload string, rc runConfig) (string, error) {
 			Mapping:      dram.StridedR2SA,
 			RFMBAT:       bat,
 			NewMitigator: factory,
+			Telemetry:    rc.reg,
 		},
 	}, gens)
 	if err != nil {
@@ -225,6 +256,7 @@ func runOne(workload string, rc runConfig) (string, error) {
 	if err := sys.RunChecked(horizon); err != nil {
 		return "", err
 	}
+	sys.FlushTelemetry(telemetry.L("workload", workload))
 
 	st := sys.MemStats()
 	ipcs := sys.IPCs()

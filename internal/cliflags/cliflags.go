@@ -1,0 +1,71 @@
+// Package cliflags registers and validates the command-line flags shared
+// by cmd/mirza-sim and cmd/mirza-bench: the fault-injection plan
+// (-faults), the livelock watchdog budget (-stall-budget), the job-engine
+// worker count (-j), and the telemetry manifest path (-metrics). Keeping
+// the parsing in one place keeps the two binaries' flag semantics — and
+// their error messages for malformed input — identical.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mirza/internal/fault"
+)
+
+// DefaultStallBudget is the watchdog budget both commands default to.
+const DefaultStallBudget = 2 * time.Minute
+
+// Common holds the raw values of the shared flags as registered on a
+// FlagSet. Call Resolve after flag parsing to validate them.
+type Common struct {
+	faults  *string
+	stall   *time.Duration
+	j       *int
+	metrics *string
+}
+
+// Register installs the shared flags on fs and returns the handle to
+// resolve them after fs.Parse.
+func Register(fs *flag.FlagSet) *Common {
+	return &Common{
+		faults: fs.String("faults", "",
+			"fault-injection plan, e.g. seed=7,bitflip=1e-5,alertdrop=0.2 (see internal/fault)"),
+		stall: fs.Duration("stall-budget", DefaultStallBudget,
+			"abort a simulation whose event time stops advancing for this long (0 = disabled)"),
+		j: fs.Int("j", 0,
+			"worker count for the job engine (0 = GOMAXPROCS; 1 = strictly sequential)"),
+		metrics: fs.String("metrics", "",
+			"write a telemetry RunManifest JSON snapshot to this path at exit"),
+	}
+}
+
+// Values are the validated shared settings.
+type Values struct {
+	Faults      fault.Plan
+	StallBudget time.Duration
+	Parallelism int
+	MetricsPath string
+}
+
+// Resolve validates the parsed flag values. It must be called after the
+// owning FlagSet has been parsed.
+func (c *Common) Resolve() (Values, error) {
+	plan, err := fault.Parse(*c.faults)
+	if err != nil {
+		return Values{}, fmt.Errorf("-faults: %w", err)
+	}
+	if *c.stall < 0 {
+		return Values{}, fmt.Errorf("-stall-budget: must be >= 0, got %v", *c.stall)
+	}
+	if *c.j < 0 {
+		return Values{}, fmt.Errorf("-j: worker count must be >= 0, got %d", *c.j)
+	}
+	return Values{
+		Faults:      plan,
+		StallBudget: *c.stall,
+		Parallelism: *c.j,
+		MetricsPath: *c.metrics,
+	}, nil
+}

@@ -1,0 +1,87 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parse registers the shared flags on a fresh FlagSet, parses args, and
+// resolves.
+func parse(t *testing.T, args ...string) (Values, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("flag parse: %v", err)
+	}
+	return c.Resolve()
+}
+
+func TestDefaults(t *testing.T) {
+	v, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Faults.Empty() {
+		t.Error("default fault plan must be empty")
+	}
+	if v.StallBudget != DefaultStallBudget {
+		t.Errorf("stall budget = %v, want %v", v.StallBudget, DefaultStallBudget)
+	}
+	if v.Parallelism != 0 {
+		t.Errorf("parallelism = %d, want 0 (GOMAXPROCS)", v.Parallelism)
+	}
+	if v.MetricsPath != "" {
+		t.Errorf("metrics path = %q, want empty", v.MetricsPath)
+	}
+}
+
+func TestValidValues(t *testing.T) {
+	v, err := parse(t,
+		"-faults", "seed=7,alertdrop=0.5",
+		"-stall-budget", "30s",
+		"-j", "4",
+		"-metrics", "/tmp/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Faults.Empty() {
+		t.Error("fault plan should be non-empty")
+	}
+	if v.StallBudget != 30*time.Second {
+		t.Errorf("stall budget = %v", v.StallBudget)
+	}
+	if v.Parallelism != 4 {
+		t.Errorf("parallelism = %d", v.Parallelism)
+	}
+	if v.MetricsPath != "/tmp/manifest.json" {
+		t.Errorf("metrics path = %q", v.MetricsPath)
+	}
+}
+
+func TestMalformedFaultPlans(t *testing.T) {
+	for _, plan := range []string{
+		"alertdrop",          // no value
+		"alertdrop=nope",     // non-numeric
+		"alertdrop=1.5",      // probability out of range
+		"unknownknob=3",      // unknown key
+		"seed=7,,alertdrop=", // empty terms
+	} {
+		if _, err := parse(t, "-faults", plan); err == nil {
+			t.Errorf("plan %q: expected an error", plan)
+		} else if !strings.Contains(err.Error(), "-faults") {
+			t.Errorf("plan %q: error %v does not name the flag", plan, err)
+		}
+	}
+}
+
+func TestBadValues(t *testing.T) {
+	if _, err := parse(t, "-j", "-2"); err == nil || !strings.Contains(err.Error(), "-j") {
+		t.Errorf("negative -j: err = %v, want an error naming the flag", err)
+	}
+	if _, err := parse(t, "-stall-budget", "-5s"); err == nil || !strings.Contains(err.Error(), "-stall-budget") {
+		t.Errorf("negative -stall-budget: err = %v, want an error naming the flag", err)
+	}
+}

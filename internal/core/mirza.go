@@ -332,3 +332,16 @@ func (m *Mirza) InjectStateFault(rng *stats.RNG) string {
 // (RCT counters, queues, MINT windows). Used when a warmed-up mitigator is
 // carried from the replay phase into the timing simulation.
 func (m *Mirza) ResetStats() { m.Stats = MirzaStats{} }
+
+// TrackStats implements track.StatsSource, mapping MIRZA's counters onto
+// the common vocabulary: insertions are MINT selections entering the
+// MIRZA-Q and evictions are selections dropped by a full queue.
+func (m *Mirza) TrackStats() track.Stats {
+	return track.Stats{
+		ACTs:         m.Stats.ACTs,
+		Mitigations:  m.Stats.Mitigations,
+		AlertsWanted: m.Stats.AlertsRaised,
+		Insertions:   m.Stats.Selections,
+		Evictions:    m.Stats.DroppedSel,
+	}
+}

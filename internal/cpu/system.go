@@ -6,6 +6,7 @@ import (
 	"mirza/internal/dram"
 	"mirza/internal/mem"
 	"mirza/internal/sim"
+	"mirza/internal/telemetry"
 	"mirza/internal/trace"
 	"mirza/internal/vmap"
 )
@@ -151,23 +152,25 @@ func (s *System) IPCs() []float64 {
 // MemStats returns channel counters accumulated over the current
 // measurement window.
 func (s *System) MemStats() mem.Stats {
-	cur := s.Channel.Stats()
-	snap := s.memSnapshot
-	return mem.Stats{
-		Reads:             cur.Reads - snap.Reads,
-		Writes:            cur.Writes - snap.Writes,
-		ACTs:              cur.ACTs - snap.ACTs,
-		REFs:              cur.REFs - snap.REFs,
-		RFMs:              cur.RFMs - snap.RFMs,
-		Alerts:            cur.Alerts - snap.Alerts,
-		DemandRefreshRows: cur.DemandRefreshRows - snap.DemandRefreshRows,
-		Mitigations:       cur.Mitigations - snap.Mitigations,
-		VictimRows:        cur.VictimRows - snap.VictimRows,
-		BusBusy:           cur.BusBusy - snap.BusBusy,
-		AlertStall:        cur.AlertStall - snap.AlertStall,
-		RefBusy:           cur.RefBusy - snap.RefBusy,
-		RFMBusy:           cur.RFMBusy - snap.RFMBusy,
+	return s.Channel.Stats().Sub(s.memSnapshot)
+}
+
+// FlushTelemetry folds the run's counters — channel, trackers, kernel,
+// watchdog — into the channel's configured telemetry registry. Call it
+// exactly once, after the simulation completes; with telemetry disabled it
+// is a no-op.
+func (s *System) FlushTelemetry(extra ...telemetry.Label) {
+	reg := s.Channel.Telemetry()
+	if !reg.Enabled() {
+		return
 	}
+	s.Channel.FlushTelemetry(extra...)
+	reg.Counter("sim_events_executed_total", extra...).Add(int64(s.Kernel.Executed()))
+	// Add, not Set: parallel jobs flush in nondeterministic order, and sums
+	// commute where a last-writer-wins Set would not.
+	reg.Gauge("sim_events_pending", extra...).Add(int64(s.Kernel.Pending()))
+	reg.Counter("sim_time_total_ps", extra...).Add(int64(s.Kernel.Now()))
+	reg.Counter("sim_watchdog_samples_total", extra...).Add(int64(s.Watchdog.Samples()))
 }
 
 // Window returns the length of the current measurement window.

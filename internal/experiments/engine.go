@@ -53,23 +53,17 @@ func runJobs[T any](r *Runner, js []job[T]) ([]T, error) {
 			Run: func() (T, error) { return js[i].run(execs[i]) },
 		}
 	}
-	results := jobs.Run(jobs.Options{
-		Parallelism: r.opts.Parallelism,
-		Timeout:     r.opts.JobTimeout,
-	}, pool)
-	ran := 0
+	results := jobs.RunOn(r.pool, pool)
 	for i := range results {
 		if results[i].Skipped {
 			continue
 		}
-		ran++
 		// A timed-out job was abandoned: its goroutine may still be
 		// writing the job log, so that log must not be touched.
 		if !errors.Is(results[i].Err, jobs.ErrTimeout) {
 			r.faultLog.Merge(execs[i].log)
 		}
 	}
-	r.countJobs(ran, jobs.TotalBusy(results))
 	if err := jobs.FirstError(results); err != nil {
 		return nil, err
 	}

@@ -25,9 +25,11 @@ import (
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
 	"mirza/internal/fault"
+	"mirza/internal/jobs"
 	"mirza/internal/mem"
 	"mirza/internal/replay"
 	"mirza/internal/sim"
+	"mirza/internal/telemetry"
 	"mirza/internal/trace"
 	"mirza/internal/track"
 )
@@ -79,6 +81,14 @@ type Options struct {
 	// job that exceeds it is abandoned and its experiment fails with a
 	// jobs.ErrTimeout-wrapped error.
 	JobTimeout time.Duration
+
+	// Telemetry, when non-nil, collects run metrics: per-sub-channel
+	// memory counters, tracker stats, kernel totals, and the job engine's
+	// live gauges. All deterministic metrics are identical for identical
+	// (options, seed) regardless of Parallelism — counter folds commute.
+	// nil (the default) keeps every hot path telemetry-free and all
+	// outputs byte-identical to earlier versions.
+	Telemetry *telemetry.Registry
 
 	// Logf receives progress lines. setDefaults installs a no-op when nil,
 	// so callers may invoke it unconditionally. It may be called from
@@ -206,10 +216,10 @@ type Runner struct {
 	// per-job logs folded in deterministic job-submission order.
 	faultLog *fault.Log
 
-	// jobMu guards the job accounting used for speedup reporting.
-	jobMu   sync.Mutex
-	jobRuns int
-	jobBusy time.Duration
+	// pool executes every experiment job and is the single source of
+	// truth for the jobs/busy/speedup accounting (and, when telemetry is
+	// enabled, the live jobs_* metrics).
+	pool *jobs.Pool
 }
 
 // baselineEntry is the single-flight slot for one workload's baseline.
@@ -228,6 +238,11 @@ func NewRunner(opts Options) *Runner {
 		mlp:          make(map[string]int),
 		calibrations: make(map[string]int),
 		faultLog:     fault.NewLog(),
+		pool: jobs.NewPool(jobs.Options{
+			Parallelism: opts.Parallelism,
+			Timeout:     opts.JobTimeout,
+			Telemetry:   opts.Telemetry,
+		}),
 	}
 }
 
@@ -242,19 +257,15 @@ func (r *Runner) FaultLog() *fault.Log { return r.faultLog }
 
 // JobStats returns how many jobs the runner has executed and their summed
 // wall-clock durations — an estimate of the time a -j 1 run would need.
+// It reads the job pool's accounting, the same numbers the jobs_* metrics
+// expose.
 func (r *Runner) JobStats() (n int, busy time.Duration) {
-	r.jobMu.Lock()
-	defer r.jobMu.Unlock()
-	return r.jobRuns, r.jobBusy
+	s := r.pool.Stats()
+	return int(s.Ran()), s.Busy
 }
 
-// countJobs folds one engine batch into the job accounting.
-func (r *Runner) countJobs(n int, busy time.Duration) {
-	r.jobMu.Lock()
-	r.jobRuns += n
-	r.jobBusy += busy
-	r.jobMu.Unlock()
-}
+// PoolStats exposes the full job-engine accounting (for live endpoints).
+func (r *Runner) PoolStats() jobs.PoolStats { return r.pool.Stats() }
 
 // mlpFor returns the calibrated MSHR budget for a workload, if recorded.
 func (r *Runner) mlpFor(name string) (int, bool) {
@@ -356,6 +367,7 @@ func (x *Exec) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 			Mapping:      dram.StridedR2SA,
 			RFMBAT:       bat,
 			NewMitigator: factory,
+			Telemetry:    r.opts.Telemetry,
 		},
 	}, gens)
 	if err != nil {
@@ -410,6 +422,7 @@ func (r *Runner) computeBaseline(name string) (*Baseline, error) {
 	if err := sys.RunChecked(r.opts.Warmup + r.opts.Measure); err != nil {
 		return nil, fmt.Errorf("baseline %s measure: %w", name, err)
 	}
+	sys.FlushTelemetry(telemetry.L("layer", "baseline"))
 
 	b := &Baseline{
 		Spec:    spec,
@@ -529,6 +542,7 @@ func (x *Exec) runTiming(name string, timing dram.Timing, bat int,
 	if err := sys.RunChecked(x.r.opts.Warmup + x.r.opts.Measure); err != nil {
 		return nil, fmt.Errorf("timing %s measure: %w", name, err)
 	}
+	sys.FlushTelemetry(telemetry.L("layer", "timing"))
 	return &timingResult{IPCs: sys.IPCs(), Stats: sys.MemStats(), Window: sys.Window()}, nil
 }
 
@@ -630,6 +644,12 @@ func (x *Exec) replayRun(name string, mits []track.Mitigator, obs replay.Observe
 		measured[i].ACTs -= warm[i].ACTs
 		measured[i].REFs -= warm[i].REFs
 		measured[i].Alerts -= warm[i].Alerts
+	}
+	if reg := r.opts.Telemetry; reg.Enabled() {
+		for i, m := range mits {
+			track.FlushTelemetry(reg, m,
+				telemetry.L("layer", "replay"), telemetry.L("sub", strconv.Itoa(i)))
+		}
 	}
 	return warm, measured, measuredTime, nil
 }

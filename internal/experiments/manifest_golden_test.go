@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mirza/internal/fault"
+	"mirza/internal/telemetry"
+)
+
+// runManifest runs the fig3 golden case with telemetry enabled at the given
+// parallelism and returns the canonical (wall-clock-free) manifest JSON.
+func runManifest(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	reg := telemetry.New()
+	opts := goldenOptions([]string{"xz"}, fault.Plan{})
+	opts.Parallelism = parallelism
+	opts.Telemetry = reg
+
+	exp, err := Lookup("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exp.Run(NewRunner(opts)); err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+
+	m := telemetry.NewManifest("golden", map[string]string{
+		"exp":       "fig3",
+		"workloads": "xz",
+	})
+	m.Seed = opts.Seed
+	m.FaultPlan = opts.Faults.String()
+	m.FillFromSnapshot(reg.Snapshot())
+	data, err := m.Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenManifest pins the enabled-telemetry contract: a same-seed run
+// produces an identical manifest modulo wall-clock fields, at any
+// parallelism, down to the bytes recorded in testdata.
+func TestGoldenManifest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden manifest runs a full experiment; skipped in -short")
+	}
+	seq := runManifest(t, 1)
+	par := runManifest(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("canonical manifest differs between -j 1 and -j 8:\n-- j1 --\n%s\n-- j8 --\n%s", seq, par)
+	}
+
+	path := filepath.Join("testdata", "golden_manifest_fig3.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, seq, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(seq, want) {
+		t.Errorf("manifest drifted from golden %s:\n-- got --\n%s\n-- want --\n%s", path, seq, want)
+	}
+}

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mirza/internal/telemetry"
 )
 
 // ErrTimeout is wrapped into a Result's Err when a job exceeds the
@@ -70,7 +72,7 @@ type Result[T any] struct {
 	Duration time.Duration
 }
 
-// Options tunes a Run call.
+// Options tunes a pool.
 type Options struct {
 	// Parallelism is the worker count; <= 0 means runtime.GOMAXPROCS(0).
 	// 1 reproduces a strictly sequential loop exactly.
@@ -79,23 +81,106 @@ type Options struct {
 	// Timeout, when positive, bounds each job's wall-clock execution. A
 	// job that exceeds it is abandoned and reported with ErrTimeout.
 	Timeout time.Duration
+
+	// Telemetry, when non-nil, mirrors the pool's accounting into the
+	// registry: jobs_{submitted,completed,failed,skipped}_total counters,
+	// jobs_{queue_depth,busy_workers} gauges, and the wall-clock
+	// jobs_latency_ms histogram / jobs_busy_ms_total counter. Live
+	// endpoints read these while a suite runs.
+	Telemetry *telemetry.Registry
 }
 
-// Run executes jobs on a worker pool and returns one Result per job in
-// submission order. It never panics and always returns len(jobs) results.
+// PoolStats is a snapshot of a pool's accounting, valid across concurrent
+// RunOn batches. Busy sums the wall-clock execution time of every job that
+// ran — an estimate of what a one-worker run would need.
+type PoolStats struct {
+	Submitted int64 // jobs handed to RunOn
+	Completed int64 // jobs that ran and returned without error
+	Failed    int64 // jobs that ran and errored (incl. panics and timeouts)
+	Skipped   int64 // jobs never started because an earlier index failed
+
+	BusyWorkers int64 // jobs executing right now
+	QueueDepth  int64 // jobs submitted but not yet started
+
+	Busy time.Duration
+}
+
+// Ran returns how many jobs actually executed.
+func (s PoolStats) Ran() int64 { return s.Completed + s.Failed }
+
+// Pool executes job batches and accounts for them. One Pool may serve many
+// RunOn calls (sequentially or concurrently); its counters accumulate over
+// its whole lifetime, which is what makes Stats the single source of truth
+// for "jobs run / busy time / speedup" reporting.
+type Pool struct {
+	opts Options
+
+	submitted, completed, failed, skipped atomic.Int64
+	busyWorkers, queueDepth               atomic.Int64
+	busyNS                                atomic.Int64
+
+	// telemetry mirrors (nil handles when Options.Telemetry is nil).
+	mSubmitted, mCompleted, mFailed, mSkipped *telemetry.Counter
+	mBusyMS                                   *telemetry.Counter
+	gBusy, gQueue                             *telemetry.Gauge
+	hLatency                                  *telemetry.Histogram
+}
+
+// NewPool builds a pool over opts.
+func NewPool(opts Options) *Pool {
+	p := &Pool{opts: opts}
+	reg := opts.Telemetry
+	p.mSubmitted = reg.Counter("jobs_submitted_total")
+	p.mCompleted = reg.Counter("jobs_completed_total")
+	p.mFailed = reg.Counter("jobs_failed_total")
+	p.mSkipped = reg.Counter("jobs_skipped_total")
+	p.mBusyMS = reg.WallCounter("jobs_busy_ms_total")
+	p.gBusy = reg.Gauge("jobs_busy_workers")
+	p.gQueue = reg.Gauge("jobs_queue_depth")
+	// 100ms buckets up to 12s, overflow clamped into the last bucket.
+	p.hLatency = reg.WallHistogram("jobs_latency_ms", 120, 100)
+	return p
+}
+
+// Stats snapshots the pool's accounting.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Submitted:   p.submitted.Load(),
+		Completed:   p.completed.Load(),
+		Failed:      p.failed.Load(),
+		Skipped:     p.skipped.Load(),
+		BusyWorkers: p.busyWorkers.Load(),
+		QueueDepth:  p.queueDepth.Load(),
+		Busy:        time.Duration(p.busyNS.Load()),
+	}
+}
+
+// Run executes jobs on a fresh single-batch pool and returns one Result
+// per job in submission order. It never panics and always returns
+// len(jobs) results.
 func Run[T any](opts Options, jobs []Job[T]) []Result[T] {
+	return RunOn(NewPool(opts), jobs)
+}
+
+// RunOn executes a batch of jobs on pool p with the same ordering and
+// fail-fast guarantees as Run, folding the batch into p's accounting.
+func RunOn[T any](p *Pool, jobs []Job[T]) []Result[T] {
 	n := len(jobs)
 	results := make([]Result[T], n)
 	if n == 0 {
 		return results
 	}
-	workers := opts.Parallelism
+	workers := p.opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	p.submitted.Add(int64(n))
+	p.mSubmitted.Add(int64(n))
+	p.queueDepth.Add(int64(n))
+	p.gQueue.Add(int64(n))
 
 	// minFail is the lowest submission index that has failed so far
 	// (n = none). Jobs with a higher index that have not started yet are
@@ -114,13 +199,30 @@ func Run[T any](opts Options, jobs []Job[T]) []Result[T] {
 				if i >= n {
 					return
 				}
+				p.queueDepth.Add(-1)
+				p.gQueue.Add(-1)
 				if int64(i) > atomic.LoadInt64(&minFail) {
 					results[i] = Result[T]{ID: jobs[i].ID, Skipped: true}
+					p.skipped.Add(1)
+					p.mSkipped.Inc()
 					continue
 				}
-				results[i] = execute(jobs[i], opts.Timeout)
+				p.busyWorkers.Add(1)
+				p.gBusy.Add(1)
+				results[i] = execute(jobs[i], p.opts.Timeout)
+				p.busyWorkers.Add(-1)
+				p.gBusy.Add(-1)
+				d := results[i].Duration
+				p.busyNS.Add(int64(d))
+				p.mBusyMS.Add(d.Milliseconds())
+				p.hLatency.Observe(float64(d) / float64(time.Millisecond))
 				if results[i].Err != nil {
+					p.failed.Add(1)
+					p.mFailed.Inc()
 					storeMin(&minFail, int64(i))
+				} else {
+					p.completed.Add(1)
+					p.mCompleted.Inc()
 				}
 			}
 		}()

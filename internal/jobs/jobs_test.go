@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mirza/internal/telemetry"
 )
 
 func ids(n int) []Job[int] {
@@ -124,6 +126,99 @@ func TestPerJobTimeout(t *testing.T) {
 	}
 	if !errors.Is(res[1].Err, ErrTimeout) {
 		t.Fatalf("stuck job error = %v, want ErrTimeout", res[1].Err)
+	}
+}
+
+func TestPoolStatsAccumulateAcrossBatches(t *testing.T) {
+	p := NewPool(Options{Parallelism: 2})
+	js := make([]Job[int], 6)
+	for i := range js {
+		i := i
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+			if i == 5 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}}
+	}
+	RunOn(p, js)
+	RunOn(p, ids(4))
+	s := p.Stats()
+	if s.Submitted != 10 {
+		t.Errorf("Submitted = %d, want 10", s.Submitted)
+	}
+	if s.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", s.Failed)
+	}
+	if s.Completed+s.Skipped != 9 {
+		t.Errorf("Completed+Skipped = %d, want 9", s.Completed+s.Skipped)
+	}
+	if s.Ran() != s.Completed+s.Failed {
+		t.Errorf("Ran() = %d, want %d", s.Ran(), s.Completed+s.Failed)
+	}
+	if s.BusyWorkers != 0 || s.QueueDepth != 0 {
+		t.Errorf("idle pool reports busy=%d queue=%d", s.BusyWorkers, s.QueueDepth)
+	}
+	if s.Busy <= 0 {
+		t.Errorf("Busy = %v, want > 0", s.Busy)
+	}
+}
+
+func TestPoolTelemetryMirrors(t *testing.T) {
+	reg := telemetry.New()
+	p := NewPool(Options{Parallelism: 3, Telemetry: reg})
+	js := make([]Job[int], 8)
+	for i := range js {
+		i := i
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+			time.Sleep(time.Millisecond)
+			if i == 7 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		}}
+	}
+	RunOn(p, js)
+	snap := reg.Snapshot()
+	s := p.Stats()
+	if got := snap.CounterTotal("jobs_submitted_total"); got != s.Submitted {
+		t.Errorf("jobs_submitted_total = %d, want %d", got, s.Submitted)
+	}
+	if got := snap.CounterTotal("jobs_completed_total"); got != s.Completed {
+		t.Errorf("jobs_completed_total = %d, want %d", got, s.Completed)
+	}
+	if got := snap.CounterTotal("jobs_failed_total"); got != s.Failed {
+		t.Errorf("jobs_failed_total = %d, want %d", got, s.Failed)
+	}
+	if got := snap.CounterTotal("jobs_skipped_total"); got != s.Skipped {
+		t.Errorf("jobs_skipped_total = %d, want %d", got, s.Skipped)
+	}
+	for _, g := range snap.Gauges {
+		if g.Value != 0 {
+			t.Errorf("gauge %s = %d after drain, want 0", g.Name, g.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "jobs_latency_ms" {
+			if h.Total != s.Ran() {
+				t.Errorf("jobs_latency_ms count = %d, want %d", h.Total, s.Ran())
+			}
+			if !h.WallClock {
+				t.Error("jobs_latency_ms must be flagged wall-clock")
+			}
+		}
+	}
+}
+
+func TestRunMatchesRunOnSemantics(t *testing.T) {
+	// Run is sugar over a fresh pool; telemetry-free pools must not
+	// allocate registry state.
+	res := Run(Options{Parallelism: 2}, ids(5))
+	if err := FirstError(res); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalBusy(res); got < 0 {
+		t.Errorf("TotalBusy = %v", got)
 	}
 }
 

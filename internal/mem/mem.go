@@ -9,9 +9,11 @@ package mem
 
 import (
 	"fmt"
+	"strconv"
 
 	"mirza/internal/dram"
 	"mirza/internal/sim"
+	"mirza/internal/telemetry"
 	"mirza/internal/track"
 )
 
@@ -58,6 +60,12 @@ type Config struct {
 	// sub-channel sub, reporting mitigations to sink. nil selects the
 	// unprotected baseline.
 	NewMitigator func(sub int, sink track.Sink) track.Mitigator
+
+	// Telemetry, when non-nil, receives the channel's metrics: the
+	// per-bank ACT histogram is fed live (once per REF), everything else
+	// when FlushTelemetry is called at the end of a run. nil keeps the
+	// hot path free of telemetry entirely.
+	Telemetry *telemetry.Registry
 }
 
 func (c *Config) setDefaults() error {
@@ -81,9 +89,13 @@ type Stats struct {
 	Reads  int64
 	Writes int64
 	ACTs   int64
+	PREs   int64
 	REFs   int64
 	RFMs   int64
 	Alerts int64
+
+	RowHits   int64 // column commands served from an already-open row
+	RowMisses int64 // column commands that had to wait for an ACT
 
 	DemandRefreshRows int64 // rows refreshed by REF commands
 	Mitigations       int64 // aggressor rows mitigated by the tracker
@@ -100,9 +112,12 @@ func (s *Stats) Add(other Stats) {
 	s.Reads += other.Reads
 	s.Writes += other.Writes
 	s.ACTs += other.ACTs
+	s.PREs += other.PREs
 	s.REFs += other.REFs
 	s.RFMs += other.RFMs
 	s.Alerts += other.Alerts
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
 	s.DemandRefreshRows += other.DemandRefreshRows
 	s.Mitigations += other.Mitigations
 	s.VictimRows += other.VictimRows
@@ -110,6 +125,28 @@ func (s *Stats) Add(other Stats) {
 	s.AlertStall += other.AlertStall
 	s.RefBusy += other.RefBusy
 	s.RFMBusy += other.RFMBusy
+}
+
+// Sub returns s minus other, field by field (for measurement windows).
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Reads:             s.Reads - other.Reads,
+		Writes:            s.Writes - other.Writes,
+		ACTs:              s.ACTs - other.ACTs,
+		PREs:              s.PREs - other.PREs,
+		REFs:              s.REFs - other.REFs,
+		RFMs:              s.RFMs - other.RFMs,
+		Alerts:            s.Alerts - other.Alerts,
+		RowHits:           s.RowHits - other.RowHits,
+		RowMisses:         s.RowMisses - other.RowMisses,
+		DemandRefreshRows: s.DemandRefreshRows - other.DemandRefreshRows,
+		Mitigations:       s.Mitigations - other.Mitigations,
+		VictimRows:        s.VictimRows - other.VictimRows,
+		BusBusy:           s.BusBusy - other.BusBusy,
+		AlertStall:        s.AlertStall - other.AlertStall,
+		RefBusy:           s.RefBusy - other.RefBusy,
+		RFMBusy:           s.RFMBusy - other.RFMBusy,
+	}
 }
 
 // Channel is one DDR5 channel: a set of independent sub-channels sharing
@@ -160,6 +197,42 @@ func (ch *Channel) Mitigators() []track.Mitigator {
 		out[i] = s.mit
 	}
 	return out
+}
+
+// Telemetry returns the registry the channel was configured with (nil when
+// telemetry is disabled).
+func (ch *Channel) Telemetry() *telemetry.Registry { return ch.cfg.Telemetry }
+
+// FlushTelemetry folds the accumulated per-sub-channel counters and each
+// mitigator's tracker stats into the configured registry. Counters are
+// cumulative: call it exactly once, after a run completes. With no
+// registry configured it is a no-op.
+func (ch *Channel) FlushTelemetry(extra ...telemetry.Label) {
+	reg := ch.cfg.Telemetry
+	if !reg.Enabled() {
+		return
+	}
+	for i, s := range ch.subs {
+		labels := append([]telemetry.Label{telemetry.L("sub", strconv.Itoa(i))}, extra...)
+		st := s.stats
+		reg.Counter("mem_acts_total", labels...).Add(st.ACTs)
+		reg.Counter("mem_pres_total", labels...).Add(st.PREs)
+		reg.Counter("mem_reads_total", labels...).Add(st.Reads)
+		reg.Counter("mem_writes_total", labels...).Add(st.Writes)
+		reg.Counter("mem_refs_total", labels...).Add(st.REFs)
+		reg.Counter("mem_rfms_total", labels...).Add(st.RFMs)
+		reg.Counter("mem_alerts_total", labels...).Add(st.Alerts)
+		reg.Counter("mem_row_hits_total", labels...).Add(st.RowHits)
+		reg.Counter("mem_row_misses_total", labels...).Add(st.RowMisses)
+		reg.Counter("mem_demand_refresh_rows_total", labels...).Add(st.DemandRefreshRows)
+		reg.Counter("mem_mitigations_total", labels...).Add(st.Mitigations)
+		reg.Counter("mem_victim_rows_total", labels...).Add(st.VictimRows)
+		reg.Counter("mem_bus_busy_ps_total", labels...).Add(int64(st.BusBusy))
+		reg.Counter("mem_alert_stall_ps_total", labels...).Add(int64(st.AlertStall))
+		reg.Counter("mem_ref_busy_ps_total", labels...).Add(int64(st.RefBusy))
+		reg.Counter("mem_rfm_busy_ps_total", labels...).Add(int64(st.RFMBusy))
+		track.FlushTelemetry(reg, s.mit, labels...)
+	}
 }
 
 // PendingRequests returns the number of requests queued across

@@ -1,8 +1,11 @@
 package mem
 
 import (
+	"strconv"
+
 	"mirza/internal/dram"
 	"mirza/internal/sim"
+	"mirza/internal/telemetry"
 	"mirza/internal/track"
 )
 
@@ -56,6 +59,12 @@ type SubChannel struct {
 	nextWake dram.Time // earliest scheduled wake (-1 if none)
 	wakeGen  uint64    // generation counter invalidating stale wakes
 	stats    Stats
+
+	// teleBankActs counts ACTs per bank since the last REF; at each REF
+	// every bank's count is observed into teleActHist and reset. Both are
+	// nil when telemetry is disabled, so the hot path pays one nil test.
+	teleBankActs []int64
+	teleActHist  *telemetry.Histogram
 }
 
 func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
@@ -84,6 +93,11 @@ func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
 		s.mit = cfg.NewMitigator(id, sink)
 	} else {
 		s.mit = track.NewNop()
+	}
+	if cfg.Telemetry.Enabled() {
+		s.teleBankActs = make([]int64, cfg.Geometry.BanksPerSubChannel)
+		s.teleActHist = cfg.Telemetry.Histogram("mem_bank_acts_per_ref", 32, 4,
+			telemetry.L("sub", strconv.Itoa(id)))
 	}
 	// Refresh is self-sustaining: arm the first REF.
 	s.requestWake(s.refDue)
@@ -326,6 +340,12 @@ func (s *SubChannel) stepRefresh(now dram.Time) bool {
 	s.stats.REFs++
 	s.stats.RefBusy += t.TRFC
 	s.stats.DemandRefreshRows += int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
+	if s.teleBankActs != nil {
+		for b, acts := range s.teleBankActs {
+			s.teleActHist.Observe(float64(acts))
+			s.teleBankActs[b] = 0
+		}
+	}
 	s.mit.OnREF(s.refIndex, now) // 0-based position in the refresh walk
 	s.refIndex++
 	s.refDue += t.TREFI
@@ -352,6 +372,7 @@ func (s *SubChannel) precharge(bank int, now dram.Time) {
 		bk.actReadyAt = now + t.TRP
 	}
 	bk.idleAt = now + t.TRP
+	s.stats.PREs++
 }
 
 func (s *SubChannel) activate(bank, row int, now dram.Time) {
@@ -367,6 +388,9 @@ func (s *SubChannel) activate(bank, row int, now dram.Time) {
 	s.lastActAt = now
 	s.stats.ACTs++
 	s.actSinceAlert = true
+	if s.teleBankActs != nil {
+		s.teleBankActs[bank]++
+	}
 
 	if s.cfg.RFMBAT > 0 {
 		bk.actCounter++
@@ -383,6 +407,12 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 	dataDone := now + t.TCL + t.TBUS
 	s.busFreeAt = dataDone
 	s.stats.BusBusy += t.TBUS
+	if bk.openedAt <= r.arrive {
+		// The row was already open when the request arrived.
+		s.stats.RowHits++
+	} else {
+		s.stats.RowMisses++
+	}
 	if r.Write {
 		s.stats.Writes++
 		if bk.preReadyAt < dataDone+t.TWR {

@@ -35,6 +35,20 @@ type Watchdog struct {
 
 	// clock overrides time.Now in tests.
 	clock func() time.Time
+
+	// samples counts progress checks across all watched runs. It is a
+	// pure function of the executed-event sequence (one sample per
+	// CheckEvery events), so it is deterministic and safe to export in
+	// run manifests.
+	samples uint64
+}
+
+// Samples returns the number of progress checks performed so far.
+func (w *Watchdog) Samples() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.samples
 }
 
 func (w *Watchdog) now() time.Time {
@@ -104,6 +118,7 @@ func (k *Kernel) RunUntilWatched(deadline dram.Time, w *Watchdog) error {
 			continue
 		}
 		sinceCheck = 0
+		w.samples++
 		if k.now-lastNow >= minAdvance {
 			lastNow = k.now
 			lastProgress = w.now()

@@ -153,6 +153,18 @@ func NewHistogram(n int, width float64) *Histogram {
 	return &Histogram{BucketWidth: width, Counts: make([]int64, n)}
 }
 
+// HistogramFromCounts reconstructs a histogram from externally accumulated
+// bucket counts (e.g. a telemetry snapshot), so Quantile and Total work on
+// data that was not collected through Add. The counts slice is used
+// directly, not copied.
+func HistogramFromCounts(width float64, counts []int64) *Histogram {
+	h := &Histogram{BucketWidth: width, Counts: counts}
+	for _, c := range counts {
+		h.total += c
+	}
+	return h
+}
+
 // Add records one observation of x. Non-finite observations are clamped —
 // NaN and -Inf into the first bucket, +Inf into the last — before the
 // float-to-int conversion, whose behaviour for out-of-range values is
@@ -173,13 +185,28 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
-// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
-// bucket midpoints. With no samples it returns 0.
+// Quantile returns an approximation of the q-quantile using bucket
+// midpoints.
+//
+// Clamping contract: q is clamped into [0, 1] before use — q < 0 behaves
+// like 0 (the midpoint of the lowest populated bucket), q > 1 like 1 (the
+// midpoint of the highest populated bucket), and NaN like 0 (it is not a
+// quantile, but a deterministic answer beats an implementation-defined
+// float-to-int conversion). With no samples Quantile returns 0 for any q.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	// NaN fails the first comparison and is clamped to 0.
+	if !(q > 0) {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1 // q == 1: land in the highest populated bucket
+	}
 	var cum int64
 	for i, c := range h.Counts {
 		cum += c

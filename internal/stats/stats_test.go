@@ -180,6 +180,65 @@ func TestHistogramNonFinite(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: 0 for any q, including garbage q.
+	empty := NewHistogram(4, 1.0)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Populated histogram with distinct low/high buckets: bucket 1 holds
+	// the low half, bucket 5 the high half (midpoints 1.5 and 5.5).
+	h := NewHistogram(8, 1.0)
+	for i := 0; i < 10; i++ {
+		h.Add(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(5.5)
+	}
+	// q < 0 and NaN clamp to 0: lowest populated bucket midpoint.
+	for _, q := range []float64{-0.5, -1e9, math.NaN(), 0} {
+		if got := h.Quantile(q); got != 1.5 {
+			t.Errorf("Quantile(%v) = %v, want 1.5 (clamped to q=0)", q, got)
+		}
+	}
+	// q > 1 clamps to 1: highest populated bucket midpoint, not the last
+	// bucket of the array.
+	for _, q := range []float64{1, 1.5, 1e9, math.Inf(1)} {
+		if got := h.Quantile(q); got != 5.5 {
+			t.Errorf("Quantile(%v) = %v, want 5.5 (clamped to q=1)", q, got)
+		}
+	}
+
+	// Single-bucket histogram: every quantile is the one midpoint.
+	one := NewHistogram(1, 2.0)
+	one.Add(0.3)
+	one.Add(1.7)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := one.Quantile(q); got != 1.0 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want 1.0", q, got)
+		}
+	}
+}
+
+func TestHistogramFromCounts(t *testing.T) {
+	counts := []int64{2, 0, 3, 1}
+	h := HistogramFromCounts(10, counts)
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	// Median: cumulative 2,2,5 -> the 3rd observation (target 3) is in
+	// bucket 2, midpoint 25.
+	if got := h.Quantile(0.5); got != 25 {
+		t.Errorf("Quantile(0.5) = %v, want 25", got)
+	}
+	if got := h.Quantile(1); got != 35 {
+		t.Errorf("Quantile(1) = %v, want 35 (highest populated bucket)", got)
+	}
+}
+
 func TestIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     int64             `json:"value"`
+	WallClock bool              `json:"wall_clock,omitempty"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     int64             `json:"value"`
+	WallClock bool              `json:"wall_clock,omitempty"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Counts are per-bucket
+// observation counts (bucket i covers [i*BucketWidth, (i+1)*BucketWidth),
+// with under/overflow clamped into the first/last bucket); P50/P90/P99 are
+// bucket-midpoint quantile approximations from stats.Histogram.Quantile.
+type HistogramValue struct {
+	Name        string            `json:"name"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	BucketWidth float64           `json:"bucket_width"`
+	Counts      []int64           `json:"counts"`
+	Total       int64             `json:"total"`
+	Sum         float64           `json:"sum"`
+	P50         float64           `json:"p50"`
+	P90         float64           `json:"p90"`
+	P99         float64           `json:"p99"`
+	WallClock   bool              `json:"wall_clock,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Registry, sorted by (name, labels)
+// so identical registry contents always serialize identically.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. It is safe to call while
+// metrics are being updated (values are read atomically) and returns an
+// empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return metricKey(ms[i].name, ms[i].labels) < metricKey(ms[j].name, ms[j].labels)
+	})
+	for _, m := range ms {
+		labels := labelMap(m.labels)
+		switch m.kind {
+		case kindCounter:
+			s.Counters = append(s.Counters, CounterValue{
+				Name: m.name, Labels: labels, Value: m.c.Value(), WallClock: m.wall,
+			})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, GaugeValue{
+				Name: m.name, Labels: labels, Value: m.g.Value(), WallClock: m.wall,
+			})
+		case kindHistogram:
+			h := m.h.Snapshot()
+			s.Histograms = append(s.Histograms, HistogramValue{
+				Name: m.name, Labels: labels,
+				BucketWidth: m.h.width, Counts: h.Counts, Total: h.Total(),
+				Sum:       math.Float64frombits(m.h.sum.Load()),
+				P50:       h.Quantile(0.50),
+				P90:       h.Quantile(0.90),
+				P99:       h.Quantile(0.99),
+				WallClock: m.wall,
+			})
+		}
+	}
+	return s
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// CounterTotal sums every counter series named name (across all label
+// sets). Missing names return 0.
+func (s Snapshot) CounterTotal(name string) int64 {
+	var total int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+// Canonical returns the snapshot with every wall-clock-flagged metric
+// removed: what remains is a pure function of (config, seed, fault plan)
+// and can be golden-tested or diffed between runs.
+func (s Snapshot) Canonical() Snapshot {
+	var out Snapshot
+	for _, c := range s.Counters {
+		if !c.WallClock {
+			out.Counters = append(out.Counters, c)
+		}
+	}
+	for _, g := range s.Gauges {
+		if !g.WallClock {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if !h.WallClock {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}
+
+// ManifestSchemaVersion identifies the RunManifest JSON layout; bump it on
+// incompatible field changes so downstream consumers can dispatch.
+const ManifestSchemaVersion = 1
+
+// RunManifest is the machine-readable record of one simulator run: the
+// configuration that produced it (hashed for quick equality checks), the
+// seed and fault plan, simulated- and wall-time totals, and the full metric
+// snapshot. Two runs with the same config, seed and fault plan produce
+// identical manifests modulo the wall-clock fields — compare with
+// Canonical, which zeroes WallClockSeconds/WrittenAt and drops wall-clock
+// metrics.
+type RunManifest struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+
+	// Config is the flattened run configuration; ConfigHash is the SHA-256
+	// of its sorted key=value rendering (see ConfigHash).
+	Config     map[string]string `json:"config"`
+	ConfigHash string            `json:"config_hash"`
+
+	Seed      uint64 `json:"seed"`
+	FaultPlan string `json:"fault_plan,omitempty"`
+
+	// SimulatedPS is total simulated picoseconds summed over every
+	// simulation the run executed (the sim_time_total_ps counter).
+	SimulatedPS int64 `json:"simulated_time_ps"`
+
+	// Wall-clock fields: excluded from determinism guarantees.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	WrittenAt        string  `json:"written_at,omitempty"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest builds a manifest skeleton for tool over config, computing
+// the config hash. The caller fills Seed, FaultPlan, timing fields and
+// Metrics before writing.
+func NewManifest(tool string, config map[string]string) *RunManifest {
+	return &RunManifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Tool:          tool,
+		Config:        config,
+		ConfigHash:    ConfigHash(config),
+	}
+}
+
+// ConfigHash returns the SHA-256 hex digest of the sorted key=value
+// rendering of config: a stable fingerprint for "same configuration".
+func ConfigHash(config map[string]string) string {
+	keys := make([]string, 0, len(config))
+	for k := range config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, config[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FillFromSnapshot stores snap and derives SimulatedPS from its
+// sim_time_total_ps counter.
+func (m *RunManifest) FillFromSnapshot(snap Snapshot) {
+	m.Metrics = snap
+	m.SimulatedPS = snap.CounterTotal("sim_time_total_ps")
+}
+
+// Canonical returns a copy with every wall-clock field zeroed and every
+// wall-clock metric dropped: the deterministic core of the manifest, used
+// by golden tests and run-to-run comparison.
+func (m *RunManifest) Canonical() *RunManifest {
+	out := *m
+	out.WallClockSeconds = 0
+	out.WrittenAt = ""
+	out.Metrics = m.Metrics.Canonical()
+	return &out
+}
+
+// JSON renders the manifest as indented JSON. Encoding is deterministic:
+// struct fields have a fixed order and Go's encoder sorts map keys.
+func (m *RunManifest) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the manifest JSON to path (0644).
+func (m *RunManifest) WriteFile(path string) error {
+	b, err := m.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile (for tests and
+// trajectory tooling that diffs snapshots across runs).
+func ReadManifest(path string) (*RunManifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m RunManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// String summarizes the manifest for logs.
+func (m *RunManifest) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s manifest (config %s", m.Tool, m.ConfigHash[:min(12, len(m.ConfigHash))])
+	fmt.Fprintf(&sb, ", seed %d, %d counters, %d gauges, %d histograms)",
+		m.Seed, len(m.Metrics.Counters), len(m.Metrics.Gauges), len(m.Metrics.Histograms))
+	return sb.String()
+}

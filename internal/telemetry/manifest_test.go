@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// populate builds a registry the way two "identical runs" would: same
+// deterministic metrics, different wall-clock metrics.
+func populate(wallMS int64) *Registry {
+	r := New()
+	r.Counter("mem_acts_total", L("sub", "1")).Add(700)
+	r.Counter("mem_acts_total", L("sub", "0")).Add(500)
+	r.Counter("sim_time_total_ps", L("sub", "0")).Add(2_000_000)
+	r.Counter("sim_time_total_ps", L("sub", "1")).Add(3_000_000)
+	r.Gauge("jobs_queue_depth").Set(0)
+	h := r.Histogram("mem_bank_acts_per_ref", 4, 2)
+	for _, x := range []float64{1, 3, 3, 5} {
+		h.Observe(x)
+	}
+	r.WallCounter("jobs_busy_ms_total").Add(wallMS)
+	r.WallHistogram("jobs_latency_ms", 4, 10).Observe(float64(wallMS))
+	return r
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	snap := populate(123).Snapshot()
+	var names []string
+	for _, c := range snap.Counters {
+		names = append(names, c.Name+"|"+c.Labels["sub"])
+	}
+	want := []string{
+		"jobs_busy_ms_total|", "mem_acts_total|0", "mem_acts_total|1",
+		"sim_time_total_ps|0", "sim_time_total_ps|1",
+	}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("counter order = %v, want %v (sorted by name then labels)", names, want)
+	}
+	if got := snap.CounterTotal("sim_time_total_ps"); got != 5_000_000 {
+		t.Errorf("CounterTotal = %d, want 5000000", got)
+	}
+	if got := snap.CounterTotal("absent"); got != 0 {
+		t.Errorf("CounterTotal(absent) = %d, want 0", got)
+	}
+}
+
+func TestManifestCanonicalDeterminism(t *testing.T) {
+	build := func(wallMS int64) []byte {
+		m := NewManifest("mirza-test", map[string]string{"exp": "fig3", "j": "8"})
+		m.Seed = 1
+		m.FaultPlan = "seed=7,alertdrop=0.3"
+		m.FillFromSnapshot(populate(wallMS).Snapshot())
+		m.WallClockSeconds = float64(wallMS) / 1000
+		m.WrittenAt = "2026-08-06T00:00:00Z"
+		b, err := m.Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(123), build(99999)
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical manifests differ across wall-clock variation:\n%s\nvs\n%s", a, b)
+	}
+	// Wall-clock metrics and fields must be gone from the canonical form.
+	if bytes.Contains(a, []byte("jobs_busy_ms_total")) || bytes.Contains(a, []byte("jobs_latency_ms")) {
+		t.Error("canonical manifest still contains wall-clock metrics")
+	}
+	var m RunManifest
+	if err := json.Unmarshal(a, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.WallClockSeconds != 0 || m.WrittenAt != "" {
+		t.Error("canonical manifest must zero wall-clock fields")
+	}
+	if m.SimulatedPS != 5_000_000 {
+		t.Errorf("simulated_time_ps = %d, want 5000000", m.SimulatedPS)
+	}
+	if m.SchemaVersion != ManifestSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", m.SchemaVersion, ManifestSchemaVersion)
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	a := ConfigHash(map[string]string{"a": "1", "b": "2"})
+	b := ConfigHash(map[string]string{"b": "2", "a": "1"})
+	if a != b {
+		t.Error("config hash must be independent of map iteration order")
+	}
+	if c := ConfigHash(map[string]string{"a": "1", "b": "3"}); c == a {
+		t.Error("different configs must hash differently")
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := NewManifest("mirza-test", map[string]string{"exp": "all"})
+	m.FillFromSnapshot(populate(5).Snapshot())
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Tool != "mirza-test" || b.ConfigHash != m.ConfigHash {
+		t.Errorf("round-trip mismatch: tool %q hash %q", b.Tool, b.ConfigHash)
+	}
+}

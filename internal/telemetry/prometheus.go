@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # TYPE line per
+// family, histograms expanded into cumulative _bucket{le=...} series plus
+// _sum and _count. Metric and label names are sanitized into the
+// [a-zA-Z_:][a-zA-Z0-9_:]* charset; label values are escaped.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type family struct {
+		name, typ string
+		series    []func(name string) string
+	}
+	fams := make(map[string]*family)
+	order := []string{}
+	add := func(name, typ string, render func(name string) string) {
+		name = sanitizeMetricName(name)
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.series = append(f.series, render)
+	}
+
+	for _, c := range s.Counters {
+		c := c
+		add(c.Name, "counter", func(name string) string {
+			return fmt.Sprintf("%s%s %d\n", name, renderLabels(c.Labels, "", ""), c.Value)
+		})
+	}
+	for _, g := range s.Gauges {
+		g := g
+		add(g.Name, "gauge", func(name string) string {
+			return fmt.Sprintf("%s%s %d\n", name, renderLabels(g.Labels, "", ""), g.Value)
+		})
+	}
+	for _, h := range s.Histograms {
+		h := h
+		add(h.Name, "histogram", func(name string) string {
+			var sb strings.Builder
+			var cum int64
+			for i, c := range h.Counts {
+				cum += c
+				le := strconv.FormatFloat(float64(i+1)*h.BucketWidth, 'g', -1, 64)
+				if i == len(h.Counts)-1 {
+					le = "+Inf"
+				}
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", name, renderLabels(h.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(&sb, "%s_sum%s %s\n", name, renderLabels(h.Labels, "", ""),
+				strconv.FormatFloat(h.Sum, 'g', -1, 64))
+			fmt.Fprintf(&sb, "%s_count%s %d\n", name, renderLabels(h.Labels, "", ""), h.Total)
+			return sb.String()
+		})
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, render := range f.series {
+			if _, err := io.WriteString(w, render(name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders {k="v",...} with keys sorted, appending the extra
+// (extraKey, extraValue) pair when extraKey is non-empty. Returns "" for an
+// empty set.
+func renderLabels(labels map[string]string, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	write := func(k, v string) {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString(sanitizeLabelName(k))
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(v))
+		sb.WriteByte('"')
+	}
+	for _, k := range keys {
+		write(k, labels[k])
+	}
+	if extraKey != "" {
+		write(extraKey, extraValue)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// sanitizeMetricName maps name into [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// sanitizeLabelName maps name into [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	return sanitize(name, false)
+}
+
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(allowColon && r == ':') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// PrometheusHandler serves snapshots of src in the text exposition format;
+// use it to mount a live /metrics endpoint next to a running suite.
+func PrometheusHandler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = src().WritePrometheus(w)
+	})
+}
+
+// ManifestHandler serves the JSON manifest built by src on each request;
+// use it to mount a live /manifest endpoint next to a running suite.
+func ManifestHandler(src func() *RunManifest) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		b, err := src().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(b)
+	})
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("mem_acts_total", L("sub", "0")).Add(10)
+	r.Counter("mem_acts_total", L("sub", "1")).Add(20)
+	r.Gauge("jobs_queue_depth").Set(3)
+	h := r.Histogram("job_ms", 3, 10)
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(999) // clamps into the last (+Inf) bucket
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE mem_acts_total counter\n",
+		`mem_acts_total{sub="0"} 10` + "\n",
+		`mem_acts_total{sub="1"} 20` + "\n",
+		"# TYPE jobs_queue_depth gauge\n",
+		"jobs_queue_depth 3\n",
+		"# TYPE job_ms histogram\n",
+		`job_ms_bucket{le="10"} 1` + "\n",
+		`job_ms_bucket{le="20"} 2` + "\n",
+		`job_ms_bucket{le="+Inf"} 3` + "\n",
+		"job_ms_sum 1019\n",
+		"job_ms_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with several series.
+	if got := strings.Count(out, "# TYPE mem_acts_total"); got != 1 {
+		t.Errorf("mem_acts_total TYPE lines = %d, want 1", got)
+	}
+	// Every non-comment line must match the exposition grammar.
+	line := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.e+-]+(e[0-9+-]+)?$`)
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("line %q does not match the exposition grammar", l)
+		}
+	}
+}
+
+func TestSanitization(t *testing.T) {
+	r := New()
+	r.Counter("track.mitigations/total", L("policy", `MoPAC(p=0.010,ATH=512)`)).Inc()
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "track_mitigations_total") {
+		t.Errorf("metric name not sanitized:\n%s", out)
+	}
+	if !strings.Contains(out, `policy="MoPAC(p=0.010,ATH=512)"`) {
+		t.Errorf("label value mangled:\n%s", out)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := escapeLabelValue("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("escaped = %q", got)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := New()
+	r.Counter("up").Inc()
+	srv := httptest.NewServer(PrometheusHandler(r.Snapshot))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1024)
+	n, _ := res.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "up 1") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}

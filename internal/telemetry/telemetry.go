@@ -1,0 +1,312 @@
+// Package telemetry is the simulator's metrics layer: a dependency-free
+// registry of atomic counters, gauges and fixed-bucket histograms, plus two
+// exporters — a deterministic JSON RunManifest (manifest.go) and Prometheus
+// text exposition (prometheus.go).
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - Disabled means free. A nil *Registry is the disabled registry: every
+//     constructor returns a nil handle and every handle method is nil-safe,
+//     so instrumented code carries at most a pointer test on its hot path
+//     and simulation output stays byte-identical to an uninstrumented run.
+//   - Deterministic totals. Handles are updated with atomic adds, which
+//     commute: parallel jobs folding into one shared registry produce the
+//     same final values at any worker count. Metrics derived from
+//     wall-clock time (job latencies, busy time) are registered through the
+//     Wall* constructors and flagged, so deterministic consumers (golden
+//     manifests, run-to-run diffs) can drop them — see Snapshot.Canonical.
+//   - Live-readable. Snapshot may be called from an HTTP handler while
+//     simulations run; it takes the registration lock only to walk the
+//     metric list and reads values with atomic loads.
+//
+// Hot simulation loops do not push per-event atomics: layers accumulate in
+// job-local plain counters (e.g. mem.Stats) and flush once into the shared
+// registry when a simulation completes (cpu.System.FlushTelemetry), keeping
+// the instrumented hot path single-threaded and allocation-free.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mirza/internal/stats"
+)
+
+// Label is one metric dimension, e.g. {Key: "sub", Value: "0"}.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered time series.
+type metric struct {
+	name   string
+	labels []Label // sorted by key
+	kind   kind
+	wall   bool // derived from wall-clock time: excluded from canonical snapshots
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// key renders the registry map key (name plus sorted labels).
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte('|')
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// Registry holds the process's metrics. The zero value is not used;
+// construct with New. A nil *Registry is the disabled registry: all methods
+// are nil-safe and return nil handles whose methods are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []*metric // registration-independent: re-sorted on snapshot
+}
+
+// New returns an empty enabled registry.
+func New() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// register returns the existing metric for (name, labels) or creates one.
+// Re-registering with a different kind panics: that is a programming error,
+// and silently returning a mismatched handle would corrupt both series.
+func (r *Registry) register(name string, labels []Label, k kind, make func() *metric) *metric {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := metricKey(name, sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", key, k, m.kind))
+		}
+		return m
+	}
+	m := make()
+	m.name, m.labels, m.kind = name, sorted, k
+	r.metrics[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, labels, kindCounter, func() *metric {
+		return &metric{c: &Counter{}}
+	}).c
+}
+
+// WallCounter is Counter for a value derived from wall-clock time (busy
+// milliseconds, elapsed time). Wall metrics are excluded from canonical
+// snapshots because they differ between otherwise identical runs.
+func (r *Registry) WallCounter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, labels, kindCounter, func() *metric {
+		return &metric{c: &Counter{}, wall: true}
+	}).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, labels, kindGauge, func() *metric {
+		return &metric{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the fixed-bucket histogram for (name, labels): buckets
+// buckets of the given width, clamping like stats.Histogram (NaN and values
+// below the first bucket land in bucket 0, values beyond the last bucket in
+// the last). Shape mismatches on re-registration panic.
+func (r *Registry) Histogram(name string, buckets int, width float64, labels ...Label) *Histogram {
+	return r.histogram(name, buckets, width, false, labels)
+}
+
+// WallHistogram is Histogram for wall-clock-derived observations (e.g. job
+// latencies); see WallCounter.
+func (r *Registry) WallHistogram(name string, buckets int, width float64, labels ...Label) *Histogram {
+	return r.histogram(name, buckets, width, true, labels)
+}
+
+func (r *Registry) histogram(name string, buckets int, width float64, wall bool, labels []Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets < 1 || width <= 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s needs buckets >= 1 and width > 0, got %d, %v", name, buckets, width))
+	}
+	m := r.register(name, labels, kindHistogram, func() *metric {
+		return &metric{h: newHistogram(buckets, width), wall: wall}
+	})
+	if len(m.h.counts) != buckets || m.h.width != width {
+		panic(fmt.Sprintf("telemetry: histogram %s re-registered with shape (%d,%v), was (%d,%v)",
+			name, buckets, width, len(m.h.counts), m.h.width))
+	}
+	return m.h
+}
+
+// Counter is a monotonically increasing atomic int64. The nil handle (from
+// a disabled registry) discards all updates.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta (negative deltas are a caller bug but are not checked on
+// the hot path).
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on the nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic int64 level (queue depth, busy workers, pending
+// events). The nil handle discards all updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (use Add/Sub pairs rather than Set when several goroutines
+// maintain one level).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level (0 on the nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-width-bucket histogram safe for concurrent Observe.
+// Its bucketing contract is stats.Histogram's: buckets of equal width
+// starting at 0, with NaN/-Inf clamped into the first bucket and +Inf (or
+// any overflow) into the last. The nil handle discards observations.
+type Histogram struct {
+	width  float64
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets int, width float64) *Histogram {
+	return &Histogram{width: width, counts: make([]atomic.Int64, buckets)}
+}
+
+// Observe records one observation of x.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	last := len(h.counts) - 1
+	i := 0
+	// Same clamping as stats.Histogram.Add: NaN fails both comparisons
+	// and stays in the first bucket.
+	if f := x / h.width; f >= float64(last) {
+		i = last
+	} else if f > 0 {
+		i = int(f)
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	if !math.IsNaN(x) && !math.IsInf(x, 0) {
+		for {
+			old := h.sum.Load()
+			if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+				break
+			}
+		}
+	}
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Snapshot copies the histogram into a stats.Histogram, whose Quantile is
+// reused for percentile reporting.
+func (h *Histogram) Snapshot() *stats.Histogram {
+	if h == nil {
+		return stats.NewHistogram(1, 1)
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return stats.HistogramFromCounts(h.width, counts)
+}

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mirza/internal/stats"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry must report disabled")
+	}
+	c := r.Counter("acts_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", 4, 1)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(2.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Total() != 0 {
+		t.Error("nil handles must discard updates")
+	}
+	if snap := r.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+	if h.Snapshot().Total() != 0 {
+		t.Error("nil histogram snapshot must be empty")
+	}
+}
+
+func TestHandleIdentity(t *testing.T) {
+	r := New()
+	a := r.Counter("acts_total", L("sub", "0"))
+	b := r.Counter("acts_total", L("sub", "0"))
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("acts_total", L("sub", "1"))
+	if a == other {
+		t.Error("different labels must return different counters")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Errorf("counter = %d, want 3", a.Value())
+	}
+	// Label order must not matter.
+	x := r.Gauge("g", L("a", "1"), L("b", "2"))
+	y := r.Gauge("g", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Error("label registration order must not create distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramShapeMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("h", 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a histogram with a different shape must panic")
+		}
+	}()
+	r.Histogram("h", 8, 1)
+}
+
+// TestHistogramMatchesStats pins the telemetry histogram's bucketing to
+// stats.Histogram.Add: same observations, same buckets, including the
+// non-finite clamping contract.
+func TestHistogramMatchesStats(t *testing.T) {
+	r := New()
+	th := r.Histogram("h", 8, 1.0)
+	sh := stats.NewHistogram(8, 1.0)
+	obs := []float64{0, 0.5, 1, 3.7, 7, 100, -4, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, x := range obs {
+		th.Observe(x)
+		sh.Add(x)
+	}
+	got := th.Snapshot()
+	if got.Total() != sh.Total() {
+		t.Fatalf("total = %d, want %d", got.Total(), sh.Total())
+	}
+	for i := range sh.Counts {
+		if got.Counts[i] != sh.Counts[i] {
+			t.Errorf("bucket %d = %d, want %d (stats.Histogram parity)", i, got.Counts[i], sh.Counts[i])
+		}
+	}
+	if q, want := got.Quantile(0.5), sh.Quantile(0.5); q != want {
+		t.Errorf("median = %v, want %v", q, want)
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines; run
+// under -race (make check) it proves handles and Snapshot are safe for
+// concurrent use, and it checks the totals commute.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("acts_total")
+			g := r.Gauge("busy")
+			h := r.Histogram("lat", 16, 1, L("worker", string(rune('a'+w))))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 16))
+				g.Add(-1)
+				if i%100 == 0 {
+					_ = r.Snapshot() // live endpoint racing the updates
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("acts_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("busy").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0 after balanced add/sub", got)
+	}
+	snap := r.Snapshot()
+	var hTotal int64
+	for _, h := range snap.Histograms {
+		hTotal += h.Total
+	}
+	if hTotal != workers*perWorker {
+		t.Errorf("histogram observations = %d, want %d", hTotal, workers*perWorker)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", 4, 1)
+	for _, x := range []float64{1, 2, 3.5, math.NaN(), math.Inf(1)} {
+		h.Observe(x)
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	// Non-finite observations count but do not pollute the sum.
+	if got := snap.Histograms[0].Sum; got != 6.5 {
+		t.Errorf("sum = %v, want 6.5", got)
+	}
+	if got := snap.Histograms[0].Total; got != 5 {
+		t.Errorf("total = %d, want 5", got)
+	}
+}

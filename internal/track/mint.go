@@ -125,7 +125,12 @@ func (m *MINT) Name() string { return fmt.Sprintf("MINT-%d", m.cfg.Window) }
 // OnActivate implements Mitigator.
 func (m *MINT) OnActivate(bank, row int, now dram.Time) {
 	m.Stats.ACTs++
-	m.samplers[bank].Observe(row)
+	s := m.samplers[bank]
+	s.Observe(row)
+	if s.hasSel && s.count == s.target {
+		// This activation is the one the window captured.
+		m.Stats.Insertions++
+	}
 }
 
 // WantsALERT implements Mitigator; proactive MINT never asserts ALERT.
@@ -186,3 +191,6 @@ func (m *MINT) mitigate(bank int, now dram.Time) {
 	m.Stats.Mitigations++
 	m.sink.RowMitigated(bank, row, MitigationVictims, now)
 }
+
+// TrackStats implements StatsSource.
+func (m *MINT) TrackStats() Stats { return m.Stats }

@@ -49,16 +49,17 @@ func newSpaceSaving(k int) *spaceSaving {
 	return &spaceSaving{k: k, index: make(map[int]int, k)}
 }
 
-// observe records one activation of row.
-func (s *spaceSaving) observe(row int) {
+// observe records one activation of row, reporting whether a new entry was
+// inserted and whether an existing one was evicted for it.
+func (s *spaceSaving) observe(row int) (inserted, evicted bool) {
 	if i, ok := s.index[row]; ok {
 		s.entries[i].count++
 		heap.Fix(s, i)
-		return
+		return false, false
 	}
 	if len(s.entries) < s.k {
 		heap.Push(s, ssEntry{row: row, count: 1})
-		return
+		return true, false
 	}
 	// Replace the minimum entry; the newcomer inherits min+1.
 	min := s.entries[0]
@@ -66,6 +67,7 @@ func (s *spaceSaving) observe(row int) {
 	s.entries[0] = ssEntry{row: row, count: min.count + 1}
 	s.index[row] = 0
 	heap.Fix(s, 0)
+	return true, true
 }
 
 // takeMax removes and returns the entry with the highest count.
@@ -92,11 +94,11 @@ func (s *spaceSaving) takeMax() (ssEntry, bool) {
 }
 
 // drop removes row from the summary if present (e.g. its count was cleared
-// by a demand refresh).
-func (s *spaceSaving) drop(row int) {
+// by a demand refresh), reporting whether an entry was removed.
+func (s *spaceSaving) drop(row int) bool {
 	i, ok := s.index[row]
 	if !ok {
-		return
+		return false
 	}
 	last := len(s.entries) - 1
 	s.Swap(i, last)
@@ -105,6 +107,7 @@ func (s *spaceSaving) drop(row int) {
 	if i < len(s.entries) {
 		heap.Fix(s, i)
 	}
+	return true
 }
 
 // MithrilConfig configures the Mithril-style counter tracker.
@@ -154,7 +157,13 @@ func (m *Mithril) Name() string { return fmt.Sprintf("Mithril-%d", m.cfg.Entries
 // OnActivate implements Mitigator.
 func (m *Mithril) OnActivate(bank, row int, now dram.Time) {
 	m.Stats.ACTs++
-	m.tables[bank].observe(row)
+	inserted, evicted := m.tables[bank].observe(row)
+	if inserted {
+		m.Stats.Insertions++
+	}
+	if evicted {
+		m.Stats.Evictions++
+	}
 }
 
 // WantsALERT implements Mitigator; Mithril is proactive.
@@ -167,7 +176,9 @@ func (m *Mithril) OnREF(refIndex int, now dram.Time) {
 	for idx := t.FirstIdx; idx <= t.LastIdx; idx++ {
 		row := g.RowAt(m.cfg.Mapping, t.Subarray, idx)
 		for _, tab := range m.tables {
-			tab.drop(row)
+			if tab.drop(row) {
+				m.Stats.Evictions++
+			}
 		}
 	}
 	k := m.cfg.MitigateEveryREFs
@@ -219,3 +230,6 @@ func (m *Mithril) mitigate(bank int, now dram.Time) {
 	m.Stats.Mitigations++
 	m.sink.RowMitigated(bank, e.row, MitigationVictims, now)
 }
+
+// TrackStats implements StatsSource.
+func (m *Mithril) TrackStats() Stats { return m.Stats }

@@ -115,6 +115,7 @@ func (m *MoPAC) OnActivate(bank, row int, now dram.Time) {
 	c[row] += int32(m.inc)
 	if int(c[row]) >= m.cfg.AlertThreshold {
 		m.pending[bank] = append(m.pending[bank], row)
+		m.Stats.Insertions++
 		if !m.want {
 			m.want = true
 			m.Stats.AlertsWanted++
@@ -173,10 +174,14 @@ func (m *MoPAC) removePending(bank, row int) {
 	for i, r := range q {
 		if r == row {
 			m.pending[bank] = append(q[:i], q[i+1:]...)
+			m.Stats.Evictions++
 			return
 		}
 	}
 }
+
+// TrackStats implements StatsSource.
+func (m *MoPAC) TrackStats() Stats { return m.Stats }
 
 func (m *MoPAC) recomputeWant() {
 	for _, q := range m.pending {

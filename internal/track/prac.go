@@ -85,6 +85,7 @@ func (p *PRAC) OnActivate(bank, row int, now dram.Time) {
 	c[row]++
 	if int(c[row]) >= p.cfg.AlertThreshold {
 		p.pending[bank] = append(p.pending[bank], row)
+		p.Stats.Insertions++
 		if !p.want {
 			p.want = true
 			p.Stats.AlertsWanted++
@@ -145,10 +146,14 @@ func (p *PRAC) removePending(bank, row int) {
 	for i, r := range q {
 		if r == row {
 			p.pending[bank] = append(q[:i], q[i+1:]...)
+			p.Stats.Evictions++
 			return
 		}
 	}
 }
+
+// TrackStats implements StatsSource.
+func (p *PRAC) TrackStats() Stats { return p.Stats }
 
 func (p *PRAC) recomputeWant() {
 	for _, q := range p.pending {

@@ -104,9 +104,25 @@ type StateInjector interface {
 const MitigationVictims = 4
 
 // Stats are counters common to all trackers, embedded by implementations.
+//
+// Insertions and Evictions describe tracker-state turnover in whatever
+// unit the policy maintains: table entries for TRR/Mithril, captured
+// sampler selections for MINT, pending-ALERT rows for PRAC/MoPAC, queue
+// entries for MIRZA. An eviction is an entry removed without being
+// mitigated (capacity replacement or a demand refresh clearing it).
 type Stats struct {
 	ACTs         int64 // activations observed
 	Mitigations  int64 // aggressor rows mitigated
 	AlertsWanted int64 // distinct ALERT requests raised
 	RFMs         int64 // RFM opportunities received
+	Insertions   int64 // entries inserted into tracker state
+	Evictions    int64 // entries removed without mitigation
+}
+
+// StatsSource is implemented by trackers that expose their common
+// counters; telemetry flushing walks a Mitigator's Unwrap chain looking
+// for it, so decorators (like the fault-injection wrapper) stay
+// transparent.
+type StatsSource interface {
+	TrackStats() Stats
 }

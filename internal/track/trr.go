@@ -85,6 +85,7 @@ func (t *TRR) OnActivate(bank, row int, now dram.Time) {
 	}
 	if len(table) < t.cfg.Entries {
 		t.tables[bank] = append(table, trrEntry{row: row, count: 1})
+		t.Stats.Insertions++
 		return
 	}
 	// Evict the minimum-count entry; the newcomer starts at 1 (the
@@ -96,6 +97,8 @@ func (t *TRR) OnActivate(bank, row int, now dram.Time) {
 		}
 	}
 	table[min] = trrEntry{row: row, count: 1}
+	t.Stats.Evictions++
+	t.Stats.Insertions++
 }
 
 // WantsALERT implements Mitigator; TRR is proactive.
@@ -137,10 +140,14 @@ func (t *TRR) dropRow(bank, row int) {
 	for i := range table {
 		if table[i].row == row {
 			t.tables[bank] = append(table[:i], table[i+1:]...)
+			t.Stats.Evictions++
 			return
 		}
 	}
 }
+
+// TrackStats implements StatsSource.
+func (t *TRR) TrackStats() Stats { return t.Stats }
 
 func (t *TRR) mitigate(bank int, now dram.Time) {
 	table := t.tables[bank]
@@ -186,3 +193,6 @@ func (n *Nop) OnRFM(bank int, now dram.Time) { n.Stats.RFMs++ }
 
 // ServiceALERT implements Mitigator.
 func (n *Nop) ServiceALERT(now dram.Time) {}
+
+// TrackStats implements StatsSource.
+func (n *Nop) TrackStats() Stats { return n.Stats }
