@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry bench clean
+.PHONY: check vet build test test-race test-telemetry bench bench-smoke clean
 
 check: vet build test-race test-telemetry
 
@@ -35,6 +35,15 @@ test-telemetry:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...
+
+# Scheduler hot-path benchmarks with the regression gates: the new
+# reusable-event kernel must stay allocation-free and >= 1.5x over the
+# preserved legacy container/heap baseline. Results land in
+# BENCH_kernel.json (checked in; CI uploads each run's copy as an
+# artifact).
+bench-smoke:
+	$(GO) test -short -run=TestScheduleEventAllocFree -bench=BenchmarkKernel -benchmem ./internal/sim/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_kernel.json
 
 clean:
 	$(GO) clean ./...

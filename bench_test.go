@@ -31,14 +31,19 @@ var (
 func benchRunner() *experiments.Runner {
 	runnerOnce.Do(func() {
 		opts := experiments.DefaultOptions()
-		if os.Getenv("MIRZA_MEASURE_MS") == "" {
-			opts.Measure = dram.Millisecond / 2
-		}
-		if os.Getenv("MIRZA_WARMUP_MS") == "" {
-			opts.Warmup = dram.Millisecond / 4
-		}
-		if os.Getenv("MIRZA_WORKLOADS") == "" {
-			opts.Workloads = []string{"fotonik3d", "lbm", "mcf", "bc", "xz", "cam4"}
+		if testing.Short() {
+			// Smoke scale: tiny windows, 3-workload subset.
+			opts = opts.Quick()
+		} else {
+			if os.Getenv("MIRZA_MEASURE_MS") == "" {
+				opts.Measure = dram.Millisecond / 2
+			}
+			if os.Getenv("MIRZA_WARMUP_MS") == "" {
+				opts.Warmup = dram.Millisecond / 4
+			}
+			if os.Getenv("MIRZA_WORKLOADS") == "" {
+				opts.Workloads = []string{"fotonik3d", "lbm", "mcf", "bc", "xz", "cam4"}
+			}
 		}
 		runner = experiments.NewRunner(opts)
 	})

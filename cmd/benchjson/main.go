@@ -1,0 +1,223 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// stable JSON record and enforces the kernel performance gates. It is the
+// back half of `make bench-smoke`:
+//
+//	go test -short -bench=BenchmarkKernel -benchmem ./internal/sim/ |
+//	    go run ./cmd/benchjson -out BENCH_kernel.json
+//
+// Benchmarks whose name contains an "impl=event"/"impl=legacy" segment are
+// paired by the rest of their name and reported with the legacy/event
+// speedup. Gates (exit status 1 when violated):
+//
+//   - every impl=event benchmark must report 0 allocs/op (the kernel's
+//     zero-allocation contract, also pinned by TestScheduleEventAllocFree);
+//   - every pairing must reach -min-speedup (default 1.5).
+//
+// Only the standard library is used; the parser accepts the textual bench
+// format of `go test` (name, iterations, ns/op, then optional -benchmem
+// B/op and allocs/op columns).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Comparison pairs an impl=event benchmark with its impl=legacy baseline.
+type Comparison struct {
+	Name     string  `json:"name"` // pairing key (impl segment removed)
+	EventNs  float64 `json:"event_ns_per_op"`
+	LegacyNs float64 `json:"legacy_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Report is the checked-in BENCH_kernel.json schema.
+type Report struct {
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	Pkg        string       `json:"pkg,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	MinSpeedup float64      `json:"min_speedup_gate"`
+	Benchmarks []Benchmark  `json:"benchmarks"`
+	Compared   []Comparison `json:"comparisons"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file ('' = stdout)")
+	minSpeedup := flag.Float64("min-speedup", 1.5, "fail unless every event/legacy pairing reaches this speedup")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	rep.MinSpeedup = *minSpeedup
+	pair(rep)
+
+	var failures []string
+	for _, b := range rep.Benchmarks {
+		if strings.Contains(b.Name, "impl=event") && b.AllocsPerOp != 0 {
+			failures = append(failures,
+				fmt.Sprintf("alloc regression: %s reports %d allocs/op, want 0", b.Name, b.AllocsPerOp))
+		}
+	}
+	for _, c := range rep.Compared {
+		if c.Speedup < *minSpeedup {
+			failures = append(failures,
+				fmt.Sprintf("speedup regression: %s is %.2fx vs legacy, want >= %.2fx", c.Name, c.Speedup, *minSpeedup))
+		}
+	}
+	if len(rep.Compared) == 0 {
+		failures = append(failures, "no event/legacy benchmark pairings found in input")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks, %d pairings, gates passed -> %s\n",
+			len(rep.Benchmarks), len(rep.Compared), *out)
+	}
+}
+
+func parse(f *os.File) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: trimProcs(fields[0])}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			case "allocs/op":
+				b.AllocsPerOp, _ = strconv.ParseInt(fields[i], 10, 64)
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+// trimProcs drops the trailing -GOMAXPROCS suffix go test appends.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// pair matches impl=event results to impl=legacy baselines by the rest of
+// their benchmark name.
+func pair(rep *Report) {
+	type slot struct{ event, legacy *Benchmark }
+	slots := map[string]*slot{}
+	var order []string
+	for i := range rep.Benchmarks {
+		b := &rep.Benchmarks[i]
+		key, impl := splitImpl(b.Name)
+		if impl == "" {
+			continue
+		}
+		s, ok := slots[key]
+		if !ok {
+			s = &slot{}
+			slots[key] = s
+			order = append(order, key)
+		}
+		if impl == "event" {
+			s.event = b
+		} else {
+			s.legacy = b
+		}
+	}
+	for _, key := range order {
+		s := slots[key]
+		if s.event == nil || s.legacy == nil || s.event.NsPerOp <= 0 {
+			continue
+		}
+		rep.Compared = append(rep.Compared, Comparison{
+			Name:     key,
+			EventNs:  s.event.NsPerOp,
+			LegacyNs: s.legacy.NsPerOp,
+			Speedup:  s.legacy.NsPerOp / s.event.NsPerOp,
+		})
+	}
+}
+
+// splitImpl removes the "impl=<v>" path segment from a benchmark name,
+// returning the remaining name and the impl value ("" when absent).
+func splitImpl(name string) (key, impl string) {
+	parts := strings.Split(name, "/")
+	var kept []string
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, "impl="); ok {
+			impl = v
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, "/"), impl
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

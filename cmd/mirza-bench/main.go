@@ -20,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -67,7 +69,7 @@ func main() {
 
 	opts := experiments.DefaultOptions()
 	if *quick {
-		opts = experiments.QuickOptions()
+		opts = opts.Quick()
 	}
 	if *measureMS > 0 {
 		opts.Measure = dram.Time(*measureMS * float64(dram.Millisecond))
@@ -151,9 +153,15 @@ func main() {
 		Logf:    logf,
 	})
 
+	// Interrupts cancel cooperatively: running simulations stop at their
+	// next event batch, unstarted jobs are canceled, and the summary,
+	// manifest and exit code still happen.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var results []experiments.Result
 	for _, id := range ids {
-		res := suite.RunAll([]string{id})[0]
+		res := suite.RunAll(ctx, []string{id})[0]
 		results = append(results, res)
 		switch {
 		case res.Failed():

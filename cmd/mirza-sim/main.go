@@ -20,10 +20,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -104,16 +106,21 @@ func main() {
 		fatal(fmt.Errorf("no workload named"))
 	}
 
+	// Interrupts cancel cooperatively: running simulations stop at their
+	// next event batch and unstarted jobs are reported as canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	pool := make([]jobs.Job[string], len(names))
 	for i, name := range names {
 		name := name
 		pool[i] = jobs.Job[string]{
 			ID:  name,
-			Run: func() (string, error) { return runOne(name, cfg) },
+			Run: func(ctx context.Context) (string, error) { return runOne(ctx, name, cfg) },
 		}
 	}
-	results := jobs.RunOn(jobs.NewPool(jobs.Options{
+	results := jobs.RunOnCtx(ctx, jobs.NewPool(jobs.Options{
 		Parallelism: shared.Parallelism,
 		Telemetry:   reg,
 	}), pool)
@@ -159,7 +166,7 @@ func main() {
 // runOne simulates a single workload and returns its formatted report.
 // Everything it touches — trace generators, trackers, the fault log — is
 // job-local, so concurrent runOne calls never share state.
-func runOne(workload string, rc runConfig) (string, error) {
+func runOne(ctx context.Context, workload string, rc runConfig) (string, error) {
 	faultLog := fault.NewLog()
 
 	spec, err := trace.Lookup(workload)
@@ -249,11 +256,11 @@ func runOne(workload string, rc runConfig) (string, error) {
 	}
 	warm := dram.Time(rc.warmMS * float64(dram.Millisecond))
 	horizon := warm + dram.Time(rc.ms*float64(dram.Millisecond))
-	if err := sys.RunChecked(warm); err != nil {
+	if err := sys.RunCtx(ctx, warm); err != nil {
 		return "", err
 	}
 	sys.Snapshot()
-	if err := sys.RunChecked(horizon); err != nil {
+	if err := sys.RunCtx(ctx, horizon); err != nil {
 		return "", err
 	}
 	sys.FlushTelemetry(telemetry.L("workload", workload))

@@ -32,10 +32,45 @@ func (c *CoreConfig) setDefaults() {
 	}
 }
 
+// missEntry is one outstanding LLC-miss read. The memory request is
+// embedded and its Done callback is the entry's own complete method, bound
+// once when the entry is first allocated: a core recycles entries through
+// a free list, so steady-state misses allocate nothing.
 type missEntry struct {
+	c    *Core
 	pos  int64
 	done bool
+	req  mem.Request
 }
+
+// complete is the request-completion callback (the former Done closure).
+func (e *missEntry) complete(at dram.Time) {
+	c := e.c
+	e.done = true
+	if !c.waiting {
+		return
+	}
+	// The front-end was stalled; its issue clock resumes now.
+	if c.outstanding[0].done {
+		c.resume(at)
+		return
+	}
+	// MSHR-stalled cores can resume on any completion.
+	c.popDone()
+	if len(c.outstanding) < c.cfg.MSHR {
+		c.resume(at)
+	}
+}
+
+// writeReq is a pooled posted-write request (writeback traffic). The
+// memory controller invokes Done synchronously when it accepts a write, at
+// which point the request has left the command queue and is free to reuse.
+type writeReq struct {
+	c   *Core
+	req mem.Request
+}
+
+func (w *writeReq) recycle(dram.Time) { w.c.writePool = append(w.c.writePool, w) }
 
 // Core is a trace-driven core with an ROB-occupancy stall model: it issues
 // instructions at Width per cycle, sends loads that miss the LLC to the
@@ -56,7 +91,14 @@ type Core struct {
 
 	outstanding []*missEntry
 	waiting     bool // stalled on ROB head or MSHRs
-	sleeping    bool // a timed wake event is pending
+
+	// wakeEv is the persistent timed-wake event (replaces the former
+	// sleeping flag + one-shot closure): Scheduled() doubles as the
+	// "a timed wake is pending" predicate.
+	wakeEv sim.Event
+
+	entryPool []*missEntry // recycled outstanding-miss entries
+	writePool []*writeReq  // recycled posted-write requests
 
 	haveOp bool
 	op     trace.Op
@@ -74,8 +116,15 @@ type Core struct {
 func NewCore(id int, cfg CoreConfig, k *sim.Kernel, gen trace.Generator,
 	translate func(core int, vaddr uint64) uint64, submit func(r *mem.Request), llc *LLC) *Core {
 	cfg.setDefaults()
-	return &Core{id: id, cfg: cfg, k: k, gen: gen, translate: translate, submit: submit, llc: llc}
+	c := &Core{id: id, cfg: cfg, k: k, gen: gen, translate: translate, submit: submit, llc: llc}
+	c.wakeEv.Bind((*coreWake)(c))
+	return c
 }
+
+// coreWake adapts a Core to sim.Handler for its timed-wake event.
+type coreWake Core
+
+func (w *coreWake) Fire(dram.Time) { (*Core)(w).run() }
 
 // Start begins execution.
 func (c *Core) Start() { c.run() }
@@ -127,9 +176,8 @@ func (c *Core) run() {
 					c.pos += fit
 					c.posAt += c.issueTime(fit)
 				}
-				if !c.sleeping {
-					c.sleeping = true
-					c.k.Schedule(readyAt, c.timedWake)
+				if !c.wakeEv.Scheduled() {
+					c.k.ScheduleEvent(&c.wakeEv, readyAt)
 				}
 				return
 			}
@@ -156,7 +204,7 @@ func (c *Core) run() {
 // issue progress since the last event) without changing scheduling. Called
 // at measurement boundaries, where the clock may sit between core events.
 func (c *Core) SyncClock(now dram.Time) {
-	if c.waiting || c.sleeping == false || !c.haveOp || now <= c.posAt {
+	if c.waiting || !c.wakeEv.Scheduled() || !c.haveOp || now <= c.posAt {
 		return
 	}
 	limit := int64(math.MaxInt64)
@@ -177,9 +225,43 @@ func (c *Core) SyncClock(now dram.Time) {
 	}
 }
 
-func (c *Core) timedWake() {
-	c.sleeping = false
+// resume restarts the stalled front-end: its issue clock continues at the
+// completion time of the miss that unblocked it.
+func (c *Core) resume(at dram.Time) {
+	if c.posAt < at {
+		c.posAt = at
+	}
 	c.run()
+}
+
+// newEntry takes a miss entry from the free list (or allocates one on
+// first use, binding the completion callback once).
+func (c *Core) newEntry() *missEntry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool = c.entryPool[:n-1]
+		e.done = false
+		return e
+	}
+	e := &missEntry{c: c}
+	e.req.Done = e.complete
+	return e
+}
+
+// newWrite takes a posted-write request from the free list; its Done
+// recycles it as soon as the controller accepts the write.
+func (c *Core) newWrite(addr uint64) *mem.Request {
+	var w *writeReq
+	if n := len(c.writePool); n > 0 {
+		w = c.writePool[n-1]
+		c.writePool = c.writePool[:n-1]
+	} else {
+		w = &writeReq{c: c}
+		w.req.Done = w.recycle
+	}
+	w.req.Addr = addr
+	w.req.Write = true
+	return &w.req
 }
 
 func (c *Core) issueMemOp(now dram.Time) {
@@ -190,7 +272,7 @@ func (c *Core) issueMemOp(now dram.Time) {
 		res := c.llc.Access(phys, write)
 		if res.Writeback {
 			c.Writes++
-			c.submit(&mem.Request{Addr: res.WritebackPhys, Write: true})
+			c.submit(c.newWrite(res.WritebackPhys))
 		}
 		if res.Hit {
 			return // hit latency is hidden by the OoO window
@@ -201,42 +283,24 @@ func (c *Core) issueMemOp(now dram.Time) {
 	if write {
 		// Posted write (writeback traffic): no ROB occupancy.
 		c.Writes++
-		c.submit(&mem.Request{Addr: phys, Write: true})
+		c.submit(c.newWrite(phys))
 		return
 	}
 
 	c.Reads++
-	entry := &missEntry{pos: c.pos}
+	entry := c.newEntry()
+	entry.pos = c.pos
+	entry.req.Addr = phys
 	c.outstanding = append(c.outstanding, entry)
-	c.submit(&mem.Request{
-		Addr: phys,
-		Done: func(at dram.Time) {
-			entry.done = true
-			if !c.waiting {
-				return
-			}
-			// The front-end was stalled; its issue clock resumes now.
-			resume := func() {
-				if c.posAt < at {
-					c.posAt = at
-				}
-				c.run()
-			}
-			if c.outstanding[0].done {
-				resume()
-				return
-			}
-			// MSHR-stalled cores can resume on any completion.
-			c.popDone()
-			if len(c.outstanding) < c.cfg.MSHR {
-				resume()
-			}
-		},
-	})
+	c.submit(&entry.req)
 }
 
 func (c *Core) popDone() {
 	for len(c.outstanding) > 0 && c.outstanding[0].done {
+		e := c.outstanding[0]
 		c.outstanding = c.outstanding[1:]
+		// The entry's completion has fired and it has left the window:
+		// safe to recycle.
+		c.entryPool = append(c.entryPool, e)
 	}
 }

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"mirza/internal/dram"
@@ -107,8 +108,16 @@ func (s *System) Run(until dram.Time) {
 // advancing for longer than the watchdog's wall-clock budget. With a nil
 // Watchdog it is identical to Run (and never fails).
 func (s *System) RunChecked(until dram.Time) error {
+	return s.RunCtx(context.Background(), until)
+}
+
+// RunCtx is RunChecked under a context: cancellation is polled between
+// event batches, so job deadlines and -timeout stop a simulation mid-run
+// instead of only at run boundaries. On cancellation it returns ctx.Err()
+// with the system left resumable.
+func (s *System) RunCtx(ctx context.Context, until dram.Time) error {
 	s.start()
-	return s.Kernel.RunUntilWatched(until, s.Watchdog)
+	return s.Kernel.RunUntilCtx(ctx, until, s.Watchdog)
 }
 
 func (s *System) start() {

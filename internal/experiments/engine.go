@@ -26,6 +26,7 @@ package experiments
 // bytes.
 
 import (
+	"context"
 	"errors"
 
 	"mirza/internal/jobs"
@@ -49,17 +50,21 @@ func runJobs[T any](r *Runner, js []job[T]) ([]T, error) {
 		i := i
 		execs[i] = r.newExec()
 		pool[i] = jobs.Job[T]{
-			ID:  js[i].id,
-			Run: func() (T, error) { return js[i].run(execs[i]) },
+			ID: js[i].id,
+			Run: func(ctx context.Context) (T, error) {
+				execs[i].ctx = ctx
+				return js[i].run(execs[i])
+			},
 		}
 	}
-	results := jobs.RunOn(r.pool, pool)
+	results := jobs.RunOnCtx(r.context(), r.pool, pool)
 	for i := range results {
-		if results[i].Skipped {
+		if results[i].Skipped || results[i].Canceled {
 			continue
 		}
 		// A timed-out job was abandoned: its goroutine may still be
-		// writing the job log, so that log must not be touched.
+		// writing the job log, so that log must not be touched. (A
+		// canceled job's goroutine may likewise still be unwinding.)
 		if !errors.Is(results[i].Err, jobs.ErrTimeout) {
 			r.faultLog.Merge(execs[i].log)
 		}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -139,17 +140,32 @@ func envParallelism() int {
 	return 0
 }
 
+// Quick shrinks o to smoke-run scale: tiny timing and calibration
+// windows, the minimum replay coverage, and a 3-workload subset. Every
+// knob Quick does not touch (seed, faults, parallelism, telemetry, ...)
+// carries over, so callers configure once and modify:
+//
+//	opts := experiments.DefaultOptions()
+//	opts.Faults = plan
+//	opts = opts.Quick()
+func (o Options) Quick() Options {
+	o.Warmup = 100 * dram.Microsecond
+	o.Measure = 300 * dram.Microsecond
+	o.ReplayWindows = 2
+	o.CalibrationWindow = 300 * dram.Microsecond
+	o.Workloads = []string{"fotonik3d", "xz", "bc"}
+	o.Cores = 8
+	return o
+}
+
 // QuickOptions returns heavily reduced settings for tests.
+//
+// Deprecated: use DefaultOptions().Quick(), which composes with the other
+// option fields instead of discarding them. The two spellings produce
+// identical settings (Quick overrides every field the MIRZA_* environment
+// variables can touch).
 func QuickOptions() Options {
-	return Options{
-		Seed:              1,
-		Warmup:            100 * dram.Microsecond,
-		Measure:           300 * dram.Microsecond,
-		ReplayWindows:     2,
-		CalibrationWindow: 300 * dram.Microsecond,
-		Workloads:         []string{"fotonik3d", "xz", "bc"},
-		Cores:             8,
-	}
+	return DefaultOptions().Quick()
 }
 
 func (o *Options) setDefaults() {
@@ -220,6 +236,11 @@ type Runner struct {
 	// truth for the jobs/busy/speedup accounting (and, when telemetry is
 	// enabled, the live jobs_* metrics).
 	pool *jobs.Pool
+
+	// runCtx governs every simulation the runner starts: job batches run
+	// under it and kernels poll it between event batches, so -timeout and
+	// suite deadlines cancel cooperatively. nil means context.Background.
+	runCtx context.Context
 }
 
 // baselineEntry is the single-flight slot for one workload's baseline.
@@ -248,6 +269,23 @@ func NewRunner(opts Options) *Runner {
 
 // Options returns the runner's effective options.
 func (r *Runner) Options() Options { return r.opts }
+
+// WithContext makes ctx govern every subsequent experiment the runner
+// executes: not-yet-started jobs are canceled and running simulations stop
+// at their next event-batch boundary once ctx is done. It returns r for
+// chaining and must not be called while experiments are running.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.runCtx = ctx
+	return r
+}
+
+// context returns the runner's governing context (Background by default).
+func (r *Runner) context() context.Context {
+	if r.runCtx == nil {
+		return context.Background()
+	}
+	return r.runCtx
+}
 
 // FaultLog returns the merged log of faults injected so far under
 // Options.Faults (empty for an empty plan). Per-job logs are folded into
@@ -294,13 +332,25 @@ func (r *Runner) watchdog() *sim.Watchdog {
 type Exec struct {
 	r   *Runner
 	log *fault.Log
+
+	// ctx is the job's context (batch cancellation plus per-job
+	// deadline); simulations run under it via cpu.System.RunCtx.
+	ctx context.Context
 }
 
 // newExec returns a context with a fresh fault log. Jobs get one each
 // from the engine; direct (non-engine) callers such as tests use one per
 // single-threaded run.
 func (r *Runner) newExec() *Exec {
-	return &Exec{r: r, log: fault.NewLog()}
+	return &Exec{r: r, log: fault.NewLog(), ctx: r.context()}
+}
+
+// context returns the job's governing context (the runner's by default).
+func (x *Exec) context() context.Context {
+	if x.ctx == nil {
+		return x.r.context()
+	}
+	return x.ctx
 }
 
 // Baseline resolves the (cached) unprotected reference for name via the
@@ -415,11 +465,11 @@ func (r *Runner) computeBaseline(name string) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sys.RunChecked(r.opts.Warmup); err != nil {
+	if err := sys.RunCtx(r.context(), r.opts.Warmup); err != nil {
 		return nil, fmt.Errorf("baseline %s warmup: %w", name, err)
 	}
 	sys.Snapshot()
-	if err := sys.RunChecked(r.opts.Warmup + r.opts.Measure); err != nil {
+	if err := sys.RunCtx(r.context(), r.opts.Warmup+r.opts.Measure); err != nil {
 		return nil, fmt.Errorf("baseline %s measure: %w", name, err)
 	}
 	sys.FlushTelemetry(telemetry.L("layer", "baseline"))
@@ -469,11 +519,11 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) (int, error) {
 			return 0, err
 		}
 		sys.Watchdog = r.watchdog()
-		if err := sys.RunChecked(r.opts.CalibrationWindow / 4); err != nil {
+		if err := sys.RunCtx(r.context(), r.opts.CalibrationWindow/4); err != nil {
 			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
 		}
 		sys.Snapshot()
-		if err := sys.RunChecked(r.opts.CalibrationWindow); err != nil {
+		if err := sys.RunCtx(r.context(), r.opts.CalibrationWindow); err != nil {
 			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
 		}
 		var ips float64
@@ -535,11 +585,11 @@ func (x *Exec) runTiming(name string, timing dram.Timing, bat int,
 	if err != nil {
 		return nil, err
 	}
-	if err := sys.RunChecked(x.r.opts.Warmup); err != nil {
+	if err := sys.RunCtx(x.context(), x.r.opts.Warmup); err != nil {
 		return nil, fmt.Errorf("timing %s warmup: %w", name, err)
 	}
 	sys.Snapshot()
-	if err := sys.RunChecked(x.r.opts.Warmup + x.r.opts.Measure); err != nil {
+	if err := sys.RunCtx(x.context(), x.r.opts.Warmup+x.r.opts.Measure); err != nil {
 		return nil, fmt.Errorf("timing %s measure: %w", name, err)
 	}
 	sys.FlushTelemetry(telemetry.L("layer", "timing"))

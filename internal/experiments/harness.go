@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -96,8 +97,10 @@ func (s *Suite) Runner() *Runner {
 }
 
 // RunAll looks up and runs each experiment id in order, never panicking
-// and never returning early: every id yields exactly one Result.
-func (s *Suite) RunAll(ids []string) []Result {
+// and never returning early: every id yields exactly one Result. A
+// canceled ctx stops running simulations cooperatively; remaining ids
+// still yield Results (failing fast with the context's error).
+func (s *Suite) RunAll(ctx context.Context, ids []string) []Result {
 	out := make([]Result, 0, len(ids))
 	for _, id := range ids {
 		exp, err := Lookup(id)
@@ -105,7 +108,7 @@ func (s *Suite) RunAll(ids []string) []Result {
 			out = append(out, Result{ID: id, Err: err, Attempts: 0})
 			continue
 		}
-		out = append(out, s.Run(exp))
+		out = append(out, s.Run(ctx, exp))
 	}
 	return out
 }
@@ -115,11 +118,11 @@ func (s *Suite) RunAll(ids []string) []Result {
 // failure the experiment is retried once at reduced fidelity (halved
 // measurement window, halved replay windows) and the result flagged
 // Degraded.
-func (s *Suite) Run(exp Experiment) Result {
+func (s *Suite) Run(ctx context.Context, exp Experiment) Result {
 	start := time.Now()
 	res := Result{ID: exp.ID, Attempts: 1}
 
-	a := s.attempt(exp, s.Runner())
+	a := s.attempt(ctx, exp, s.Runner())
 	res.Table, res.Err, res.Panicked, res.Stack = a.table, a.err, a.panicked, a.stack
 	res.Jobs, res.Busy = a.jobs, a.busy
 	if res.Err == nil {
@@ -130,6 +133,11 @@ func (s *Suite) Run(exp Experiment) Result {
 	// The failed attempt may have left the Runner mid-mutation (a
 	// timed-out goroutine is still running against it); replace it.
 	s.runner = nil
+	if ctx.Err() != nil {
+		// A canceled suite must not burn time on retries.
+		res.Duration = time.Since(start)
+		return res
+	}
 	s.cfg.Logf("%s failed (%v); %s", exp.ID, res.Err, map[bool]string{true: "no retry", false: "retrying at reduced fidelity"}[s.cfg.NoRetry])
 	if s.cfg.NoRetry {
 		res.Duration = time.Since(start)
@@ -137,7 +145,7 @@ func (s *Suite) Run(exp Experiment) Result {
 	}
 
 	res.Attempts = 2
-	retry := s.attempt(exp, NewRunner(s.degradedOptions()))
+	retry := s.attempt(ctx, exp, NewRunner(s.degradedOptions()))
 	res.Jobs += retry.jobs
 	res.Busy += retry.busy
 	if retry.err != nil {
@@ -183,7 +191,8 @@ type attemptOutcome struct {
 // experiment error wrapping ErrTimeout. The recover backstops panics in
 // enumeration/aggregation code — panics inside jobs are already converted
 // by the pool.
-func (s *Suite) attempt(exp Experiment, runner *Runner) (out attemptOutcome) {
+func (s *Suite) attempt(ctx context.Context, exp Experiment, runner *Runner) (out attemptOutcome) {
+	runner.WithContext(ctx)
 	j0, b0 := runner.JobStats()
 	defer func() {
 		if p := recover(); p != nil {

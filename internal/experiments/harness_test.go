@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -28,7 +29,7 @@ func quickOpts() Options {
 
 func TestHarnessPanicRecovery(t *testing.T) {
 	s := NewSuite(quickOpts(), SuiteConfig{NoRetry: true})
-	res := s.Run(Experiment{
+	res := s.Run(context.Background(), Experiment{
 		ID: "boom",
 		Run: func(r *Runner) (*Table, error) {
 			panic("deliberate test panic")
@@ -52,7 +53,7 @@ func TestHarnessTimeout(t *testing.T) {
 	// The suite deadline is enforced per engine job: a stuck simulation
 	// job is abandoned and its experiment fails with ErrTimeout.
 	s := NewSuite(quickOpts(), SuiteConfig{Timeout: 30 * time.Millisecond, NoRetry: true})
-	res := s.Run(Experiment{
+	res := s.Run(context.Background(), Experiment{
 		ID: "slow",
 		Run: func(r *Runner) (*Table, error) {
 			_, err := runJobs(r, []job[int]{{
@@ -82,7 +83,7 @@ func TestHarnessTimeout(t *testing.T) {
 func TestHarnessDegradedRetry(t *testing.T) {
 	opts := quickOpts()
 	s := NewSuite(opts, SuiteConfig{})
-	res := s.Run(Experiment{
+	res := s.Run(context.Background(), Experiment{
 		ID: "flaky",
 		Run: func(r *Runner) (*Table, error) {
 			if r.Options().Measure == opts.Measure {
@@ -110,7 +111,7 @@ func TestHarnessDegradedRetry(t *testing.T) {
 
 func TestHarnessRetryBothFail(t *testing.T) {
 	s := NewSuite(quickOpts(), SuiteConfig{})
-	res := s.Run(Experiment{
+	res := s.Run(context.Background(), Experiment{
 		ID:  "hopeless",
 		Run: func(r *Runner) (*Table, error) { return nil, fmt.Errorf("always fails") },
 	})
@@ -124,7 +125,7 @@ func TestHarnessRetryBothFail(t *testing.T) {
 
 func TestRunAllAndSummarize(t *testing.T) {
 	s := NewSuite(quickOpts(), SuiteConfig{NoRetry: true})
-	results := s.RunAll([]string{"table1", "no-such-experiment"})
+	results := s.RunAll(context.Background(), []string{"table1", "no-such-experiment"})
 	if len(results) != 2 {
 		t.Fatalf("want 2 results, got %d", len(results))
 	}

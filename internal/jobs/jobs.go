@@ -26,6 +26,7 @@
 package jobs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -48,8 +49,12 @@ type Job[T any] struct {
 	// ID names the job in errors ("fig3/mcf/trhd=500/mint").
 	ID string
 
-	// Run produces the job's result. It is called at most once.
-	Run func() (T, error)
+	// Run produces the job's result. It is called at most once. The
+	// context carries the batch's cancellation plus the per-job deadline;
+	// long-running jobs should poll it at convenient checkpoints
+	// (sim.Kernel.RunUntilCtx does) so cancellation is cooperative rather
+	// than only abandoning the goroutine.
+	Run func(ctx context.Context) (T, error)
 }
 
 // Result is the outcome of one job, reported at the job's submission
@@ -62,6 +67,12 @@ type Result[T any] struct {
 	// Skipped marks a job that never started because an earlier-indexed
 	// job had already failed.
 	Skipped bool
+
+	// Canceled marks a job stopped by the batch context — either never
+	// started (Duration zero) or cut off mid-run. Err then wraps
+	// ctx.Err(). Cancellation is wall-clock dependent, so a canceled
+	// batch makes no determinism promises beyond result ordering.
+	Canceled bool
 
 	// Panicked marks an Err produced from a recovered panic; Stack then
 	// carries the goroutine's stack trace.
@@ -98,6 +109,7 @@ type PoolStats struct {
 	Completed int64 // jobs that ran and returned without error
 	Failed    int64 // jobs that ran and errored (incl. panics and timeouts)
 	Skipped   int64 // jobs never started because an earlier index failed
+	Canceled  int64 // jobs stopped by the batch context
 
 	BusyWorkers int64 // jobs executing right now
 	QueueDepth  int64 // jobs submitted but not yet started
@@ -115,15 +127,15 @@ func (s PoolStats) Ran() int64 { return s.Completed + s.Failed }
 type Pool struct {
 	opts Options
 
-	submitted, completed, failed, skipped atomic.Int64
-	busyWorkers, queueDepth               atomic.Int64
-	busyNS                                atomic.Int64
+	submitted, completed, failed, skipped, canceled atomic.Int64
+	busyWorkers, queueDepth                         atomic.Int64
+	busyNS                                          atomic.Int64
 
 	// telemetry mirrors (nil handles when Options.Telemetry is nil).
-	mSubmitted, mCompleted, mFailed, mSkipped *telemetry.Counter
-	mBusyMS                                   *telemetry.Counter
-	gBusy, gQueue                             *telemetry.Gauge
-	hLatency                                  *telemetry.Histogram
+	mSubmitted, mCompleted, mFailed, mSkipped, mCanceled *telemetry.Counter
+	mBusyMS                                              *telemetry.Counter
+	gBusy, gQueue                                        *telemetry.Gauge
+	hLatency                                             *telemetry.Histogram
 }
 
 // NewPool builds a pool over opts.
@@ -134,6 +146,7 @@ func NewPool(opts Options) *Pool {
 	p.mCompleted = reg.Counter("jobs_completed_total")
 	p.mFailed = reg.Counter("jobs_failed_total")
 	p.mSkipped = reg.Counter("jobs_skipped_total")
+	p.mCanceled = reg.Counter("jobs_canceled_total")
 	p.mBusyMS = reg.WallCounter("jobs_busy_ms_total")
 	p.gBusy = reg.Gauge("jobs_busy_workers")
 	p.gQueue = reg.Gauge("jobs_queue_depth")
@@ -149,6 +162,7 @@ func (p *Pool) Stats() PoolStats {
 		Completed:   p.completed.Load(),
 		Failed:      p.failed.Load(),
 		Skipped:     p.skipped.Load(),
+		Canceled:    p.canceled.Load(),
 		BusyWorkers: p.busyWorkers.Load(),
 		QueueDepth:  p.queueDepth.Load(),
 		Busy:        time.Duration(p.busyNS.Load()),
@@ -162,9 +176,22 @@ func Run[T any](opts Options, jobs []Job[T]) []Result[T] {
 	return RunOn(NewPool(opts), jobs)
 }
 
+// RunCtx is Run under a batch context: see RunOnCtx.
+func RunCtx[T any](ctx context.Context, opts Options, jobs []Job[T]) []Result[T] {
+	return RunOnCtx(ctx, NewPool(opts), jobs)
+}
+
 // RunOn executes a batch of jobs on pool p with the same ordering and
 // fail-fast guarantees as Run, folding the batch into p's accounting.
 func RunOn[T any](p *Pool, jobs []Job[T]) []Result[T] {
+	return RunOnCtx(context.Background(), p, jobs)
+}
+
+// RunOnCtx is RunOn under a batch context. When ctx is canceled (or its
+// deadline passes), running jobs see it through their Run context and
+// not-yet-started jobs are returned as Canceled without running; RunOnCtx
+// still returns len(jobs) results and still gathers in submission order.
+func RunOnCtx[T any](ctx context.Context, p *Pool, jobs []Job[T]) []Result[T] {
 	n := len(jobs)
 	results := make([]Result[T], n)
 	if n == 0 {
@@ -207,20 +234,36 @@ func RunOn[T any](p *Pool, jobs []Job[T]) []Result[T] {
 					p.mSkipped.Inc()
 					continue
 				}
+				if ctx.Err() != nil {
+					results[i] = Result[T]{
+						ID:       jobs[i].ID,
+						Err:      fmt.Errorf("job %s: %w", jobs[i].ID, ctx.Err()),
+						Canceled: true,
+					}
+					p.canceled.Add(1)
+					p.mCanceled.Inc()
+					storeMin(&minFail, int64(i))
+					continue
+				}
 				p.busyWorkers.Add(1)
 				p.gBusy.Add(1)
-				results[i] = execute(jobs[i], p.opts.Timeout)
+				results[i] = execute(ctx, jobs[i], p.opts.Timeout)
 				p.busyWorkers.Add(-1)
 				p.gBusy.Add(-1)
 				d := results[i].Duration
 				p.busyNS.Add(int64(d))
 				p.mBusyMS.Add(d.Milliseconds())
 				p.hLatency.Observe(float64(d) / float64(time.Millisecond))
-				if results[i].Err != nil {
+				switch {
+				case results[i].Canceled:
+					p.canceled.Add(1)
+					p.mCanceled.Inc()
+					storeMin(&minFail, int64(i))
+				case results[i].Err != nil:
 					p.failed.Add(1)
 					p.mFailed.Inc()
 					storeMin(&minFail, int64(i))
-				} else {
+				default:
 					p.completed.Add(1)
 					p.mCompleted.Inc()
 				}
@@ -231,10 +274,19 @@ func RunOn[T any](p *Pool, jobs []Job[T]) []Result[T] {
 	return results
 }
 
-// execute runs one job in its own goroutine so a deadline can abandon it;
-// panics are converted to errors.
-func execute[T any](job Job[T], timeout time.Duration) Result[T] {
+// execute runs one job in its own goroutine so a deadline or cancellation
+// can abandon it; panics are converted to errors. The job's context layers
+// the per-job deadline over the batch context, so cooperative jobs stop on
+// whichever fires first; uncooperative ones are abandoned (they only touch
+// job-local state and their eventual send lands in the buffered channel).
+func execute[T any](ctx context.Context, job Job[T], timeout time.Duration) Result[T] {
 	start := time.Now()
+	jctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	done := make(chan Result[T], 1)
 	go func() {
 		defer func() {
@@ -247,23 +299,39 @@ func execute[T any](job Job[T], timeout time.Duration) Result[T] {
 				}
 			}
 		}()
-		v, err := job.Run()
+		v, err := job.Run(jctx)
+		res := Result[T]{ID: job.ID, Value: v, Err: err}
 		if err != nil {
-			err = fmt.Errorf("job %s: %w", job.ID, err)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				res.Canceled = ctx.Err() != nil
+				if !res.Canceled {
+					// The per-job deadline, reported in timeout terms.
+					res.Err = fmt.Errorf("job %s: %w after %v", job.ID, ErrTimeout, timeout)
+					done <- res
+					return
+				}
+			}
+			res.Err = fmt.Errorf("job %s: %w", job.ID, err)
 		}
-		done <- Result[T]{ID: job.ID, Value: v, Err: err}
+		done <- res
 	}()
 
 	var res Result[T]
-	if timeout <= 0 {
+	if jctx.Done() == nil {
 		res = <-done
 	} else {
 		select {
 		case res = <-done:
-		case <-time.After(timeout):
-			// The goroutine is abandoned; it only touches job-local state
-			// and its eventual send lands in the buffered channel.
-			res = Result[T]{ID: job.ID, Err: fmt.Errorf("job %s: %w after %v", job.ID, ErrTimeout, timeout)}
+		case <-jctx.Done():
+			if ctx.Err() != nil {
+				res = Result[T]{
+					ID:       job.ID,
+					Err:      fmt.Errorf("job %s: %w", job.ID, ctx.Err()),
+					Canceled: true,
+				}
+			} else {
+				res = Result[T]{ID: job.ID, Err: fmt.Errorf("job %s: %w after %v", job.ID, ErrTimeout, timeout)}
+			}
 		}
 	}
 	res.Duration = time.Since(start)

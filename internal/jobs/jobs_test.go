@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,7 +16,7 @@ func ids(n int) []Job[int] {
 	js := make([]Job[int], n)
 	for i := range js {
 		i := i
-		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) { return i * i, nil }}
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) { return i * i, nil }}
 	}
 	return js
 }
@@ -38,7 +39,7 @@ func TestEmptyAndSingle(t *testing.T) {
 	if res := Run(Options{}, []Job[string]{}); len(res) != 0 {
 		t.Fatalf("empty job list: %v", res)
 	}
-	res := Run(Options{Parallelism: 4}, []Job[string]{{ID: "one", Run: func() (string, error) { return "ok", nil }}})
+	res := Run(Options{Parallelism: 4}, []Job[string]{{ID: "one", Run: func(context.Context) (string, error) { return "ok", nil }}})
 	if res[0].Value != "ok" || res[0].Err != nil || res[0].Duration < 0 {
 		t.Fatalf("single job: %+v", res[0])
 	}
@@ -49,7 +50,7 @@ func TestFailureSkipsLaterJobsSequentially(t *testing.T) {
 	js := make([]Job[int], 10)
 	for i := range js {
 		i := i
-		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
 			atomic.AddInt32(&ran, 1)
 			if i == 3 {
 				return 0, errors.New("boom")
@@ -78,7 +79,7 @@ func TestLowestFailingIndexDeterministicInParallel(t *testing.T) {
 	js := make([]Job[int], 12)
 	for i := range js {
 		i := i
-		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
 			if i == 2 || i == 7 {
 				return 0, fmt.Errorf("fail-%d", i)
 			}
@@ -96,8 +97,8 @@ func TestLowestFailingIndexDeterministicInParallel(t *testing.T) {
 
 func TestPanicRecovery(t *testing.T) {
 	js := []Job[int]{
-		{ID: "ok", Run: func() (int, error) { return 1, nil }},
-		{ID: "boom", Run: func() (int, error) { panic("deliberate") }},
+		{ID: "ok", Run: func(context.Context) (int, error) { return 1, nil }},
+		{ID: "boom", Run: func(context.Context) (int, error) { panic("deliberate") }},
 	}
 	res := Run(Options{Parallelism: 2}, js)
 	if res[0].Err != nil || res[0].Value != 1 {
@@ -113,8 +114,8 @@ func TestPanicRecovery(t *testing.T) {
 
 func TestPerJobTimeout(t *testing.T) {
 	js := []Job[int]{
-		{ID: "fast", Run: func() (int, error) { return 7, nil }},
-		{ID: "stuck", Run: func() (int, error) { time.Sleep(2 * time.Second); return 0, nil }},
+		{ID: "fast", Run: func(context.Context) (int, error) { return 7, nil }},
+		{ID: "stuck", Run: func(context.Context) (int, error) { time.Sleep(2 * time.Second); return 0, nil }},
 	}
 	start := time.Now()
 	res := Run(Options{Parallelism: 1, Timeout: 50 * time.Millisecond}, js)
@@ -134,7 +135,7 @@ func TestPoolStatsAccumulateAcrossBatches(t *testing.T) {
 	js := make([]Job[int], 6)
 	for i := range js {
 		i := i
-		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
 			if i == 5 {
 				return 0, errors.New("boom")
 			}
@@ -170,7 +171,7 @@ func TestPoolTelemetryMirrors(t *testing.T) {
 	js := make([]Job[int], 8)
 	for i := range js {
 		i := i
-		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func() (int, error) {
+		js[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
 			time.Sleep(time.Millisecond)
 			if i == 7 {
 				return 0, errors.New("boom")
@@ -225,7 +226,7 @@ func TestRunMatchesRunOnSemantics(t *testing.T) {
 func TestTotalBusy(t *testing.T) {
 	js := make([]Job[int], 4)
 	for i := range js {
-		js[i] = Job[int]{ID: "sleep", Run: func() (int, error) {
+		js[i] = Job[int]{ID: "sleep", Run: func(context.Context) (int, error) {
 			time.Sleep(10 * time.Millisecond)
 			return 0, nil
 		}}

@@ -28,7 +28,18 @@ type Request struct {
 	addr    dram.Address
 	arrive  dram.Time
 	enqueue int64 // arrival order for FCFS tie-breaking
+
+	// doneEv is the reusable data-transfer completion event: the
+	// sub-channel schedules it at the request's data-done time and its
+	// Fire invokes Done. Owning the event inside the request means a
+	// pooled Request costs zero allocations per completion.
+	doneEv sim.Event
 }
+
+// requestDone adapts a Request to sim.Handler: firing invokes Done.
+type requestDone Request
+
+func (e *requestDone) Fire(now dram.Time) { (*Request)(e).Done(now) }
 
 // Config configures a Channel.
 type Config struct {

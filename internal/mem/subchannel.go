@@ -56,9 +56,12 @@ type SubChannel struct {
 	alertEndAt    dram.Time
 	actSinceAlert bool
 
-	nextWake dram.Time // earliest scheduled wake (-1 if none)
-	wakeGen  uint64    // generation counter invalidating stale wakes
-	stats    Stats
+	// wakeEv is the single persistent scheduler-wake event. It coalesces
+	// every wake source — request arrival, bank/bus timing, refresh due,
+	// ALERT windows — into one reusable handle: requestWake moves it
+	// earlier with Reschedule instead of piling up superseded closures.
+	wakeEv sim.Event
+	stats  Stats
 
 	// teleBankActs counts ACTs per bank since the last REF; at each REF
 	// every bank's count is observed into teleActHist and reset. Both are
@@ -76,8 +79,8 @@ func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
 		faw:           make([]dram.Time, 4),
 		refDue:        cfg.Timing.TREFI,
 		actSinceAlert: true,
-		nextWake:      -1,
 	}
+	s.wakeEv.Bind((*subWake)(s))
 	for i := range s.banks {
 		s.banks[i].openRow = -1
 	}
@@ -114,6 +117,9 @@ func (s *SubChannel) Mitigator() track.Mitigator { return s.mit }
 func (s *SubChannel) RefIndex() int { return s.refIndex }
 
 func (s *SubChannel) submit(r *Request) {
+	if r.Done != nil {
+		r.doneEv.Bind((*requestDone)(r))
+	}
 	r.arrive = s.k.Now()
 	r.enqueue = s.nextEnq
 	s.nextEnq++
@@ -121,31 +127,28 @@ func (s *SubChannel) submit(r *Request) {
 	s.requestWake(s.k.Now())
 }
 
-// requestWake ensures a wake event is scheduled no later than at. A newer
-// (earlier) request invalidates any previously scheduled wake via the
-// generation counter, so superseded events return without doing work.
+// subWake adapts a SubChannel to sim.Handler for its wake event.
+type subWake SubChannel
+
+func (w *subWake) Fire(dram.Time) { (*SubChannel)(w).wake() }
+
+// requestWake ensures the wake event is scheduled no later than at. A
+// pending wake at an earlier-or-equal time wins (coalescing); a later one
+// is pulled forward with Reschedule, which — matching the retired
+// generation-counter scheme — assigns a fresh FIFO sequence number, so the
+// wake still fires after events already queued for the same instant.
 func (s *SubChannel) requestWake(at dram.Time) {
 	now := s.k.Now()
 	if at < now {
 		at = now
 	}
-	if s.nextWake >= 0 && s.nextWake <= at {
+	if s.wakeEv.Scheduled() && s.wakeEv.When() <= at {
 		return
 	}
-	s.nextWake = at
-	s.wakeGen++
-	gen := s.wakeGen
-	s.k.Schedule(at, func() {
-		if gen != s.wakeGen {
-			return // superseded
-		}
-		s.wake()
-	})
+	s.k.Reschedule(&s.wakeEv, at)
 }
 
 func (s *SubChannel) wake() {
-	s.nextWake = -1
-	s.wakeGen++ // invalidate any other pending wake events
 	n := 0
 	for s.step() {
 		n++
@@ -428,8 +431,7 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 		bk.preReadyAt = now + tRTP
 	}
 	if r.Done != nil {
-		done := r.Done
-		s.k.Schedule(dataDone, func() { done(dataDone) })
+		s.k.ScheduleEvent(&r.doneEv, dataDone)
 	}
 }
 

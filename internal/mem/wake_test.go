@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+// The sub-channel owns exactly one persistent wake event; requestWake must
+// coalesce onto it. The audited contract (DESIGN.md §11): an
+// earlier-or-equal pending wake wins, a later one is pulled forward with a
+// fresh FIFO sequence number — the exact behavior of the retired
+// generation-counter scheme, minus the superseded no-op events it left in
+// the queue.
+func TestRequestWakeCoalesces(t *testing.T) {
+	k, ch := newTestChannel(t, Config{})
+	s := ch.SubChannel(0)
+
+	// newSubChannel arms the first REF: the wake event is pending.
+	if !s.wakeEv.Scheduled() {
+		t.Fatal("no wake armed after construction")
+	}
+	if got, want := s.wakeEv.When(), s.cfg.Timing.TREFI; got != want {
+		t.Fatalf("initial wake at %v, want first REF due %v", got, want)
+	}
+	base := k.Pending()
+
+	// A later wake request coalesces into the pending earlier one.
+	s.requestWake(s.wakeEv.When() + dram.Microsecond)
+	if k.Pending() != base {
+		t.Fatalf("later requestWake grew the queue: %d -> %d", base, k.Pending())
+	}
+
+	// An equal-time request is also absorbed.
+	s.requestWake(s.wakeEv.When())
+	if k.Pending() != base {
+		t.Fatalf("equal-time requestWake grew the queue: %d -> %d", base, k.Pending())
+	}
+
+	// An earlier request pulls the single event forward — never a second
+	// event.
+	earlier := s.wakeEv.When() / 2
+	s.requestWake(earlier)
+	if k.Pending() != base {
+		t.Fatalf("earlier requestWake grew the queue: %d -> %d", base, k.Pending())
+	}
+	if got := s.wakeEv.When(); got != earlier {
+		t.Fatalf("wake at %v, want pulled forward to %v", got, earlier)
+	}
+
+	// Past-time requests clamp to now.
+	k.RunUntil(earlier / 2)
+	s.requestWake(0)
+	if got := s.wakeEv.When(); got != k.Now() {
+		t.Fatalf("past requestWake at %v, want clamped to now %v", got, k.Now())
+	}
+	if k.Pending() != base {
+		t.Fatalf("past requestWake grew the queue: %d -> %d", base, k.Pending())
+	}
+}
+
+// A full simulated window must keep exactly one wake event live per
+// sub-channel: the queue never accumulates superseded wakes.
+func TestSingleWakeEventUnderLoad(t *testing.T) {
+	k, ch := newTestChannel(t, Config{})
+	var dones int
+	for i := 0; i < 32; i++ {
+		addr := ch.Geometry().Compose(dram.Address{SubChannel: 0, Bank: i % 8, Row: i, Col: 0})
+		ch.Submit(&Request{Addr: addr, Done: func(dram.Time) { dones++ }})
+		// Pending: at most the one wake per sub-channel plus in-flight
+		// read-done events.
+		if max := ch.Geometry().SubChannels + 32; k.Pending() > max {
+			t.Fatalf("queue grew to %d events (> %d): superseded wakes accumulating", k.Pending(), max)
+		}
+	}
+	k.RunUntil(10 * dram.Microsecond)
+	if dones != 32 {
+		t.Fatalf("%d of 32 requests completed", dones)
+	}
+}

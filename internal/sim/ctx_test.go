@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mirza/internal/dram"
+)
+
+// selfTick reschedules itself delta after every fire, counting fires.
+type selfTick struct {
+	k     *Kernel
+	ev    Event
+	delta dram.Time
+	fires int
+}
+
+func (t *selfTick) Fire(now dram.Time) {
+	t.fires++
+	t.k.ScheduleEvent(&t.ev, now+t.delta)
+}
+
+// A canceled context stops RunUntilCtx mid-run with ctx.Err(), leaving the
+// kernel resumable: clock intact, pending events still queued.
+func TestRunUntilCtxCancel(t *testing.T) {
+	var k Kernel
+	tick := &selfTick{k: &k, delta: dram.Nanosecond}
+	tick.ev.Bind(tick)
+	k.ScheduleEvent(&tick.ev, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := k.RunUntilCtx(ctx, dram.Millisecond, &Watchdog{Budget: 0, CheckEvery: 64})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (kernel must stay resumable)", k.Pending())
+	}
+	if k.Now() >= dram.Millisecond {
+		t.Fatalf("clock ran to %v despite cancellation", k.Now())
+	}
+
+	// Resuming with a live context finishes the run.
+	if err := k.RunUntilCtx(context.Background(), dram.Millisecond, nil); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if k.Now() != dram.Millisecond {
+		t.Fatalf("clock = %v, want %v", k.Now(), dram.Millisecond)
+	}
+}
+
+// Cancellation is polled at the CheckEvery cadence, so a context canceled
+// mid-run stops within one batch.
+func TestRunUntilCtxCancelMidRun(t *testing.T) {
+	var k Kernel
+	tick := &selfTick{k: &k, delta: dram.Nanosecond}
+	tick.ev.Bind(tick)
+	k.ScheduleEvent(&tick.ev, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ev Event
+	ev.Bind(&cancelAt{cancel: cancel})
+	k.ScheduleEvent(&ev, 100*dram.Nanosecond)
+
+	err := k.RunUntilCtx(ctx, dram.Millisecond, &Watchdog{Budget: time.Hour, CheckEvery: 16})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most one CheckEvery batch after the canceling event.
+	if k.Now() > 200*dram.Nanosecond {
+		t.Fatalf("run continued to %v after cancellation", k.Now())
+	}
+}
+
+type cancelAt struct {
+	cancel context.CancelFunc
+}
+
+func (c *cancelAt) Fire(dram.Time) { c.cancel() }
+
+// With a Background context and no watchdog, RunUntilCtx is plain
+// RunUntil (and must not sample anything per event).
+func TestRunUntilCtxBackground(t *testing.T) {
+	var k Kernel
+	tick := &selfTick{k: &k, delta: dram.Microsecond}
+	tick.ev.Bind(tick)
+	k.ScheduleEvent(&tick.ev, 0)
+	if err := k.RunUntilCtx(context.Background(), 10*dram.Microsecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tick.fires != 11 {
+		t.Fatalf("fires = %d, want 11", tick.fires)
+	}
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+
+	"mirza/internal/dram"
+)
+
+// Handler is the target of a reusable Event: Fire is invoked when the
+// event's scheduled time is reached, with now equal to the event's time
+// (and to Kernel.Now()). Implementations are typically small adapter
+// types over the simulated actor, so the kernel's hot path never boxes a
+// closure.
+type Handler interface {
+	Fire(now dram.Time)
+}
+
+// Event is a reusable scheduled-event handle. Callers allocate one Event
+// per logical timer (usually embedded in the actor it wakes), Bind it to
+// its Handler once, and then Schedule/Reschedule/Cancel it any number of
+// times without further allocation. The kernel owns the event while it is
+// scheduled: the pos field is its position in the kernel's heap, so
+// cancellation and rescheduling are O(log n) with no search.
+//
+// An Event belongs to at most one Kernel at a time and, like the Kernel
+// itself, is not safe for concurrent use.
+type Event struct {
+	h   Handler
+	at  dram.Time
+	seq uint64
+	pos int32 // 1-based heap position; 0 when idle
+}
+
+// Bind sets the event's fire target. It must be called before the first
+// ScheduleEvent/Reschedule and must not be called while the event is
+// scheduled. Rebinding an idle event is allowed (pooled objects rebind on
+// reuse).
+func (e *Event) Bind(h Handler) {
+	if e.pos != 0 {
+		panic("sim: Bind on a scheduled event")
+	}
+	if h == nil {
+		panic("sim: Bind with nil handler")
+	}
+	e.h = h
+}
+
+// Scheduled reports whether the event is currently queued.
+func (e *Event) Scheduled() bool { return e.pos != 0 }
+
+// When returns the time the event is scheduled to fire. It is only
+// meaningful while Scheduled() is true.
+func (e *Event) When() dram.Time { return e.at }
+
+// eventFunc adapts a one-shot closure to the Event API; it backs the
+// deprecated Kernel.Schedule shim.
+type eventFunc struct {
+	ev Event
+	fn func()
+}
+
+func (f *eventFunc) Fire(dram.Time) { f.fn() }
+
+// The event queue is a monomorphic 4-ary min-heap of *Event ordered by
+// (at, seq): no container/heap, no interface boxing, and a shallower tree
+// than a binary heap (fewer cache-missing levels per sift for the queue
+// depths a full-system simulation produces). Each element's 1-based
+// position is mirrored into Event.pos so Cancel/Reschedule locate their
+// node in O(1).
+
+// eventBefore is the strict heap order: earlier time first, then FIFO by
+// sequence number among simultaneous events.
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends e and restores the heap property.
+func (k *Kernel) push(e *Event) {
+	k.events = append(k.events, e)
+	k.siftUp(len(k.events) - 1)
+}
+
+// popRoot removes the earliest event, leaving it idle (pos 0).
+func (k *Kernel) popRoot() *Event {
+	root := k.events[0]
+	n := len(k.events) - 1
+	last := k.events[n]
+	k.events[n] = nil // release the reference; events outlive the queue
+	k.events = k.events[:n]
+	if n > 0 {
+		k.events[0] = last
+		k.siftDown(0)
+	}
+	root.pos = 0
+	return root
+}
+
+// remove deletes the event at heap index i, leaving it idle.
+func (k *Kernel) remove(i int) {
+	e := k.events[i]
+	n := len(k.events) - 1
+	last := k.events[n]
+	k.events[n] = nil
+	k.events = k.events[:n]
+	if i < n {
+		k.events[i] = last
+		k.fix(i)
+	}
+	e.pos = 0
+}
+
+// fix restores the heap property for a node whose key changed in either
+// direction (Reschedule, remove).
+func (k *Kernel) fix(i int) {
+	if !k.siftDown(i) {
+		k.siftUp(i)
+	}
+}
+
+func (k *Kernel) siftUp(i int) {
+	e := k.events[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(e, k.events[p]) {
+			break
+		}
+		k.events[i] = k.events[p]
+		k.events[i].pos = int32(i + 1)
+		i = p
+	}
+	k.events[i] = e
+	e.pos = int32(i + 1)
+}
+
+// siftDown reports whether the node moved.
+func (k *Kernel) siftDown(i int) bool {
+	e := k.events[i]
+	n := len(k.events)
+	start := i
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventBefore(k.events[j], k.events[m]) {
+				m = j
+			}
+		}
+		if !eventBefore(k.events[m], e) {
+			break
+		}
+		k.events[i] = k.events[m]
+		k.events[i].pos = int32(i + 1)
+		i = m
+	}
+	k.events[i] = e
+	e.pos = int32(i + 1)
+	return i != start
+}
+
+// ScheduleEvent queues e to fire at time at. The event must be bound and
+// idle: scheduling an already-scheduled event panics (use Reschedule to
+// move a pending timer). Scheduling in the past panics with the same
+// diagnostic snapshot a StallError carries, so causality bugs surface
+// with context instead of a bare pair of timestamps.
+func (k *Kernel) ScheduleEvent(e *Event, at dram.Time) {
+	if e.pos != 0 {
+		panic("sim: ScheduleEvent on an already-scheduled event (use Reschedule)")
+	}
+	if e.h == nil {
+		panic("sim: ScheduleEvent on an unbound event (call Bind first)")
+	}
+	if at < k.now {
+		panic(k.pastTimeDiagnostic(at))
+	}
+	k.seq++
+	e.at = at
+	e.seq = k.seq
+	k.push(e)
+}
+
+// Reschedule moves e to fire at time at, scheduling it if idle. The event
+// is assigned a fresh FIFO sequence number, exactly as if it had been
+// cancelled and scheduled anew: among simultaneous events it fires after
+// everything already queued for that time.
+func (k *Kernel) Reschedule(e *Event, at dram.Time) {
+	if e.pos == 0 {
+		k.ScheduleEvent(e, at)
+		return
+	}
+	if at < k.now {
+		panic(k.pastTimeDiagnostic(at))
+	}
+	k.seq++
+	e.at = at
+	e.seq = k.seq
+	k.fix(int(e.pos) - 1)
+}
+
+// Cancel removes e from the queue, reporting whether it was pending. It
+// is a no-op on an idle event.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e.pos == 0 {
+		return false
+	}
+	k.remove(int(e.pos) - 1)
+	return true
+}
+
+// pastTimeDiagnostic builds the panic message for scheduling before now.
+func (k *Kernel) pastTimeDiagnostic(at dram.Time) string {
+	return fmt.Sprintf("sim: schedule at %v before now %v (%d events pending, %d executed; recent event times %v)",
+		at, k.now, len(k.events), k.executed, k.RecentTimes())
+}

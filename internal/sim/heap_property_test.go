@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mirza/internal/dram"
+)
+
+// The property test drives the new 4-ary heap and the legacy
+// container/heap reference (legacy_test.go) through an identical randomized
+// op sequence — schedules clustered into a narrow time range to force
+// same-time FIFO ties, interleaved Cancel and Reschedule, and pops mixed
+// into the mutation stream — and demands bit-identical pop order. Both
+// sides consume sequence numbers at the same call sites, so any divergence
+// is a heap bug, not a modeling artifact.
+
+type popRec struct {
+	id int
+	at dram.Time
+}
+
+// idHandler records its id and fire time into a shared log.
+type idHandler struct {
+	id  int
+	log *[]popRec
+}
+
+func (h *idHandler) Fire(now dram.Time) { *h.log = append(*h.log, popRec{h.id, now}) }
+
+func TestHeapMatchesLegacyPopOrder(t *testing.T) {
+	const (
+		nEvents = 64
+		nOps    = 4000
+	)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var k Kernel
+		var ref legacyKernel
+		var got []popRec
+
+		events := make([]*Event, nEvents)
+		for i := range events {
+			events[i] = new(Event)
+			events[i].Bind(&idHandler{id: i, log: &got})
+		}
+
+		popBoth := func() {
+			wantID, wantAt := ref.popID()
+			if !k.Step() {
+				t.Fatalf("seed %d: kernel empty, reference had event %d at %v", seed, wantID, wantAt)
+			}
+			last := got[len(got)-1]
+			if last.id != wantID || last.at != wantAt {
+				t.Fatalf("seed %d: pop %d: got event %d at %v, reference popped %d at %v",
+					seed, len(got), last.id, last.at, wantID, wantAt)
+			}
+			if k.Now() != ref.now {
+				t.Fatalf("seed %d: clock skew: kernel %v, reference %v", seed, k.Now(), ref.now)
+			}
+		}
+
+		for op := 0; op < nOps; op++ {
+			id := rng.Intn(nEvents)
+			// A narrow window above now maximizes same-time collisions.
+			at := k.Now() + dram.Time(rng.Intn(16))
+			switch r := rng.Intn(100); {
+			case r < 40:
+				if events[id].Scheduled() {
+					k.Reschedule(events[id], at)
+					ref.rescheduleID(at, id)
+				} else {
+					k.ScheduleEvent(events[id], at)
+					ref.scheduleID(at, id)
+				}
+			case r < 55:
+				if gotC, wantC := k.Cancel(events[id]), ref.cancelID(id); gotC != wantC {
+					t.Fatalf("seed %d: op %d: Cancel(%d) = %v, reference %v", seed, op, id, gotC, wantC)
+				}
+			case r < 70:
+				// Reschedule regardless of state (schedules when idle).
+				k.Reschedule(events[id], at)
+				ref.rescheduleID(at, id)
+			default:
+				if k.Pending() > 0 {
+					popBoth()
+				}
+			}
+			if k.Pending() != len(ref.events) {
+				t.Fatalf("seed %d: op %d: pending %d, reference %d", seed, op, k.Pending(), len(ref.events))
+			}
+		}
+
+		for k.Pending() > 0 {
+			popBoth()
+		}
+		if len(ref.events) != 0 {
+			t.Fatalf("seed %d: reference has %d events left after kernel drained", seed, len(ref.events))
+		}
+	}
+}

@@ -1,34 +1,21 @@
 // Package sim provides the discrete-event simulation kernel shared by the
 // memory controller and CPU models: a time-ordered event queue with a
 // monotonic picosecond clock.
+//
+// The queue is a monomorphic 4-ary min-heap of typed *Event handles (see
+// event.go). Hot-path callers allocate an Event once, Bind it to a
+// Handler, and Schedule/Reschedule/Cancel it for the lifetime of the
+// simulation: steady-state scheduling performs zero heap allocations (the
+// contract is pinned by testing.AllocsPerRun in kernel_bench_test.go).
+// The closure-based Schedule(at, func()) remains as a deprecated shim for
+// cold paths and external tests.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mirza/internal/dram"
 )
-
-// event is one scheduled callback.
-type event struct {
-	at  dram.Time
-	seq uint64 // tie-breaker: FIFO among simultaneous events
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // recentEvents is the size of the executed-event ring kept for watchdog
 // diagnostics.
@@ -38,7 +25,7 @@ const recentEvents = 16
 type Kernel struct {
 	now    dram.Time
 	seq    uint64
-	events eventHeap
+	events []*Event // 4-ary min-heap ordered by (at, seq)
 
 	// recent is a ring of the times of the most recently executed events,
 	// reported in watchdog stall diagnostics.
@@ -51,15 +38,20 @@ func (k *Kernel) Now() dram.Time { return k.now }
 
 // Schedule runs fn at time at. Scheduling in the past panics: it would
 // silently corrupt causality.
+//
+// Deprecated: Schedule allocates a one-shot event and boxes fn on every
+// call. Hot paths should embed a reusable Event, Bind it once, and use
+// ScheduleEvent/Reschedule instead. The shim remains for tests and
+// cold-path callers.
 func (k *Kernel) Schedule(at dram.Time, fn func()) {
-	if at < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
-	}
-	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+	f := &eventFunc{fn: fn}
+	f.ev.h = f
+	k.ScheduleEvent(&f.ev, at)
 }
 
 // After schedules fn delay after the current time.
+//
+// Deprecated: see Schedule.
 func (k *Kernel) After(delay dram.Time, fn func()) {
 	k.Schedule(k.now+delay, fn)
 }
@@ -68,16 +60,17 @@ func (k *Kernel) After(delay dram.Time, fn func()) {
 func (k *Kernel) Pending() int { return len(k.events) }
 
 // Step executes the earliest event, advancing the clock. It returns false
-// if no events remain.
+// if no events remain. The fired event is idle (and may be rescheduled,
+// including from inside its own Fire) by the time Fire runs.
 func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(event)
+	e := k.popRoot()
 	k.now = e.at
 	k.recent[k.executed%recentEvents] = e.at
 	k.executed++
-	e.fn()
+	e.h.Fire(e.at)
 	return true
 }
 
@@ -112,39 +105,52 @@ func (k *Kernel) NextTimes(n int) []dram.Time {
 	if n == 0 {
 		return out
 	}
-	cand := candidateHeap{events: k.events, idx: make([]int, 0, n+1)}
-	cand.idx = append(cand.idx, 0)
-	for len(out) < n {
-		i := heap.Pop(&cand).(int)
-		out = append(out, k.events[i].at)
-		if l := 2*i + 1; l < len(k.events) {
-			heap.Push(&cand, l)
+	// cand is a small binary min-heap of event-queue indices ordered by
+	// their event's (time, seq) key; it never holds more than n+3 entries
+	// (each pop of the 4-ary queue exposes at most four children).
+	cand := make([]int, 0, n+4)
+	candLess := func(i, j int) bool { return eventBefore(k.events[cand[i]], k.events[cand[j]]) }
+	candPush := func(v int) {
+		cand = append(cand, v)
+		for i := len(cand) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !candLess(i, p) {
+				break
+			}
+			cand[i], cand[p] = cand[p], cand[i]
+			i = p
 		}
-		if r := 2*i + 2; r < len(k.events) {
-			heap.Push(&cand, r)
+	}
+	candPop := func() int {
+		v := cand[0]
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(cand) {
+				break
+			}
+			if c+1 < len(cand) && candLess(c+1, c) {
+				c++
+			}
+			if !candLess(c, i) {
+				break
+			}
+			cand[i], cand[c] = cand[c], cand[i]
+			i = c
+		}
+		return v
+	}
+	candPush(0)
+	for len(out) < n {
+		i := candPop()
+		out = append(out, k.events[i].at)
+		for c := 4*i + 1; c <= 4*i+4 && c < len(k.events); c++ {
+			candPush(c)
 		}
 	}
 	return out
-}
-
-// candidateHeap orders event-queue indices by their event's (time, seq)
-// key. NextTimes uses it to visit events soonest-first without mutating
-// the queue; it never holds more than n+1 indices.
-type candidateHeap struct {
-	events eventHeap
-	idx    []int
-}
-
-func (c candidateHeap) Len() int           { return len(c.idx) }
-func (c candidateHeap) Less(i, j int) bool { return c.events.Less(c.idx[i], c.idx[j]) }
-func (c candidateHeap) Swap(i, j int)      { c.idx[i], c.idx[j] = c.idx[j], c.idx[i] }
-func (c *candidateHeap) Push(x any)        { c.idx = append(c.idx, x.(int)) }
-func (c *candidateHeap) Pop() any {
-	old := c.idx
-	n := len(old)
-	v := old[n-1]
-	c.idx = old[:n-1]
-	return v
 }
 
 // RunUntil executes events until the clock would pass deadline or the queue

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"container/heap"
+
+	"mirza/internal/dram"
+)
+
+// This file preserves the pre-redesign scheduler — a container/heap binary
+// heap of one-shot closures — as a reference model. It serves two duties:
+// the property test checks that the monomorphic 4-ary heap pops events in
+// exactly the order the old implementation did (including same-time FIFO
+// ties and interleaved Cancel/Reschedule), and the benchmark suite uses it
+// as the baseline the new kernel's speedup is measured against.
+
+// legacyEvent is one scheduled callback, keyed by (at, seq) with id
+// carried for order comparison in the property test.
+type legacyEvent struct {
+	at  dram.Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	id  int
+	fn  func()
+}
+
+type legacyHeap []legacyEvent
+
+func (h legacyHeap) Len() int { return len(h) }
+func (h legacyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeap) Push(x any)   { *h = append(*h, x.(legacyEvent)) }
+func (h *legacyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// legacyKernel is the old closure-based scheduler verbatim (modulo the
+// past-time panic, which the reference never triggers).
+type legacyKernel struct {
+	now    dram.Time
+	seq    uint64
+	events legacyHeap
+}
+
+func (k *legacyKernel) Schedule(at dram.Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, legacyEvent{at: at, seq: k.seq, fn: fn})
+}
+
+// scheduleID queues an id-tagged event (property-test reference mirror).
+func (k *legacyKernel) scheduleID(at dram.Time, id int) {
+	k.seq++
+	heap.Push(&k.events, legacyEvent{at: at, seq: k.seq, id: id})
+}
+
+// cancelID removes the queued event with the given id, reporting whether
+// it was found. O(n) search is fine for a reference model.
+func (k *legacyKernel) cancelID(id int) bool {
+	for i := range k.events {
+		if k.events[i].id == id {
+			heap.Remove(&k.events, i)
+			return true
+		}
+	}
+	return false
+}
+
+// rescheduleID moves id to a new time with a fresh sequence number —
+// exactly the semantics of Kernel.Reschedule — scheduling it if absent.
+func (k *legacyKernel) rescheduleID(at dram.Time, id int) {
+	for i := range k.events {
+		if k.events[i].id == id {
+			k.seq++
+			k.events[i].at = at
+			k.events[i].seq = k.seq
+			heap.Fix(&k.events, i)
+			return
+		}
+	}
+	k.scheduleID(at, id)
+}
+
+func (k *legacyKernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(legacyEvent)
+	k.now = e.at
+	if e.fn != nil {
+		e.fn()
+	}
+	return true
+}
+
+// popID pops the earliest event, returning its (id, time).
+func (k *legacyKernel) popID() (int, dram.Time) {
+	e := heap.Pop(&k.events).(legacyEvent)
+	k.now = e.at
+	return e.id, e.at
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -95,20 +96,41 @@ func (e *StallError) Error() string {
 // events still queued) so the caller can inspect it; it must not be
 // resumed.
 func (k *Kernel) RunUntilWatched(deadline dram.Time, w *Watchdog) error {
-	if w == nil || w.Budget <= 0 {
+	return k.RunUntilCtx(context.Background(), deadline, w)
+}
+
+// RunUntilCtx is RunUntilWatched with cooperative cancellation: ctx is
+// sampled between event batches (every CheckEvery events, the same cadence
+// as watchdog progress checks), so a cancelled or deadline-blown context
+// stops the simulation mid-run instead of only at run boundaries. The
+// kernel is left resumable at the point of cancellation (clock and queue
+// intact); the returned error is ctx.Err().
+//
+// With a Background context and no armed watchdog this is plain RunUntil:
+// the per-event hot path never touches the context.
+func (k *Kernel) RunUntilCtx(ctx context.Context, deadline dram.Time, w *Watchdog) error {
+	watched := w != nil && w.Budget > 0
+	done := ctx.Done()
+	if !watched && done == nil {
 		k.RunUntil(deadline)
 		return nil
 	}
-	checkEvery := w.CheckEvery
-	if checkEvery <= 0 {
-		checkEvery = 4096
-	}
-	minAdvance := w.MinAdvance
-	if minAdvance <= 0 {
-		minAdvance = dram.Nanosecond
+	checkEvery := 4096
+	var minAdvance dram.Time
+	if watched {
+		if w.CheckEvery > 0 {
+			checkEvery = w.CheckEvery
+		}
+		minAdvance = w.MinAdvance
+		if minAdvance <= 0 {
+			minAdvance = dram.Nanosecond
+		}
 	}
 
-	lastProgress := w.now()
+	var lastProgress time.Time
+	if watched {
+		lastProgress = w.now()
+	}
 	lastNow := k.now
 	sinceCheck := 0
 	for len(k.events) > 0 && k.events[0].at <= deadline {
@@ -118,6 +140,14 @@ func (k *Kernel) RunUntilWatched(deadline dram.Time, w *Watchdog) error {
 			continue
 		}
 		sinceCheck = 0
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if !watched {
+			continue
+		}
 		w.samples++
 		if k.now-lastNow >= minAdvance {
 			lastNow = k.now
@@ -133,6 +163,11 @@ func (k *Kernel) RunUntilWatched(deadline dram.Time, w *Watchdog) error {
 				Next:     k.NextTimes(8),
 				Recent:   k.RecentTimes(),
 			}
+		}
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 	if k.now < deadline {
