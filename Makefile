@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry bench bench-smoke clean
+.PHONY: check vet build test test-race test-telemetry audit bench bench-smoke clean
 
 check: vet build test-race test-telemetry
 
@@ -32,6 +32,15 @@ test-race:
 # a parallel run (pool gauges, per-REF histogram observes).
 test-telemetry:
 	$(GO) test -race ./internal/telemetry/ ./internal/jobs/
+
+# Protocol-audit gate: the auditor's unit and property suites (synthetic
+# violations, adversarial traffic, the disabled-tFAW canary), then a quick
+# fig3 run with -audit so every command the real experiment pipeline issues
+# is checked against the DDR5 invariants (see internal/audit, DESIGN.md
+# section 12). A violation fails the run with the offending command history.
+audit:
+	$(GO) test ./internal/audit/
+	$(GO) run ./cmd/mirza-bench -quick -exp fig3 -audit -j 4
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...

@@ -85,6 +85,7 @@ func main() {
 	}
 	opts.StallBudget = shared.StallBudget
 	opts.Parallelism = shared.Parallelism
+	opts.Audit = shared.Audit
 	plan := shared.Faults
 	opts.Faults = plan
 	logf := func(format string, args ...any) {
@@ -108,6 +109,7 @@ func main() {
 		"replay-windows": strconv.Itoa(*windows),
 		"workloads":      *workloads,
 		"quick":          strconv.FormatBool(*quick),
+		"audit":          strconv.FormatBool(shared.Audit),
 		"j":              strconv.Itoa(shared.Parallelism),
 	}
 	buildManifest := func() *telemetry.RunManifest {

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"mirza/internal/audit"
 	"mirza/internal/cliflags"
 	"mirza/internal/core"
 	"mirza/internal/cpu"
@@ -52,6 +53,7 @@ type runConfig struct {
 	seed       uint64
 	plan       fault.Plan
 	stall      time.Duration
+	audit      bool
 	reg        *telemetry.Registry
 }
 
@@ -93,6 +95,7 @@ func main() {
 		seed:       *seed,
 		plan:       shared.Faults,
 		stall:      shared.StallBudget,
+		audit:      shared.Audit,
 		reg:        reg,
 	}
 
@@ -251,6 +254,10 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 		return "", err
 	}
 
+	var aud *audit.Auditor
+	if rc.audit {
+		aud = audit.ForChannel(sys.Channel)
+	}
 	if rc.stall > 0 {
 		sys.Watchdog = &sim.Watchdog{Budget: rc.stall}
 	}
@@ -264,6 +271,9 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 		return "", err
 	}
 	sys.FlushTelemetry(telemetry.L("workload", workload))
+	if err := aud.Finish(sys.Channel); err != nil {
+		return "", fmt.Errorf("%s: protocol audit: %w", workload, err)
+	}
 
 	st := sys.MemStats()
 	ipcs := sys.IPCs()
@@ -288,6 +298,9 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 	}
 	if !rc.plan.Empty() {
 		fmt.Fprintf(&sb, "faults     : %s (plan %s)\n", faultLog.Summary(), rc.plan)
+	}
+	if rc.audit {
+		fmt.Fprintf(&sb, "audit      : clean (0 protocol violations)\n")
 	}
 	return sb.String(), nil
 }

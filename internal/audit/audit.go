@@ -1,0 +1,721 @@
+// Package audit is an opt-in shadow checker for the DDR5 command stream.
+//
+// An Auditor attaches to a mem.Channel through the mem.CommandObserver hook
+// and re-derives, independently of the controller's own bank state, whether
+// every issued command honours the protocol invariants the simulator is
+// supposed to model: the per-bank row-cycle timings (tRC/tRAS/tRP/tRCD/
+// tRTP/tWR), channel-level ACT pacing (tRRD and the four-activation tFAW
+// window), REF cadence with bounded postponement, the ALERT-Back-Off
+// prologue/stall ordering, and RFM-before-ACT when a proactive RFM is
+// pending. At end of run, Finish adds cross-cutting conservation checks
+// (every observed command accounted for in mem.Stats, ACTs balanced against
+// PREs plus still-open rows, column commands against retired requests, and
+// tracker-side mitigation counts consistent with the channel through the
+// fault wrapper's Unwrap chain).
+//
+// Every result in the paper's evaluation is a timing-level phenomenon, so a
+// silent violation in the scheduler corrupts all downstream figures without
+// failing a golden test — the goldens would simply pin the wrong numbers.
+// The auditor makes that failure mode loud. It is pure observation: it
+// never mutates controller state, and a disabled (never-constructed)
+// auditor costs the simulator one nil test per command site.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/telemetry"
+	"mirza/internal/track"
+)
+
+// distantPast initializes "time of last command" fields so that the first
+// real command always satisfies every gap constraint.
+const distantPast = -(dram.Time(1) << 61)
+
+// CommandKind identifies one entry in a Violation's command history.
+type CommandKind int
+
+// Command kinds, in the order they appear in histories.
+const (
+	CmdACT CommandKind = iota
+	CmdPRE
+	CmdForcedPRE
+	CmdRead
+	CmdWrite
+	CmdREF
+	CmdRFM
+	CmdAlert
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdACT:
+		return "ACT"
+	case CmdPRE:
+		return "PRE"
+	case CmdForcedPRE:
+		return "PRE(forced)"
+	case CmdRead:
+		return "RD"
+	case CmdWrite:
+		return "WR"
+	case CmdREF:
+		return "REF"
+	case CmdRFM:
+		return "RFM"
+	case CmdAlert:
+		return "ALERT"
+	default:
+		return fmt.Sprintf("CommandKind(%d)", int(k))
+	}
+}
+
+// Command is one observed command, kept in a bounded per-sub-channel ring
+// so a Violation can show what led up to it.
+type Command struct {
+	Kind CommandKind
+	Bank int // -1 for channel-wide commands (REF, ALERT)
+	Row  int // row for ACT/RD/WR, refIndex for REF, AlertPhase for ALERT
+	At   dram.Time
+}
+
+// String renders the command compactly: "ACT b3 r42 @1.234us".
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdREF:
+		return fmt.Sprintf("REF #%d @%v", c.Row, c.At)
+	case CmdAlert:
+		return fmt.Sprintf("ALERT %s @%v", mem.AlertPhase(c.Row), c.At)
+	case CmdPRE, CmdForcedPRE, CmdRFM:
+		return fmt.Sprintf("%s b%d @%v", c.Kind, c.Bank, c.At)
+	default:
+		return fmt.Sprintf("%s b%d r%d @%v", c.Kind, c.Bank, c.Row, c.At)
+	}
+}
+
+// Violation is one detected protocol breach. It is an error; its message
+// names the constraint, the location, the offending timestamps and the
+// recent command history, in the same spirit as sim.StallError's stall
+// diagnostics.
+type Violation struct {
+	Constraint string // catalogue name, e.g. "tFAW", "REF-postpone"
+	Sub        int
+	Bank       int       // -1 for channel-level constraints
+	Row        int       // -1 when not applicable
+	Now        dram.Time // time of the offending command
+	Prev       dram.Time // time of the earlier command it conflicts with
+	Need       dram.Time // required minimum separation (0 for non-gap checks)
+	Detail     string
+	History    []Command // recent commands on the sub-channel, oldest first
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "audit: %s violation on sub %d", v.Constraint, v.Sub)
+	if v.Bank >= 0 {
+		fmt.Fprintf(&sb, " bank %d", v.Bank)
+	}
+	if v.Row >= 0 {
+		fmt.Fprintf(&sb, " row %d", v.Row)
+	}
+	fmt.Fprintf(&sb, " at %v", v.Now)
+	if v.Need > 0 {
+		fmt.Fprintf(&sb, ": %v after command at %v, need >= %v", v.Now-v.Prev, v.Prev, v.Need)
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(&sb, " (%s)", v.Detail)
+	}
+	if len(v.History) > 0 {
+		sb.WriteString("\n  recent commands, oldest first:")
+		for _, c := range v.History {
+			fmt.Fprintf(&sb, "\n    %s", c)
+		}
+	}
+	return sb.String()
+}
+
+// Constraints is the catalogue of violation names the auditor can report.
+// Finish registers one sparse audit_violations_total series per entry, so
+// raw snapshots enumerate the full catalogue while canonical manifests show
+// only the constraints that actually fired.
+var Constraints = []string{
+	"tRC", "tRP", "tRAS", "tRCD", "tRTP", "tWR", "tRRD", "tFAW",
+	"ACT-open-bank", "PRE-closed-bank", "col-row-mismatch", "bank-busy",
+	"REF-order", "REF-open-row", "REF-postpone",
+	"RFM-open-row", "RFM-spurious", "RFM-before-ACT",
+	"alert-order", "alert-window", "alert-stall-command",
+	"conservation",
+}
+
+// Config configures an Auditor. Timing and Geometry must be the channel's
+// effective (defaults-applied, Validate-passing) values — ForChannel takes
+// them from mem.Channel.Config so they cannot drift from what the scheduler
+// actually uses.
+type Config struct {
+	Timing   dram.Timing
+	Geometry dram.Geometry
+
+	// RFMBAT mirrors mem.Config.RFMBAT: when > 0 the auditor maintains its
+	// own per-bank activation counters and demands an RFM before the next
+	// ACT once a counter reaches the threshold.
+	RFMBAT int
+
+	// MaxREFPostpone bounds how late a REF may execute past its nominal
+	// k*tREFI due time. Zero selects one tREFI, which covers the worst
+	// backlog a compliant controller accumulates (a full ALERT window plus
+	// an RFM plus queue drain, ~930ns against tREFI=3.9us).
+	MaxREFPostpone dram.Time
+
+	// MaxViolations caps how many Violation records are retained (counting
+	// continues past the cap). Zero selects 64.
+	MaxViolations int
+
+	// HistoryDepth is the per-sub-channel command-history ring size
+	// attached to each Violation. Zero selects 32.
+	HistoryDepth int
+
+	// Telemetry, when enabled, receives audit_violations_total counters
+	// (one sparse series per catalogue constraint) at Finish.
+	Telemetry *telemetry.Registry
+}
+
+// bankShadow is the auditor's independent model of one bank.
+type bankShadow struct {
+	open       bool
+	row        int
+	actAt      dram.Time // last ACT
+	preAt      dram.Time // last PRE
+	lastReadAt dram.Time // last RD issue
+	wrReadyAt  dram.Time // earliest legal PRE after the last WR (data + tWR)
+	busyUntil  dram.Time // REF/RFM execution end
+	rfmPending bool
+	actCounter int
+}
+
+// subShadow is the auditor's model of one sub-channel.
+type subShadow struct {
+	banks     []bankShadow
+	faw       [4]dram.Time // times of the last 4 ACTs (ring)
+	fawIdx    int
+	lastActAt dram.Time
+	refCount  int
+
+	inPrologue bool
+	inStall    bool
+	stallAt    dram.Time
+	stallEndAt dram.Time
+
+	// Observed command counts, reconciled against mem.Stats at Finish.
+	submits, acts, pres, forcedPres          int64
+	reads, writes, refs, rfms, alertsStarted int64
+
+	hist    []Command
+	histIdx int
+	histLen int
+}
+
+func (ss *subShadow) push(c Command) {
+	ss.hist[ss.histIdx] = c
+	ss.histIdx = (ss.histIdx + 1) % len(ss.hist)
+	if ss.histLen < len(ss.hist) {
+		ss.histLen++
+	}
+}
+
+// history returns the ring's contents oldest-first.
+func (ss *subShadow) history() []Command {
+	out := make([]Command, 0, ss.histLen)
+	start := ss.histIdx - ss.histLen
+	for i := 0; i < ss.histLen; i++ {
+		out = append(out, ss.hist[(start+i+len(ss.hist))%len(ss.hist)])
+	}
+	return out
+}
+
+// Auditor implements mem.CommandObserver. It is single-goroutine like the
+// kernel that drives it; distinct simulations need distinct Auditors. All
+// methods are nil-safe, so callers can hold a *Auditor that is nil when
+// auditing is disabled and still call Finish/Count unconditionally.
+type Auditor struct {
+	cfg          Config
+	subs         []subShadow
+	violations   []*Violation
+	count        int64
+	byConstraint map[string]int64
+}
+
+// New builds an Auditor from cfg, applying defaults for the zero fields.
+func New(cfg Config) *Auditor {
+	if cfg.MaxREFPostpone == 0 {
+		cfg.MaxREFPostpone = cfg.Timing.TREFI
+	}
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = 64
+	}
+	if cfg.HistoryDepth == 0 {
+		cfg.HistoryDepth = 32
+	}
+	a := &Auditor{
+		cfg:          cfg,
+		subs:         make([]subShadow, cfg.Geometry.SubChannels),
+		byConstraint: make(map[string]int64),
+	}
+	for i := range a.subs {
+		ss := &a.subs[i]
+		ss.banks = make([]bankShadow, cfg.Geometry.BanksPerSubChannel)
+		ss.hist = make([]Command, cfg.HistoryDepth)
+		ss.lastActAt = distantPast
+		for j := range ss.faw {
+			ss.faw[j] = distantPast
+		}
+		for b := range ss.banks {
+			bk := &ss.banks[b]
+			bk.actAt = distantPast
+			bk.preAt = distantPast
+			bk.lastReadAt = distantPast
+			bk.wrReadyAt = distantPast
+		}
+	}
+	return a
+}
+
+// ForChannel builds an Auditor from ch's effective configuration and
+// installs it as the channel's command observer. Call it before any
+// simulation time elapses.
+func ForChannel(ch *mem.Channel) *Auditor {
+	c := ch.Config()
+	a := New(Config{
+		Timing:    c.Timing,
+		Geometry:  c.Geometry,
+		RFMBAT:    c.RFMBAT,
+		Telemetry: c.Telemetry,
+	})
+	ch.InstallObserver(a)
+	return a
+}
+
+// report records one violation, capturing the sub-channel's history ring.
+func (a *Auditor) report(sub int, v Violation) {
+	v.Sub = sub
+	v.History = a.subs[sub].history()
+	a.count++
+	a.byConstraint[v.Constraint]++
+	if len(a.violations) < a.cfg.MaxViolations {
+		vc := v
+		a.violations = append(a.violations, &vc)
+	}
+}
+
+// checkStall flags any command issued inside an ALERT stall window.
+func (a *Auditor) checkStall(sub int, kind CommandKind, bank int, now dram.Time) {
+	ss := &a.subs[sub]
+	if ss.inStall && now < ss.stallEndAt {
+		a.report(sub, Violation{
+			Constraint: "alert-stall-command", Bank: bank, Row: -1, Now: now,
+			Prev: ss.stallAt, Need: 0,
+			Detail: fmt.Sprintf("%s issued inside ALERT stall window [%v, %v)", kind, ss.stallAt, ss.stallEndAt),
+		})
+	}
+}
+
+// ObserveSubmit implements mem.CommandObserver.
+func (a *Auditor) ObserveSubmit(sub int, write bool, now dram.Time) {
+	a.subs[sub].submits++
+}
+
+// ObserveACT implements mem.CommandObserver.
+func (a *Auditor) ObserveACT(sub, bank, row int, now dram.Time) {
+	ss := &a.subs[sub]
+	bk := &ss.banks[bank]
+	t := &a.cfg.Timing
+	a.checkStall(sub, CmdACT, bank, now)
+	if bk.open {
+		a.report(sub, Violation{
+			Constraint: "ACT-open-bank", Bank: bank, Row: row, Now: now, Prev: bk.actAt,
+			Detail: fmt.Sprintf("row %d still open (ACT at %v never precharged)", bk.row, bk.actAt),
+		})
+	}
+	if bk.rfmPending {
+		a.report(sub, Violation{
+			Constraint: "RFM-before-ACT", Bank: bank, Row: row, Now: now,
+			Detail: fmt.Sprintf("bank hit the BAT threshold (%d) but activated before its RFM", a.cfg.RFMBAT),
+		})
+	}
+	if now < bk.actAt+t.TRC {
+		a.report(sub, Violation{Constraint: "tRC", Bank: bank, Row: row, Now: now, Prev: bk.actAt, Need: t.TRC})
+	}
+	if now < bk.preAt+t.TRP {
+		a.report(sub, Violation{Constraint: "tRP", Bank: bank, Row: row, Now: now, Prev: bk.preAt, Need: t.TRP})
+	}
+	if now < bk.busyUntil {
+		a.report(sub, Violation{
+			Constraint: "bank-busy", Bank: bank, Row: row, Now: now,
+			Detail: fmt.Sprintf("REF/RFM executing until %v", bk.busyUntil),
+		})
+	}
+	if now < ss.lastActAt+t.TRRD {
+		a.report(sub, Violation{Constraint: "tRRD", Bank: bank, Row: row, Now: now, Prev: ss.lastActAt, Need: t.TRRD})
+	}
+	if f := ss.faw[ss.fawIdx]; now < f+t.TFAW {
+		a.report(sub, Violation{
+			Constraint: "tFAW", Bank: bank, Row: row, Now: now, Prev: f, Need: t.TFAW,
+			Detail: "fifth ACT inside one four-activation window",
+		})
+	}
+	bk.open, bk.row, bk.actAt = true, row, now
+	ss.faw[ss.fawIdx] = now
+	ss.fawIdx = (ss.fawIdx + 1) % len(ss.faw)
+	ss.lastActAt = now
+	if a.cfg.RFMBAT > 0 {
+		bk.actCounter++
+		if bk.actCounter >= a.cfg.RFMBAT {
+			bk.actCounter = 0
+			bk.rfmPending = true
+		}
+	}
+	ss.acts++
+	ss.push(Command{Kind: CmdACT, Bank: bank, Row: row, At: now})
+}
+
+// ObservePRE implements mem.CommandObserver. Forced closes (the ALERT
+// prologue→stall transition) are device-side: they are exempt from the
+// controller-side row-cycle minimums but still balance the ACT/PRE books.
+func (a *Auditor) ObservePRE(sub, bank int, forced bool, now dram.Time) {
+	ss := &a.subs[sub]
+	bk := &ss.banks[bank]
+	t := &a.cfg.Timing
+	kind := CmdPRE
+	if forced {
+		kind = CmdForcedPRE
+	} else {
+		a.checkStall(sub, kind, bank, now)
+	}
+	if !bk.open {
+		a.report(sub, Violation{
+			Constraint: "PRE-closed-bank", Bank: bank, Row: -1, Now: now, Prev: bk.preAt,
+			Detail: "precharge of an already-closed bank",
+		})
+	}
+	if !forced {
+		if now < bk.actAt+t.TRAS {
+			a.report(sub, Violation{Constraint: "tRAS", Bank: bank, Row: bk.row, Now: now, Prev: bk.actAt, Need: t.TRAS})
+		}
+		if now < bk.lastReadAt+t.TRTP {
+			a.report(sub, Violation{Constraint: "tRTP", Bank: bank, Row: bk.row, Now: now, Prev: bk.lastReadAt, Need: t.TRTP})
+		}
+		if now < bk.wrReadyAt {
+			a.report(sub, Violation{
+				Constraint: "tWR", Bank: bank, Row: bk.row, Now: now,
+				Detail: fmt.Sprintf("write recovery incomplete until %v", bk.wrReadyAt),
+			})
+		}
+	}
+	bk.open = false
+	bk.preAt = now
+	ss.pres++
+	if forced {
+		ss.forcedPres++
+	}
+	ss.push(Command{Kind: kind, Bank: bank, Row: -1, At: now})
+}
+
+// ObserveRead implements mem.CommandObserver.
+func (a *Auditor) ObserveRead(sub, bank, row int, now dram.Time) {
+	a.observeColumn(sub, bank, row, now, false)
+}
+
+// ObserveWrite implements mem.CommandObserver.
+func (a *Auditor) ObserveWrite(sub, bank, row int, now dram.Time) {
+	a.observeColumn(sub, bank, row, now, true)
+}
+
+func (a *Auditor) observeColumn(sub, bank, row int, now dram.Time, write bool) {
+	ss := &a.subs[sub]
+	bk := &ss.banks[bank]
+	t := &a.cfg.Timing
+	kind := CmdRead
+	if write {
+		kind = CmdWrite
+	}
+	a.checkStall(sub, kind, bank, now)
+	switch {
+	case !bk.open:
+		a.report(sub, Violation{
+			Constraint: "col-row-mismatch", Bank: bank, Row: row, Now: now,
+			Detail: "column command to a precharged bank",
+		})
+	case bk.row != row:
+		a.report(sub, Violation{
+			Constraint: "col-row-mismatch", Bank: bank, Row: row, Now: now, Prev: bk.actAt,
+			Detail: fmt.Sprintf("open row is %d", bk.row),
+		})
+	}
+	if now < bk.actAt+t.TRCD {
+		a.report(sub, Violation{Constraint: "tRCD", Bank: bank, Row: row, Now: now, Prev: bk.actAt, Need: t.TRCD})
+	}
+	if now < bk.busyUntil {
+		a.report(sub, Violation{
+			Constraint: "bank-busy", Bank: bank, Row: row, Now: now,
+			Detail: fmt.Sprintf("REF/RFM executing until %v", bk.busyUntil),
+		})
+	}
+	if write {
+		bk.wrReadyAt = now + t.TCL + t.TBUS + t.TWR
+		ss.writes++
+	} else {
+		bk.lastReadAt = now
+		ss.reads++
+	}
+	ss.push(Command{Kind: kind, Bank: bank, Row: row, At: now})
+}
+
+// ObserveREF implements mem.CommandObserver.
+func (a *Auditor) ObserveREF(sub, refIndex int, now dram.Time) {
+	ss := &a.subs[sub]
+	t := &a.cfg.Timing
+	a.checkStall(sub, CmdREF, -1, now)
+	if refIndex != ss.refCount {
+		a.report(sub, Violation{
+			Constraint: "REF-order", Bank: -1, Row: refIndex, Now: now,
+			Detail: fmt.Sprintf("expected REF #%d", ss.refCount),
+		})
+	}
+	for b := range ss.banks {
+		if ss.banks[b].open {
+			a.report(sub, Violation{
+				Constraint: "REF-open-row", Bank: b, Row: ss.banks[b].row, Now: now,
+				Prev:   ss.banks[b].actAt,
+				Detail: "all-bank REF with a row still open",
+			})
+		}
+	}
+	due := dram.Time(refIndex+1) * t.TREFI
+	if now < due {
+		a.report(sub, Violation{
+			Constraint: "REF-order", Bank: -1, Row: refIndex, Now: now, Prev: due,
+			Detail: fmt.Sprintf("REF executed before its due time %v", due),
+		})
+	} else if now-due > a.cfg.MaxREFPostpone {
+		a.report(sub, Violation{
+			Constraint: "REF-postpone", Bank: -1, Row: refIndex, Now: now, Prev: due,
+			Detail: fmt.Sprintf("postponed %v past due time %v (budget %v)", now-due, due, a.cfg.MaxREFPostpone),
+		})
+	}
+	busy := now + t.TRFC
+	for b := range ss.banks {
+		if ss.banks[b].busyUntil < busy {
+			ss.banks[b].busyUntil = busy
+		}
+	}
+	ss.refCount = refIndex + 1
+	ss.refs++
+	ss.push(Command{Kind: CmdREF, Bank: -1, Row: refIndex, At: now})
+}
+
+// ObserveRFM implements mem.CommandObserver.
+func (a *Auditor) ObserveRFM(sub, bank int, now dram.Time) {
+	ss := &a.subs[sub]
+	bk := &ss.banks[bank]
+	t := &a.cfg.Timing
+	a.checkStall(sub, CmdRFM, bank, now)
+	if bk.open {
+		a.report(sub, Violation{
+			Constraint: "RFM-open-row", Bank: bank, Row: bk.row, Now: now, Prev: bk.actAt,
+			Detail: "RFM with the bank's row still open",
+		})
+	}
+	if now < bk.busyUntil {
+		a.report(sub, Violation{
+			Constraint: "bank-busy", Bank: bank, Row: -1, Now: now,
+			Detail: fmt.Sprintf("REF/RFM executing until %v", bk.busyUntil),
+		})
+	}
+	if a.cfg.RFMBAT > 0 && !bk.rfmPending {
+		a.report(sub, Violation{
+			Constraint: "RFM-spurious", Bank: bank, Row: -1, Now: now,
+			Detail: fmt.Sprintf("RFM issued with activation counter at %d of %d", bk.actCounter, a.cfg.RFMBAT),
+		})
+	}
+	bk.rfmPending = false
+	if end := now + t.TRFM; bk.busyUntil < end {
+		bk.busyUntil = end
+	}
+	ss.rfms++
+	ss.push(Command{Kind: CmdRFM, Bank: bank, Row: -1, At: now})
+}
+
+// ObserveAlert implements mem.CommandObserver.
+func (a *Auditor) ObserveAlert(sub int, phase mem.AlertPhase, now dram.Time) {
+	ss := &a.subs[sub]
+	t := &a.cfg.Timing
+	switch phase {
+	case mem.AlertPrologueStart:
+		if ss.inPrologue || ss.inStall {
+			a.report(sub, Violation{
+				Constraint: "alert-order", Bank: -1, Row: -1, Now: now,
+				Detail: "ALERT accepted while a previous ALERT is still in progress",
+			})
+		}
+		ss.inPrologue = true
+		ss.stallAt = now + t.ABOPrologue
+		ss.stallEndAt = ss.stallAt + t.ABOStall
+		ss.alertsStarted++
+	case mem.AlertStallStart:
+		if !ss.inPrologue {
+			a.report(sub, Violation{
+				Constraint: "alert-order", Bank: -1, Row: -1, Now: now,
+				Detail: "stall began without a prologue",
+			})
+		}
+		if now < ss.stallAt {
+			a.report(sub, Violation{
+				Constraint: "alert-window", Bank: -1, Row: -1, Now: now, Prev: ss.stallAt,
+				Detail: fmt.Sprintf("stall began before the prologue end %v", ss.stallAt),
+			})
+		}
+		ss.inPrologue = false
+		ss.inStall = true
+	case mem.AlertEnd:
+		if !ss.inStall {
+			a.report(sub, Violation{
+				Constraint: "alert-order", Bank: -1, Row: -1, Now: now,
+				Detail: "ALERT ended without a stall",
+			})
+		}
+		if now < ss.stallEndAt {
+			a.report(sub, Violation{
+				Constraint: "alert-window", Bank: -1, Row: -1, Now: now, Prev: ss.stallEndAt,
+				Detail: fmt.Sprintf("channel resumed before the stall end %v", ss.stallEndAt),
+			})
+		}
+		ss.inStall = false
+	}
+	ss.push(Command{Kind: CmdAlert, Bank: -1, Row: int(phase), At: now})
+}
+
+// Count returns the total number of violations detected (including any past
+// the retention cap). Nil-safe.
+func (a *Auditor) Count() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.count
+}
+
+// Violations returns the retained violation records, in detection order.
+// Nil-safe.
+func (a *Auditor) Violations() []*Violation {
+	if a == nil {
+		return nil
+	}
+	return a.violations
+}
+
+// ByConstraint returns the per-constraint violation counts. Nil-safe.
+func (a *Auditor) ByConstraint() map[string]int64 {
+	if a == nil {
+		return nil
+	}
+	return a.byConstraint
+}
+
+// Err summarizes the violations detected so far as an error (nil when the
+// command stream has been clean). Nil-safe.
+func (a *Auditor) Err() error {
+	switch {
+	case a == nil || a.count == 0:
+		return nil
+	case a.count == 1:
+		return a.violations[0]
+	default:
+		return fmt.Errorf("%d protocol violations; first: %w", a.count, a.violations[0])
+	}
+}
+
+// Finish runs the end-of-run conservation checks against ch — which must be
+// the channel the auditor observed — flushes violation counters to the
+// configured telemetry registry, and returns the combined verdict. Call it
+// exactly once, after the simulation completes. Nil-safe: a nil auditor
+// returns nil.
+func (a *Auditor) Finish(ch *mem.Channel) error {
+	if a == nil {
+		return nil
+	}
+	for i := range a.subs {
+		ss := &a.subs[i]
+		sc := ch.SubChannel(i)
+		st := sc.Stats()
+
+		var openBanks int64
+		for b := range ss.banks {
+			if ss.banks[b].open {
+				openBanks++
+			}
+		}
+		conserve := func(what string, observed, stats int64) {
+			if observed != stats {
+				a.report(i, Violation{
+					Constraint: "conservation", Bank: -1, Row: -1,
+					Detail: fmt.Sprintf("%s: observed %d commands, stats counted %d", what, observed, stats),
+				})
+			}
+		}
+		// Every command the observer saw must be in the Stats books, and
+		// vice versa: a mismatch means a command path without a hook (or a
+		// counter bumped without a command).
+		conserve("ACTs", ss.acts, st.ACTs)
+		conserve("PREs", ss.pres, st.PREs)
+		conserve("Reads", ss.reads, st.Reads)
+		conserve("Writes", ss.writes, st.Writes)
+		conserve("REFs", ss.refs, st.REFs)
+		conserve("RFMs", ss.rfms, st.RFMs)
+		conserve("ALERTs", ss.alertsStarted, st.Alerts)
+		// Row lifecycle: every ACT is balanced by a PRE or a still-open row.
+		if ss.acts != ss.pres+openBanks {
+			a.report(i, Violation{
+				Constraint: "conservation", Bank: -1, Row: -1,
+				Detail: fmt.Sprintf("row lifecycle: %d ACTs vs %d PREs + %d open rows", ss.acts, ss.pres, openBanks),
+			})
+		}
+		// Every column command was classified exactly once as hit or miss.
+		if st.RowHits+st.RowMisses != st.Reads+st.Writes {
+			a.report(i, Violation{
+				Constraint: "conservation", Bank: -1, Row: -1,
+				Detail: fmt.Sprintf("hit/miss classification: %d hits + %d misses vs %d column commands",
+					st.RowHits, st.RowMisses, st.Reads+st.Writes),
+			})
+		}
+		// Every submitted request was either served or is still queued.
+		if pending := int64(sc.PendingRequests()); ss.submits != ss.reads+ss.writes+pending {
+			a.report(i, Violation{
+				Constraint: "conservation", Bank: -1, Row: -1,
+				Detail: fmt.Sprintf("request lifecycle: %d submitted vs %d served + %d pending",
+					ss.submits, ss.reads+ss.writes, pending),
+			})
+		}
+		// Tracker-side mitigation counts must be consistent with the
+		// channel-side counter through any decorator (fault wrapper) chain.
+		// Warmed mitigators arrive with history recorded against a
+		// different sink, so the tracker may legitimately exceed the
+		// channel — never trail it.
+		if src := track.Source(sc.Mitigator()); src != nil {
+			if tm := src.TrackStats().Mitigations; tm < st.Mitigations {
+				a.report(i, Violation{
+					Constraint: "conservation", Bank: -1, Row: -1,
+					Detail: fmt.Sprintf("mitigations: tracker counted %d, channel sink recorded %d", tm, st.Mitigations),
+				})
+			}
+		}
+	}
+	if reg := a.cfg.Telemetry; reg.Enabled() {
+		for _, c := range Constraints {
+			reg.SparseCounter("audit_violations_total", telemetry.L("constraint", c)).Add(a.byConstraint[c])
+		}
+	}
+	return a.Err()
+}

@@ -1,0 +1,268 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"mirza/internal/audit"
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/stats"
+	"mirza/internal/track"
+)
+
+// stormMitigator raises an ALERT every `period` activations: an adversarial
+// stand-in for a PRAC-style tracker under a hammering workload, used to
+// drive dense ALERT prologue/stall/forced-close sequences past the auditor.
+type stormMitigator struct {
+	track.Nop
+	period  int
+	acts    int
+	pending bool
+}
+
+func (m *stormMitigator) OnActivate(bank, row int, now dram.Time) {
+	m.acts++
+	if m.acts%m.period == 0 {
+		m.pending = true
+	}
+}
+func (m *stormMitigator) WantsALERT() bool           { return m.pending }
+func (m *stormMitigator) ServiceALERT(now dram.Time) { m.pending = false }
+
+// drive runs a closed-loop randomized workload against ch: `outstanding`
+// requests are kept in flight, each completion immediately submitting the
+// next address from gen, until horizon. Deterministic for a fixed seed.
+func drive(t *testing.T, k *sim.Kernel, ch *mem.Channel, seed uint64, horizon dram.Time, outstanding int,
+	gen func(rng *stats.RNG, i int) dram.Address) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	g := ch.Geometry()
+	i := 0
+	var submit func()
+	submit = func() {
+		addr := gen(rng, i)
+		i++
+		write := rng.Intn(4) == 0
+		ch.Submit(&mem.Request{
+			Addr:  g.Compose(addr),
+			Write: write,
+			Done: func(now dram.Time) {
+				if now < horizon {
+					submit()
+				}
+			},
+		})
+	}
+	for j := 0; j < outstanding; j++ {
+		submit()
+	}
+	k.RunUntil(horizon)
+}
+
+// TestAuditCleanUnderAdversarialTraffic attaches the auditor to real
+// channels and hammers them with the traffic shapes most likely to shake
+// out a scheduler timing bug: bursty same-bank storms, tFAW-saturating
+// multi-bank sprays, ALERT storms with forced row closes, and REF pressure
+// with proactive RFM in the mix. A compliant scheduler must produce zero
+// violations under all of them.
+func TestAuditCleanUnderAdversarialTraffic(t *testing.T) {
+	const horizon = 100 * dram.Microsecond
+	profiles := []struct {
+		name        string
+		cfg         mem.Config
+		outstanding int
+		gen         func(rng *stats.RNG, i int) dram.Address
+		check       func(t *testing.T, st mem.Stats)
+	}{
+		{
+			name:        "bursty-same-bank",
+			cfg:         mem.Config{},
+			outstanding: 32,
+			gen: func(rng *stats.RNG, i int) dram.Address {
+				// Row conflicts on one bank per sub-channel: maximum
+				// tRC/tRP/tRAS pressure.
+				return dram.Address{SubChannel: i % 2, Bank: 0, Row: rng.Intn(512), Col: rng.Intn(16)}
+			},
+			check: func(t *testing.T, st mem.Stats) {
+				if st.ACTs < 500 {
+					t.Errorf("profile too gentle: only %d ACTs", st.ACTs)
+				}
+			},
+		},
+		{
+			name:        "tfaw-saturating",
+			cfg:         mem.Config{},
+			outstanding: 64,
+			gen: func(rng *stats.RNG, i int) dram.Address {
+				// Every request misses in a different bank: the scheduler
+				// runs at the tRRD/tFAW pacing limit.
+				return dram.Address{SubChannel: i % 2, Bank: (i / 2) % 32, Row: rng.Intn(4096), Col: 0}
+			},
+			check: func(t *testing.T, st mem.Stats) {
+				if st.ACTs < 2000 {
+					t.Errorf("profile too gentle: only %d ACTs", st.ACTs)
+				}
+			},
+		},
+		{
+			name: "alert-storm",
+			cfg: mem.Config{
+				NewMitigator: func(sub int, sink track.Sink) track.Mitigator {
+					return &stormMitigator{period: 40}
+				},
+			},
+			outstanding: 64,
+			gen: func(rng *stats.RNG, i int) dram.Address {
+				return dram.Address{SubChannel: i % 2, Bank: rng.Intn(32), Row: rng.Intn(4096), Col: 0}
+			},
+			check: func(t *testing.T, st mem.Stats) {
+				if st.Alerts < 10 {
+					t.Errorf("ALERT storm produced only %d ALERTs", st.Alerts)
+				}
+			},
+		},
+		{
+			name:        "ref-starved-with-rfm",
+			cfg:         mem.Config{RFMBAT: 16},
+			outstanding: 64,
+			gen: func(rng *stats.RNG, i int) dram.Address {
+				return dram.Address{SubChannel: i % 2, Bank: rng.Intn(32), Row: rng.Intn(4096), Col: 0}
+			},
+			check: func(t *testing.T, st mem.Stats) {
+				if st.REFs < 20 {
+					t.Errorf("horizon covered only %d REFs", st.REFs)
+				}
+				if st.RFMs == 0 {
+					t.Error("no proactive RFMs issued")
+				}
+			},
+		},
+		{
+			name:        "rowpress-long-open-rows",
+			cfg:         mem.Config{RowPressWeighting: true},
+			outstanding: 8,
+			gen: func(rng *stats.RNG, i int) dram.Address {
+				// Sparse hits keep rows open long enough to trip the
+				// RowPress equivalent-ACT weighting on close.
+				return dram.Address{SubChannel: i % 2, Bank: rng.Intn(4), Row: rng.Intn(8), Col: rng.Intn(64)}
+			},
+			check: func(t *testing.T, st mem.Stats) {},
+		},
+	}
+	for _, p := range profiles {
+		t.Run(p.name, func(t *testing.T) {
+			k := &sim.Kernel{}
+			ch, err := mem.NewChannel(k, p.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := audit.ForChannel(ch)
+			drive(t, k, ch, 42, horizon, p.outstanding, p.gen)
+			st := ch.Stats()
+			p.check(t, st)
+			if err := a.Finish(ch); err != nil {
+				t.Errorf("auditor flagged a compliant scheduler: %v", err)
+			}
+		})
+	}
+}
+
+// TestAuditorCatchesDisabledFAW disables the scheduler's tFAW pacing via
+// the mem debug hook and proves the auditor reports it: a Violation naming
+// the constraint, the bank, and both offending ACT timestamps.
+func TestAuditorCatchesDisabledFAW(t *testing.T) {
+	mem.SetDebugSkipFAW(true)
+	defer mem.SetDebugSkipFAW(false)
+
+	k := &sim.Kernel{}
+	ch, err := mem.NewChannel(k, mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := audit.ForChannel(ch)
+	drive(t, k, ch, 7, 20*dram.Microsecond, 64, func(rng *stats.RNG, i int) dram.Address {
+		return dram.Address{SubChannel: i % 2, Bank: (i / 2) % 32, Row: rng.Intn(4096), Col: 0}
+	})
+	if a.ByConstraint()["tFAW"] == 0 {
+		t.Fatalf("tFAW never flagged; violations: %v", a.ByConstraint())
+	}
+	var v *audit.Violation
+	for _, cand := range a.Violations() {
+		if cand.Constraint == "tFAW" {
+			v = cand
+			break
+		}
+	}
+	if v == nil {
+		t.Fatal("no retained tFAW violation record")
+	}
+	tfaw := dram.DDR5().TFAW
+	if v.Bank < 0 || v.Need != tfaw || v.Now-v.Prev >= tfaw || v.Prev < 0 {
+		t.Errorf("violation lacks diagnostics: %+v", v)
+	}
+	msg := v.Error()
+	for _, want := range []string{"tFAW", "bank", v.Prev.String(), v.Now.String()} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if err := a.Finish(ch); err == nil {
+		t.Error("Finish returned nil despite violations")
+	}
+}
+
+// pacingRecorder is a minimal CommandObserver that collects per-sub ACT
+// issue times, for asserting pacing properties independently of the
+// auditor's own bookkeeping.
+type pacingRecorder struct {
+	acts [][]dram.Time
+}
+
+func (r *pacingRecorder) ObserveSubmit(sub int, write bool, now dram.Time) {}
+func (r *pacingRecorder) ObserveACT(sub, bank, row int, now dram.Time) {
+	r.acts[sub] = append(r.acts[sub], now)
+}
+func (r *pacingRecorder) ObservePRE(sub, bank int, forced bool, now dram.Time)      {}
+func (r *pacingRecorder) ObserveRead(sub, bank, row int, now dram.Time)             {}
+func (r *pacingRecorder) ObserveWrite(sub, bank, row int, now dram.Time)            {}
+func (r *pacingRecorder) ObserveREF(sub, refIndex int, now dram.Time)               {}
+func (r *pacingRecorder) ObserveRFM(sub, bank int, now dram.Time)                   {}
+func (r *pacingRecorder) ObserveAlert(sub int, phase mem.AlertPhase, now dram.Time) {}
+
+// TestACTPacingProperty asserts, from raw recorded ACT times under
+// randomized traffic, that no two ACTs on a sub-channel are closer than
+// tRRD and no five ACTs fall inside one tFAW window.
+func TestACTPacingProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		k := &sim.Kernel{}
+		ch, err := mem.NewChannel(k, mem.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &pacingRecorder{acts: make([][]dram.Time, ch.Geometry().SubChannels)}
+		ch.InstallObserver(rec)
+		drive(t, k, ch, seed, 50*dram.Microsecond, 64, func(rng *stats.RNG, i int) dram.Address {
+			return dram.Address{SubChannel: i % 2, Bank: rng.Intn(32), Row: rng.Intn(4096), Col: rng.Intn(16)}
+		})
+		tm := dram.DDR5()
+		for sub, acts := range rec.acts {
+			if len(acts) < 100 {
+				t.Fatalf("seed %d sub %d: only %d ACTs recorded", seed, sub, len(acts))
+			}
+			for i := 1; i < len(acts); i++ {
+				if acts[i]-acts[i-1] < tm.TRRD {
+					t.Fatalf("seed %d sub %d: ACTs %v and %v violate tRRD %v",
+						seed, sub, acts[i-1], acts[i], tm.TRRD)
+				}
+			}
+			for i := 4; i < len(acts); i++ {
+				if acts[i]-acts[i-4] < tm.TFAW {
+					t.Fatalf("seed %d sub %d: five ACTs within %v (< tFAW %v) ending at %v",
+						seed, sub, acts[i]-acts[i-4], tm.TFAW, acts[i])
+				}
+			}
+		}
+	}
+}

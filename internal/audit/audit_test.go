@@ -1,0 +1,293 @@
+package audit_test
+
+import (
+	"strings"
+	"testing"
+
+	"mirza/internal/audit"
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/telemetry"
+)
+
+func newAuditor(extra func(*audit.Config)) *audit.Auditor {
+	cfg := audit.Config{Timing: dram.DDR5(), Geometry: dram.Default()}
+	if extra != nil {
+		extra(&cfg)
+	}
+	return audit.New(cfg)
+}
+
+const ns = dram.Nanosecond
+
+// TestInvariantsCatchSyntheticViolations drives the auditor directly with
+// hand-crafted command sequences, one per invariant, and checks the named
+// constraint fires. Sequences are built so the target constraint is among
+// the violations; unrelated constraints firing too (e.g. tRP alongside tRC,
+// which share command pairs under the Table I values) is acceptable.
+func TestInvariantsCatchSyntheticViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(*audit.Config)
+		run  func(a *audit.Auditor)
+	}{
+		{"tRC", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObservePRE(0, 0, false, 32*ns)
+			a.ObserveACT(0, 0, 2, 45*ns) // tRC = 46ns
+		}},
+		{"tRP", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObservePRE(0, 0, false, 100*ns)
+			a.ObserveACT(0, 0, 2, 110*ns) // tRP = 14ns after the PRE
+		}},
+		{"tRAS", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObservePRE(0, 0, false, 31*ns) // tRAS = 32ns
+		}},
+		{"tRCD", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveRead(0, 0, 1, 10*ns) // tRCD = 14ns
+		}},
+		{"tRTP", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveRead(0, 0, 1, 50*ns)
+			a.ObservePRE(0, 0, false, 55*ns) // needs 50ns + tRTP(12ns)
+		}},
+		{"tWR", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveWrite(0, 0, 1, 50*ns)
+			a.ObservePRE(0, 0, false, 60*ns) // recovery runs ~49ns past issue
+		}},
+		{"tRRD", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveACT(0, 1, 1, 2*ns) // tRRD = 3ns
+		}},
+		{"tFAW", nil, func(a *audit.Auditor) {
+			for i := 0; i < 5; i++ { // 5 ACTs in 12ns, window is 13ns
+				a.ObserveACT(0, i, 1, dram.Time(i)*3*ns)
+			}
+		}},
+		{"ACT-open-bank", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveACT(0, 0, 2, 50*ns)
+		}},
+		{"PRE-closed-bank", nil, func(a *audit.Auditor) {
+			a.ObservePRE(0, 0, false, 10*ns)
+		}},
+		{"col-row-mismatch", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveRead(0, 0, 2, 20*ns)
+		}},
+		{"bank-busy", nil, func(a *audit.Auditor) {
+			a.ObserveREF(0, 0, 3900*ns)
+			a.ObserveACT(0, 0, 1, 3910*ns) // REF executes for tRFC = 410ns
+		}},
+		{"REF-order", nil, func(a *audit.Auditor) {
+			a.ObserveREF(0, 1, 2*3900*ns) // expected REF #0
+		}},
+		{"REF-open-row", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveREF(0, 0, 3900*ns)
+		}},
+		{"REF-postpone", nil, func(a *audit.Auditor) {
+			a.ObserveREF(0, 0, 2*3900*ns+1*ns) // 1ns past the one-tREFI budget
+		}},
+		{"RFM-before-ACT", func(c *audit.Config) { c.RFMBAT = 2 }, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObservePRE(0, 0, false, 32*ns)
+			a.ObserveACT(0, 0, 2, 46*ns) // counter hits BAT=2: RFM now due
+			a.ObservePRE(0, 0, false, 78*ns)
+			a.ObserveACT(0, 0, 3, 92*ns) // ACT before the RFM
+		}},
+		{"RFM-spurious", func(c *audit.Config) { c.RFMBAT = 2 }, func(a *audit.Auditor) {
+			a.ObserveRFM(0, 0, 10*ns)
+		}},
+		{"RFM-open-row", nil, func(a *audit.Auditor) {
+			a.ObserveACT(0, 0, 1, 0)
+			a.ObserveRFM(0, 0, 40*ns)
+		}},
+		{"alert-stall-command", nil, func(a *audit.Auditor) {
+			a.ObserveAlert(0, mem.AlertPrologueStart, 0)
+			a.ObserveAlert(0, mem.AlertStallStart, 180*ns)
+			a.ObserveACT(0, 0, 1, 200*ns) // stall runs until 530ns
+		}},
+		{"alert-order", nil, func(a *audit.Auditor) {
+			a.ObserveAlert(0, mem.AlertStallStart, 0)
+		}},
+		{"alert-window", nil, func(a *audit.Auditor) {
+			a.ObserveAlert(0, mem.AlertPrologueStart, 0)
+			a.ObserveAlert(0, mem.AlertStallStart, 180*ns)
+			a.ObserveAlert(0, mem.AlertEnd, 400*ns) // stall ends at 530ns
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := newAuditor(tc.cfg)
+			tc.run(a)
+			if a.Count() == 0 {
+				t.Fatalf("sequence produced no violations, want %s", tc.name)
+			}
+			if a.ByConstraint()[tc.name] == 0 {
+				t.Fatalf("constraint %s did not fire; got %v", tc.name, a.ByConstraint())
+			}
+		})
+	}
+}
+
+// TestCleanSequencesPass drives protocol-legal sequences and expects
+// silence, including the forced-PRE exemption during ALERT.
+func TestCleanSequencesPass(t *testing.T) {
+	t.Run("row-cycle", func(t *testing.T) {
+		a := newAuditor(nil)
+		a.ObserveACT(0, 0, 1, 0)
+		a.ObserveRead(0, 0, 1, 14*ns)
+		a.ObservePRE(0, 0, false, 50*ns)
+		a.ObserveACT(0, 0, 2, 64*ns)
+		if err := a.Err(); err != nil {
+			t.Fatalf("legal sequence flagged: %v", err)
+		}
+	})
+	t.Run("forced-pre-exempt", func(t *testing.T) {
+		a := newAuditor(nil)
+		a.ObserveACT(0, 0, 1, 0)
+		a.ObserveAlert(0, mem.AlertPrologueStart, 5*ns)
+		// Force-close 10ns after the ACT: tRAS would fail for a normal PRE.
+		a.ObservePRE(0, 0, true, 185*ns)
+		a.ObserveAlert(0, mem.AlertStallStart, 185*ns)
+		a.ObserveAlert(0, mem.AlertEnd, 535*ns)
+		a.ObserveACT(0, 0, 2, 540*ns)
+		if err := a.Err(); err != nil {
+			t.Fatalf("forced close flagged: %v", err)
+		}
+	})
+	t.Run("four-acts-in-faw", func(t *testing.T) {
+		a := newAuditor(nil)
+		for i := 0; i < 4; i++ { // exactly four ACTs in a window is legal
+			a.ObserveACT(0, i, 1, dram.Time(i)*3*ns)
+		}
+		a.ObserveACT(0, 4, 1, 13*ns) // fifth lands one full window later
+		if err := a.Err(); err != nil {
+			t.Fatalf("legal pacing flagged: %v", err)
+		}
+	})
+}
+
+func TestViolationErrorNamesConstraintBankAndTimestamps(t *testing.T) {
+	a := newAuditor(nil)
+	for i := 0; i < 5; i++ {
+		a.ObserveACT(0, i, 7, dram.Time(i)*3*ns)
+	}
+	vs := a.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.Constraint != "tFAW" || v.Sub != 0 || v.Bank != 4 {
+		t.Errorf("violation = %+v, want tFAW on sub 0 bank 4", v)
+	}
+	if v.Prev != 0 || v.Now != 12*ns || v.Need != 13*ns {
+		t.Errorf("timestamps = prev %v now %v need %v", v.Prev, v.Now, v.Need)
+	}
+	msg := v.Error()
+	for _, want := range []string{"tFAW", "sub 0", "bank 4", "12.000ns", "13.000ns", "recent commands", "ACT b0 r7"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestFinishConservationAgainstChannel(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, err := mem.NewChannel(k, mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("clean", func(t *testing.T) {
+		a := audit.ForChannel(ch)
+		g := ch.Geometry()
+		for i := 0; i < 200; i++ {
+			addr := g.Compose(dram.Address{SubChannel: i % 2, Bank: i % 8, Row: i % 64, Col: i % 16})
+			ch.Submit(&mem.Request{Addr: addr, Write: i%3 == 0})
+		}
+		k.RunUntil(50 * dram.Microsecond)
+		if err := a.Finish(ch); err != nil {
+			t.Fatalf("clean run failed audit: %v", err)
+		}
+		ch.InstallObserver(nil)
+	})
+	t.Run("unhooked-command", func(t *testing.T) {
+		// An auditor that saw a command the channel never counted models a
+		// command path missing its observer hook.
+		a := audit.New(audit.Config{Timing: ch.Config().Timing, Geometry: ch.Geometry()})
+		a.ObserveACT(0, 0, 1, 0)
+		a.ObservePRE(0, 0, false, 32*ns)
+		err := a.Finish(ch)
+		if err == nil {
+			t.Fatal("conservation mismatch not detected")
+		}
+		if a.ByConstraint()["conservation"] == 0 {
+			t.Fatalf("expected conservation violations, got %v", a.ByConstraint())
+		}
+	})
+}
+
+func TestNilAuditorIsSafe(t *testing.T) {
+	var a *audit.Auditor
+	if a.Count() != 0 || a.Err() != nil || a.Violations() != nil || a.ByConstraint() != nil {
+		t.Error("nil auditor accessors not inert")
+	}
+	if err := a.Finish(nil); err != nil {
+		t.Errorf("nil auditor Finish = %v", err)
+	}
+}
+
+func TestViolationCountersFlushSparse(t *testing.T) {
+	k := &sim.Kernel{}
+	reg := telemetry.New()
+	ch, err := mem.NewChannel(k, mem.Config{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := audit.ForChannel(ch)
+	a.ObserveACT(0, 0, 1, 0)
+	a.ObserveACT(0, 0, 2, 2*ns) // ACT-open-bank + tRC + tRRD + tFAW-clean
+	a.ObservePRE(0, 0, false, 50*ns)
+	a.ObservePRE(0, 0, false, 80*ns) // PRE-closed-bank
+	if err := a.Finish(ch); err == nil {
+		t.Fatal("expected violations")
+	}
+	snap := reg.Snapshot()
+	var total, series int64
+	for _, c := range snap.Counters {
+		if c.Name == "audit_violations_total" {
+			series++
+			total += c.Value
+			if !c.Sparse {
+				t.Errorf("series %v not flagged sparse", c.Labels)
+			}
+		}
+	}
+	if series != int64(len(audit.Constraints)) {
+		t.Errorf("raw snapshot has %d audit series, want full catalogue of %d", series, len(audit.Constraints))
+	}
+	if total != a.Count() {
+		t.Errorf("flushed %d violations, auditor counted %d", total, a.Count())
+	}
+	var kept, zeros int64
+	for _, c := range snap.Canonical().Counters {
+		if c.Name == "audit_violations_total" {
+			kept++
+			if c.Value == 0 {
+				zeros++
+			}
+		}
+	}
+	if zeros != 0 {
+		t.Errorf("canonical snapshot kept %d zero-valued audit series", zeros)
+	}
+	if kept == 0 {
+		t.Error("canonical snapshot dropped the non-zero audit series")
+	}
+}

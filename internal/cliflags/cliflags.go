@@ -24,6 +24,7 @@ type Common struct {
 	stall   *time.Duration
 	j       *int
 	metrics *string
+	audit   *bool
 }
 
 // Register installs the shared flags on fs and returns the handle to
@@ -38,6 +39,8 @@ func Register(fs *flag.FlagSet) *Common {
 			"worker count for the job engine (0 = GOMAXPROCS; 1 = strictly sequential)"),
 		metrics: fs.String("metrics", "",
 			"write a telemetry RunManifest JSON snapshot to this path at exit"),
+		audit: fs.Bool("audit", false,
+			"attach the DDR5 protocol auditor to every simulated channel and fail on violations (see internal/audit)"),
 	}
 }
 
@@ -47,6 +50,7 @@ type Values struct {
 	StallBudget time.Duration
 	Parallelism int
 	MetricsPath string
+	Audit       bool
 }
 
 // Resolve validates the parsed flag values. It must be called after the
@@ -67,5 +71,6 @@ func (c *Common) Resolve() (Values, error) {
 		StallBudget: *c.stall,
 		Parallelism: *c.j,
 		MetricsPath: *c.metrics,
+		Audit:       *c.audit,
 	}, nil
 }

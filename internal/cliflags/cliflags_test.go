@@ -36,6 +36,19 @@ func TestDefaults(t *testing.T) {
 	if v.MetricsPath != "" {
 		t.Errorf("metrics path = %q, want empty", v.MetricsPath)
 	}
+	if v.Audit {
+		t.Error("audit must default to off")
+	}
+}
+
+func TestAuditFlag(t *testing.T) {
+	v, err := parse(t, "-audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Audit {
+		t.Error("-audit did not enable auditing")
+	}
 }
 
 func TestValidValues(t *testing.T) {

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -23,6 +24,8 @@ func TestDDR5Timings(t *testing.T) {
 		{"tREFW", tm.TREFW, 32 * Millisecond},
 		{"tREFI", tm.TREFI, 3900 * Nanosecond},
 		{"tRFC", tm.TRFC, 410 * Nanosecond},
+		{"tWR", tm.TWR, 30 * Nanosecond},
+		{"tRTP", tm.TRTP, 12 * Nanosecond},
 	}
 	for _, c := range cases {
 		if c.got != c.want {
@@ -48,6 +51,62 @@ func TestPRACTimingOverlay(t *testing.T) {
 	// Non-overlaid parameters unchanged.
 	if tm.TREFI != DDR5().TREFI || tm.TRFC != DDR5().TRFC {
 		t.Error("PRAC overlay must not change refresh timings")
+	}
+}
+
+// TestTimingValidate exercises every rejection case of Timing.Validate —
+// the auditor assumes a validated timing set, so each inconsistency a user
+// could plausibly construct must be refused with an error naming the
+// parameters involved.
+func TestTimingValidate(t *testing.T) {
+	mutate := func(f func(*Timing)) Timing {
+		tm := DDR5()
+		f(&tm)
+		return tm
+	}
+	cases := []struct {
+		name    string
+		timing  Timing
+		wantErr string // "" = must validate
+	}{
+		{"ddr5-defaults", DDR5(), ""},
+		{"prac-overlay", PRAC(), ""},
+		{"zero-trcd", mutate(func(tm *Timing) { tm.TRCD = 0 }), "core timings"},
+		{"negative-trp", mutate(func(tm *Timing) { tm.TRP = -Nanosecond }), "core timings"},
+		{"zero-trrd", mutate(func(tm *Timing) { tm.TRRD = 0 }), "ACT pacing"},
+		{"zero-tfaw", mutate(func(tm *Timing) { tm.TFAW = 0 }), "ACT pacing"},
+		{"tfaw-below-trrd", mutate(func(tm *Timing) { tm.TFAW = tm.TRRD - 1 }), "tFAW"},
+		{"tras-below-trcd", mutate(func(tm *Timing) { tm.TRAS = tm.TRCD - 1 }), "tRAS"},
+		{"trc-below-tras", mutate(func(tm *Timing) { tm.TRC = tm.TRAS - 1 }), "tRC"},
+		{"zero-tcl", mutate(func(tm *Timing) { tm.TCL = 0 }), "column timings"},
+		{"zero-trtp", mutate(func(tm *Timing) { tm.TRTP = 0 }), "column timings"},
+		{"trtp-above-tras", mutate(func(tm *Timing) { tm.TRTP = tm.TRAS + 1 }), "tRTP"},
+		{"zero-trfc", mutate(func(tm *Timing) { tm.TRFC = 0 }), "refresh timings"},
+		{"trefi-below-trfc", mutate(func(tm *Timing) { tm.TREFI = tm.TRFC }), "tREFI"},
+		{"trefw-below-trefi", mutate(func(tm *Timing) { tm.TREFW = tm.TREFI - 1 }), "tREFW"},
+		{"negative-abo", mutate(func(tm *Timing) { tm.ABOStall = -1 }), "ABO"},
+		// 32ms / 7ms = 4.57 REF intervals: refresh accounting nonsense.
+		{"fractional-ref-count", mutate(func(tm *Timing) { tm.TREFI = 7 * Millisecond }), "whole number"},
+		// The Table I remainder (32ms % 3.9us = 500ns) must stay inside the
+		// 0.1%-of-window tolerance; a tREFI that exactly divides must too.
+		{"exact-ref-count", mutate(func(tm *Timing) { tm.TREFI = 4 * Millisecond }), ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.timing.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, c.wantErr)
+			}
+		})
 	}
 }
 

@@ -61,6 +61,7 @@ type Timing struct {
 	TCL  Time // CAS latency (read command to first data)
 	TBUS Time // data-bus occupancy of one 64B transfer
 	TWR  Time // write recovery time
+	TRTP Time // read-to-precharge
 
 	// TMitigation is the time to mitigate one aggressor row (refresh its
 	// victim rows) via bounded refresh, 280ns per the paper.
@@ -96,6 +97,7 @@ func DDR5() Timing {
 		TCL:  14 * Nanosecond,
 		TBUS: 5333 * Picosecond, // 64B = 16 beats on a 32-bit sub-channel at 6000 MT/s
 		TWR:  30 * Nanosecond,
+		TRTP: 12 * Nanosecond,
 
 		TMitigation: 280 * Nanosecond,
 		ABOPrologue: 180 * Nanosecond,
@@ -117,18 +119,43 @@ func PRAC() Timing {
 }
 
 // Validate reports an error if the timing set is internally inconsistent.
+// The protocol auditor (internal/audit) enforces these parameters against
+// the simulated command stream and assumes they passed Validate, so the
+// checks here are the first line of defense against a malformed custom
+// timing set silently corrupting every downstream figure.
 func (t Timing) Validate() error {
 	switch {
 	case t.TRCD <= 0 || t.TRP <= 0 || t.TRAS <= 0 || t.TRC <= 0:
 		return fmt.Errorf("dram: core timings must be positive: %+v", t)
+	case t.TRRD <= 0 || t.TFAW <= 0:
+		return fmt.Errorf("dram: ACT pacing timings must be positive (tRRD=%v tFAW=%v)", t.TRRD, t.TFAW)
+	case t.TFAW < t.TRRD:
+		return fmt.Errorf("dram: tFAW (%v) < tRRD (%v): the four-ACT window cannot be shorter than one ACT-to-ACT gap", t.TFAW, t.TRRD)
+	case t.TRAS < t.TRCD:
+		return fmt.Errorf("dram: tRAS (%v) < tRCD (%v): a row would close before its first column command could issue", t.TRAS, t.TRCD)
 	case t.TRC < t.TRAS:
 		return fmt.Errorf("dram: tRC (%v) < tRAS (%v)", t.TRC, t.TRAS)
+	case t.TCL <= 0 || t.TBUS <= 0 || t.TWR <= 0 || t.TRTP <= 0:
+		return fmt.Errorf("dram: column timings must be positive (tCL=%v tBUS=%v tWR=%v tRTP=%v)", t.TCL, t.TBUS, t.TWR, t.TRTP)
+	case t.TRTP > t.TRAS:
+		return fmt.Errorf("dram: tRTP (%v) > tRAS (%v)", t.TRTP, t.TRAS)
+	case t.TRFC <= 0 || t.TRFM <= 0:
+		return fmt.Errorf("dram: refresh timings must be positive (tRFC=%v tRFM=%v)", t.TRFC, t.TRFM)
 	case t.TREFI <= t.TRFC:
 		return fmt.Errorf("dram: tREFI (%v) must exceed tRFC (%v)", t.TREFI, t.TRFC)
 	case t.TREFW < t.TREFI:
 		return fmt.Errorf("dram: tREFW (%v) < tREFI (%v)", t.TREFW, t.TREFI)
 	case t.ABOPrologue < 0 || t.ABOStall < 0:
 		return fmt.Errorf("dram: ABO timings must be non-negative")
+	}
+	// tREFW must divide into a whole number of REF intervals — to within
+	// 0.1% of the window. The tolerance absorbs the Table I rounding (32ms
+	// at tREFI=3.9us leaves a 500ns remainder, 0.0016% of the window) while
+	// rejecting custom sets whose refresh accounting would be nonsense
+	// (e.g. tREFI=7ms in a 32ms window: 4.57 REFs).
+	if rem := t.TREFW % t.TREFI; rem > t.TREFW/1000 {
+		return fmt.Errorf("dram: tREFW (%v) is not a whole number of tREFI (%v) intervals (remainder %v)",
+			t.TREFW, t.TREFI, rem)
 	}
 	return nil
 }

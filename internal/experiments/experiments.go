@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"mirza/internal/audit"
 	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
@@ -82,6 +83,15 @@ type Options struct {
 	// job that exceeds it is abandoned and its experiment fails with a
 	// jobs.ErrTimeout-wrapped error.
 	JobTimeout time.Duration
+
+	// Audit, when true, attaches the DDR5 protocol auditor
+	// (internal/audit) to every simulated channel — baselines, MLP
+	// calibration and protected timing runs alike — and fails the
+	// enclosing job with the auditor's Violation diagnostics if the
+	// command stream breaks a timing invariant or an end-of-run
+	// conservation check. Off by default: the auditor shadows every
+	// command and costs measurable simulation throughput.
+	Audit bool
 
 	// Telemetry, when non-nil, collects run metrics: per-sub-channel
 	// memory counters, tracker stats, kernel totals, and the job engine's
@@ -427,6 +437,15 @@ func (x *Exec) newSystem(spec trace.WorkloadSpec, timing dram.Timing, bat int,
 	return sys, nil
 }
 
+// attachAudit installs the protocol auditor on sys's channel when Options
+// .Audit is set; the nil return when disabled is safe to Finish.
+func (r *Runner) attachAudit(sys *cpu.System) *audit.Auditor {
+	if !r.opts.Audit {
+		return nil
+	}
+	return audit.ForChannel(sys.Channel)
+}
+
 // Baseline runs (or returns the cached) unprotected reference for name.
 // Concurrent callers needing the same workload single-flight onto one
 // computation; the computation's RNG streams derive only from (spec,
@@ -465,6 +484,7 @@ func (r *Runner) computeBaseline(name string) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	aud := r.attachAudit(sys)
 	if err := sys.RunCtx(r.context(), r.opts.Warmup); err != nil {
 		return nil, fmt.Errorf("baseline %s warmup: %w", name, err)
 	}
@@ -473,6 +493,9 @@ func (r *Runner) computeBaseline(name string) (*Baseline, error) {
 		return nil, fmt.Errorf("baseline %s measure: %w", name, err)
 	}
 	sys.FlushTelemetry(telemetry.L("layer", "baseline"))
+	if err := aud.Finish(sys.Channel); err != nil {
+		return nil, fmt.Errorf("baseline %s audit: %w", name, err)
+	}
 
 	b := &Baseline{
 		Spec:    spec,
@@ -519,12 +542,16 @@ func (r *Runner) calibrateMLP(spec trace.WorkloadSpec) (int, error) {
 			return 0, err
 		}
 		sys.Watchdog = r.watchdog()
+		aud := r.attachAudit(sys)
 		if err := sys.RunCtx(r.context(), r.opts.CalibrationWindow/4); err != nil {
 			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
 		}
 		sys.Snapshot()
 		if err := sys.RunCtx(r.context(), r.opts.CalibrationWindow); err != nil {
 			return 0, fmt.Errorf("calibration %s: %w", spec.Name, err)
+		}
+		if err := aud.Finish(sys.Channel); err != nil {
+			return 0, fmt.Errorf("calibration %s audit: %w", spec.Name, err)
 		}
 		var ips float64
 		for _, ipc := range sys.IPCs() {
@@ -585,6 +612,7 @@ func (x *Exec) runTiming(name string, timing dram.Timing, bat int,
 	if err != nil {
 		return nil, err
 	}
+	aud := x.r.attachAudit(sys)
 	if err := sys.RunCtx(x.context(), x.r.opts.Warmup); err != nil {
 		return nil, fmt.Errorf("timing %s warmup: %w", name, err)
 	}
@@ -593,6 +621,9 @@ func (x *Exec) runTiming(name string, timing dram.Timing, bat int,
 		return nil, fmt.Errorf("timing %s measure: %w", name, err)
 	}
 	sys.FlushTelemetry(telemetry.L("layer", "timing"))
+	if err := aud.Finish(sys.Channel); err != nil {
+		return nil, fmt.Errorf("timing %s audit: %w", name, err)
+	}
 	return &timingResult{IPCs: sys.IPCs(), Stats: sys.MemStats(), Window: sys.Window()}, nil
 }
 

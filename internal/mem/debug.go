@@ -37,3 +37,10 @@ func InstallDebugHooks() {
 func RemoveDebugHooks() {
 	debugHook, debugClamp, debugArm = nil, nil, nil
 }
+
+// SetDebugSkipFAW toggles the deliberate-breakage hook that makes the
+// scheduler stop honouring the four-activation window. It exists solely so
+// the protocol-auditor tests can prove a tFAW-violating controller is
+// caught; like the other debug hooks it is unsynchronized and must only be
+// flipped from single-goroutine tests.
+func SetDebugSkipFAW(skip bool) { debugSkipFAW = skip }

@@ -41,6 +41,66 @@ type requestDone Request
 
 func (e *requestDone) Fire(now dram.Time) { (*Request)(e).Done(now) }
 
+// AlertPhase identifies one transition of the ALERT-Back-Off state machine
+// as seen by a CommandObserver.
+type AlertPhase int
+
+const (
+	// AlertPrologueStart: the controller accepted an ALERT request; normal
+	// operation continues for the prologue window.
+	AlertPrologueStart AlertPhase = iota
+	// AlertStallStart: the stall window begins; every open row has just
+	// been force-closed and the channel is unavailable until AlertEnd.
+	AlertStallStart
+	// AlertEnd: the back-off RFM completed and the channel resumes.
+	AlertEnd
+)
+
+// String implements fmt.Stringer.
+func (p AlertPhase) String() string {
+	switch p {
+	case AlertPrologueStart:
+		return "prologue"
+	case AlertStallStart:
+		return "stall"
+	case AlertEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("AlertPhase(%d)", int(p))
+	}
+}
+
+// CommandObserver receives every command a sub-channel issues, in issue
+// order: the shadow-audit hook (internal/audit) and test instrumentation
+// attach here. Observers must be passive — they may not mutate controller
+// state — and are invoked synchronously on the scheduling hot path, so
+// implementations should be cheap. A nil observer costs one pointer test
+// per command site (the same discipline as the teleBankActs telemetry
+// hook).
+//
+// ObservePRE's forced flag distinguishes a device-side forced row close
+// (the prologue→stall transition of the ALERT protocol closes every open
+// row for the back-off RFM) from a controller-issued precharge: forced
+// closes are exempt from the MC-side tRAS/tRTP/tWR checks but still count
+// as precharges for conservation (see DESIGN.md §12).
+type CommandObserver interface {
+	// ObserveSubmit sees a request enter the sub-channel queue.
+	ObserveSubmit(sub int, write bool, now dram.Time)
+	// ObserveACT sees an activate of (bank, row).
+	ObserveACT(sub, bank, row int, now dram.Time)
+	// ObservePRE sees a precharge of bank (forced: ALERT-forced close).
+	ObservePRE(sub, bank int, forced bool, now dram.Time)
+	// ObserveRead / ObserveWrite see a column command to (bank, row).
+	ObserveRead(sub, bank, row int, now dram.Time)
+	ObserveWrite(sub, bank, row int, now dram.Time)
+	// ObserveREF sees the refIndex-th all-bank REF begin executing.
+	ObserveREF(sub, refIndex int, now dram.Time)
+	// ObserveRFM sees a proactive per-bank RFM begin executing.
+	ObserveRFM(sub, bank int, now dram.Time)
+	// ObserveAlert sees one ALERT state-machine transition.
+	ObserveAlert(sub int, phase AlertPhase, now dram.Time)
+}
+
 // Config configures a Channel.
 type Config struct {
 	Geometry dram.Geometry
@@ -191,6 +251,19 @@ func (ch *Channel) Submit(r *Request) {
 
 // SubChannel returns sub-channel i (for inspection in tests and tools).
 func (ch *Channel) SubChannel(i int) *SubChannel { return ch.subs[i] }
+
+// Config returns the channel's effective configuration (defaults applied).
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// InstallObserver attaches obs to every sub-channel. It must be called
+// before any simulation time elapses: commands issued earlier are not
+// replayed to the observer, which would break its shadow state. A nil obs
+// detaches the observer.
+func (ch *Channel) InstallObserver(obs CommandObserver) {
+	for _, s := range ch.subs {
+		s.obs = obs
+	}
+}
 
 // Stats returns the sum of all sub-channel stats.
 func (ch *Channel) Stats() Stats {

@@ -16,9 +16,6 @@ const (
 	alertStall
 )
 
-// tRTP approximates the read-to-precharge constraint.
-const tRTP = 12 * dram.Nanosecond
-
 // bankState is the controller's view of one DRAM bank.
 type bankState struct {
 	openRow    int       // -1 when precharged
@@ -63,6 +60,17 @@ type SubChannel struct {
 	wakeEv sim.Event
 	stats  Stats
 
+	// hitBank/conflictBank are arm()'s per-bank scratch flags, sized from
+	// the geometry (a fixed [64]bool here once indexed out of range for
+	// configs with more than 64 banks per sub-channel). They are zeroed at
+	// the top of every arm pass.
+	hitBank, conflictBank []bool
+
+	// obs, when non-nil, shadows every command the sub-channel issues
+	// (protocol auditing, test instrumentation). Each command site pays
+	// one nil test, the same discipline as teleBankActs.
+	obs CommandObserver
+
 	// teleBankActs counts ACTs per bank since the last REF; at each REF
 	// every bank's count is observed into teleActHist and reset. Both are
 	// nil when telemetry is disabled, so the hot path pays one nil test.
@@ -76,6 +84,8 @@ func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
 		cfg:           cfg,
 		id:            id,
 		banks:         make([]bankState, cfg.Geometry.BanksPerSubChannel),
+		hitBank:       make([]bool, cfg.Geometry.BanksPerSubChannel),
+		conflictBank:  make([]bool, cfg.Geometry.BanksPerSubChannel),
 		faw:           make([]dram.Time, 4),
 		refDue:        cfg.Timing.TREFI,
 		actSinceAlert: true,
@@ -116,6 +126,10 @@ func (s *SubChannel) Mitigator() track.Mitigator { return s.mit }
 // RefIndex returns the number of REF commands executed so far.
 func (s *SubChannel) RefIndex() int { return s.refIndex }
 
+// PendingRequests returns the number of requests still queued on this
+// sub-channel (for drain and conservation checks).
+func (s *SubChannel) PendingRequests() int { return len(s.queue) }
+
 func (s *SubChannel) submit(r *Request) {
 	if r.Done != nil {
 		r.doneEv.Bind((*requestDone)(r))
@@ -124,6 +138,9 @@ func (s *SubChannel) submit(r *Request) {
 	r.enqueue = s.nextEnq
 	s.nextEnq++
 	s.queue = append(s.queue, r)
+	if s.obs != nil {
+		s.obs.ObserveSubmit(s.id, r.Write, r.arrive)
+	}
 	s.requestWake(s.k.Now())
 }
 
@@ -175,14 +192,24 @@ func (s *SubChannel) step() bool {
 		// completes as the stall ends.
 		s.mit.ServiceALERT(now)
 		s.alertState = alertIdle
+		if s.obs != nil {
+			s.obs.ObserveAlert(s.id, AlertEnd, now)
+		}
 		return true
 	case alertPrologue:
 		if now >= s.alertStallAt {
 			// Stall begins: all banks are precharged for the back-off RFM.
+			// Open rows are force-closed through precharge so the close is
+			// fully accounted (RowPress equivalent-ACT weighting, stats.PREs;
+			// see DESIGN.md §12) — these device-side closes may cut tRAS
+			// short, which the auditor exempts via the forced flag. The
+			// per-bank timers are then raised to the stall end, which always
+			// dominates the tRP that precharge just applied (the stall is
+			// 350ns, tRP at most 36ns).
 			for b := range s.banks {
 				bk := &s.banks[b]
 				if bk.openRow >= 0 {
-					bk.openRow = -1
+					s.precharge(b, now, true)
 				}
 				if bk.actReadyAt < s.alertEndAt {
 					bk.actReadyAt = s.alertEndAt
@@ -192,6 +219,9 @@ func (s *SubChannel) step() bool {
 				}
 			}
 			s.alertState = alertStall
+			if s.obs != nil {
+				s.obs.ObserveAlert(s.id, AlertStallStart, now)
+			}
 			return true
 		}
 	}
@@ -215,6 +245,9 @@ func (s *SubChannel) step() bool {
 		s.actSinceAlert = false
 		s.stats.Alerts++
 		s.stats.AlertStall += t.ABOStall
+		if s.obs != nil {
+			s.obs.ObserveAlert(s.id, AlertPrologueStart, now)
+		}
 		return true
 	}
 
@@ -226,7 +259,7 @@ func (s *SubChannel) step() bool {
 		}
 		if bk.openRow >= 0 {
 			if now >= bk.preReadyAt {
-				s.precharge(b, now)
+				s.precharge(b, now, false)
 				return true
 			}
 			continue
@@ -237,6 +270,9 @@ func (s *SubChannel) step() bool {
 			bk.idleAt = now + t.TRFM
 			s.stats.RFMs++
 			s.stats.RFMBusy += t.TRFM
+			if s.obs != nil {
+				s.obs.ObserveRFM(s.id, b, now)
+			}
 			s.mit.OnRFM(b, now)
 			return true
 		}
@@ -257,7 +293,12 @@ func (s *SubChannel) step() bool {
 			continue // data bus not free at data time
 		}
 		s.issueColumn(r, bk, now)
-		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		// Shift-and-truncate, clearing the vacated tail slot so the retired
+		// *Request (and its bound done event) does not stay reachable for
+		// the rest of the run through the slice's backing array.
+		copy(s.queue[i:], s.queue[i+1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
 		return true
 	}
 
@@ -282,7 +323,7 @@ func (s *SubChannel) step() bool {
 			continue // soft close-page: pending hits are served first
 		}
 		if hasConflict || now-bk.openedAt >= t.TRAS {
-			s.precharge(b, now)
+			s.precharge(b, now, false)
 			return true
 		}
 	}
@@ -296,8 +337,11 @@ func (s *SubChannel) step() bool {
 		if now < bk.actReadyAt || now < bk.idleAt {
 			continue
 		}
-		if now < s.faw[s.fawIdx]+t.TFAW || now < s.lastActAt+t.TRRD {
+		if now < s.lastActAt+t.TRRD {
 			break // channel-level ACT pacing blocks all activates
+		}
+		if !debugSkipFAW && now < s.faw[s.fawIdx]+t.TFAW {
+			break // four-activation window blocks all activates
 		}
 		s.activate(r.addr.Bank, r.addr.Row, now)
 		return true
@@ -317,7 +361,7 @@ func (s *SubChannel) stepRefresh(now dram.Time) bool {
 		if bk.openRow >= 0 {
 			allIdle = false
 			if now >= bk.preReadyAt {
-				s.precharge(b, now)
+				s.precharge(b, now, false)
 				return true
 			}
 			continue
@@ -349,13 +393,20 @@ func (s *SubChannel) stepRefresh(now dram.Time) bool {
 			s.teleBankActs[b] = 0
 		}
 	}
+	if s.obs != nil {
+		s.obs.ObserveREF(s.id, s.refIndex, now)
+	}
 	s.mit.OnREF(s.refIndex, now) // 0-based position in the refresh walk
 	s.refIndex++
 	s.refDue += t.TREFI
 	return true
 }
 
-func (s *SubChannel) precharge(bank int, now dram.Time) {
+// precharge closes the row open in bank. forced marks a device-side close
+// during the ALERT prologue→stall transition, which is exempt from the
+// controller-side row-cycle minimums (tRAS/tRTP/tWR) but still counted in
+// stats.PREs and still subject to RowPress equivalent-ACT weighting.
+func (s *SubChannel) precharge(bank int, now dram.Time, forced bool) {
 	t := &s.cfg.Timing
 	bk := &s.banks[bank]
 	if s.cfg.RowPressWeighting && bk.openRow >= 0 {
@@ -376,6 +427,9 @@ func (s *SubChannel) precharge(bank int, now dram.Time) {
 	}
 	bk.idleAt = now + t.TRP
 	s.stats.PREs++
+	if s.obs != nil {
+		s.obs.ObservePRE(s.id, bank, forced, now)
+	}
 }
 
 func (s *SubChannel) activate(bank, row int, now dram.Time) {
@@ -402,6 +456,9 @@ func (s *SubChannel) activate(bank, row int, now dram.Time) {
 			bk.rfmPending = true
 		}
 	}
+	if s.obs != nil {
+		s.obs.ObserveACT(s.id, bank, row, now)
+	}
 	s.mit.OnActivate(bank, row, now)
 }
 
@@ -421,14 +478,20 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 		if bk.preReadyAt < dataDone+t.TWR {
 			bk.preReadyAt = dataDone + t.TWR
 		}
+		if s.obs != nil {
+			s.obs.ObserveWrite(s.id, r.addr.Bank, r.addr.Row, now)
+		}
 		if r.Done != nil {
 			r.Done(now) // posted write
 		}
 		return
 	}
 	s.stats.Reads++
-	if bk.preReadyAt < now+tRTP {
-		bk.preReadyAt = now + tRTP
+	if bk.preReadyAt < now+t.TRTP {
+		bk.preReadyAt = now + t.TRTP
+	}
+	if s.obs != nil {
+		s.obs.ObserveRead(s.id, r.addr.Bank, r.addr.Row, now)
 	}
 	if r.Done != nil {
 		s.k.ScheduleEvent(&r.doneEv, dataDone)
@@ -507,7 +570,11 @@ func (s *SubChannel) arm() {
 	if len(window) > s.cfg.WindowDepth {
 		window = window[:s.cfg.WindowDepth]
 	}
-	var hitBank, conflictBank [64]bool
+	hitBank, conflictBank := s.hitBank, s.conflictBank
+	for i := range hitBank {
+		hitBank[i] = false
+		conflictBank[i] = false
+	}
 	for _, r := range window {
 		bk := &s.banks[r.addr.Bank]
 		if bk.openRow == r.addr.Row {
@@ -556,7 +623,7 @@ func (s *SubChannel) arm() {
 			if bk.idleAt > at {
 				at = bk.idleAt
 			}
-			if f := s.faw[s.fawIdx] + t.TFAW; f > at {
+			if f := s.faw[s.fawIdx] + t.TFAW; f > at && !debugSkipFAW {
 				at = f
 			}
 			if rr := s.lastActAt + t.TRRD; rr > at {
@@ -573,9 +640,13 @@ func (s *SubChannel) arm() {
 
 // debugHook, when non-nil, receives the number of step transitions each
 // wake performed (test instrumentation). debugClamp receives the label of
-// any candidate that had to be clamped into the future.
+// any candidate that had to be clamped into the future. debugSkipFAW
+// disables the four-activation-window pacing check — it exists solely so
+// the audit tests can prove the auditor catches a controller that stops
+// honouring tFAW.
 var (
-	debugHook  func(progress int)
-	debugClamp func(label string)
-	debugArm   func(label string, delta dram.Time)
+	debugHook    func(progress int)
+	debugClamp   func(label string)
+	debugArm     func(label string, delta dram.Time)
+	debugSkipFAW bool
 )

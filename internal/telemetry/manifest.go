@@ -17,6 +17,7 @@ type CounterValue struct {
 	Labels    map[string]string `json:"labels,omitempty"`
 	Value     int64             `json:"value"`
 	WallClock bool              `json:"wall_clock,omitempty"`
+	Sparse    bool              `json:"sparse,omitempty"`
 }
 
 // GaugeValue is one gauge in a Snapshot.
@@ -75,6 +76,7 @@ func (r *Registry) Snapshot() Snapshot {
 		case kindCounter:
 			s.Counters = append(s.Counters, CounterValue{
 				Name: m.name, Labels: labels, Value: m.c.Value(), WallClock: m.wall,
+				Sparse: m.sparse,
 			})
 		case kindGauge:
 			s.Gauges = append(s.Gauges, GaugeValue{
@@ -120,14 +122,17 @@ func (s Snapshot) CounterTotal(name string) int64 {
 }
 
 // Canonical returns the snapshot with every wall-clock-flagged metric
-// removed: what remains is a pure function of (config, seed, fault plan)
-// and can be golden-tested or diffed between runs.
+// removed, along with sparse counters still at zero: what remains is a pure
+// function of (config, seed, fault plan) and can be golden-tested or diffed
+// between runs. A non-zero sparse counter (a protocol violation fired) is
+// kept — that difference is exactly what a run diff should surface.
 func (s Snapshot) Canonical() Snapshot {
 	var out Snapshot
 	for _, c := range s.Counters {
-		if !c.WallClock {
-			out.Counters = append(out.Counters, c)
+		if c.WallClock || (c.Sparse && c.Value == 0) {
+			continue
 		}
+		out.Counters = append(out.Counters, c)
 	}
 	for _, g := range s.Gauges {
 		if !g.WallClock {

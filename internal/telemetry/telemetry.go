@@ -70,6 +70,7 @@ type metric struct {
 	labels []Label // sorted by key
 	kind   kind
 	wall   bool // derived from wall-clock time: excluded from canonical snapshots
+	sparse bool // interesting only when non-zero: zeros excluded from canonical snapshots
 
 	c *Counter
 	g *Gauge
@@ -151,6 +152,22 @@ func (r *Registry) WallCounter(name string, labels ...Label) *Counter {
 	}
 	return r.register(name, labels, kindCounter, func() *metric {
 		return &metric{c: &Counter{}, wall: true}
+	}).c
+}
+
+// SparseCounter is Counter for a series that is interesting only when
+// non-zero (e.g. protocol-violation counts): a fixed catalogue of such
+// counters can be registered up front for discoverability in raw snapshots
+// and Prometheus exposition, while Snapshot.Canonical drops the zero-valued
+// ones so golden manifests and run-to-run diffs stay free of all-zero noise.
+// Unlike wall metrics, a sparse counter that fires IS canonical — the value
+// is deterministic; only its resting zero state is stripped.
+func (r *Registry) SparseCounter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, labels, kindCounter, func() *metric {
+		return &metric{c: &Counter{}, sparse: true}
 	}).c
 }
 

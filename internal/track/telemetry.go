@@ -28,6 +28,12 @@ func FlushTelemetry(reg *telemetry.Registry, m Mitigator, extra ...telemetry.Lab
 	reg.Counter("track_evictions_total", labels...).Add(s.Evictions)
 }
 
+// Source resolves m (or anything it decorates, walking the Unwrap chain) to
+// its StatsSource; nil when nothing in the chain exposes one. The protocol
+// auditor uses it to compare tracker-side mitigation counts against the
+// channel-side counters without being fooled by decorators.
+func Source(m Mitigator) StatsSource { return statsSource(m) }
+
 // statsSource resolves m (or anything it decorates) to a StatsSource.
 func statsSource(m Mitigator) StatsSource {
 	for m != nil {
