@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry audit bench bench-smoke clean
+.PHONY: check vet build test test-race test-telemetry serve-check audit bench bench-smoke clean
 
 check: vet build test-race test-telemetry
 
@@ -32,6 +32,15 @@ test-race:
 # a parallel run (pool gauges, per-REF histogram observes).
 test-telemetry:
 	$(GO) test -race ./internal/telemetry/ ./internal/jobs/
+
+# Daemon gate: the serve robustness suites (chaos/soak, backpressure,
+# coalescing, drain) and the cliflags suite under the race detector, then
+# the scripted end-to-end smoke test — start mirza-serve, run the same
+# tiny fig3 twice, assert the second is a byte-identical cache hit, and
+# SIGTERM-drain cleanly (see DESIGN.md section 13).
+serve-check:
+	$(GO) test -race ./internal/serve/ ./internal/cliflags/
+	./scripts/serve-smoke.sh
 
 # Protocol-audit gate: the auditor's unit and property suites (synthetic
 # violations, adversarial traffic, the disabled-tFAW canary), then a quick

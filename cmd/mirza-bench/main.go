@@ -21,10 +21,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +34,7 @@ import (
 	"mirza/internal/cliflags"
 	"mirza/internal/dram"
 	"mirza/internal/experiments"
+	"mirza/internal/serve"
 	"mirza/internal/telemetry"
 )
 
@@ -121,20 +122,29 @@ func main() {
 		m.WrittenAt = time.Now().UTC().Format(time.RFC3339)
 		return m
 	}
+	// stopListen gracefully shuts the live endpoint down before exit (a
+	// no-op when -listen is unset). The hardened server from
+	// internal/serve carries read-header/read/write/idle timeouts, so a
+	// slow-loris client or an orphaned socket cannot wedge the process.
+	stopListen := func() {}
 	if *listen != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", telemetry.PrometheusHandler(reg.Snapshot))
-		mux.Handle("/manifest", telemetry.ManifestHandler(buildManifest))
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if warn, err := cliflags.ValidateListen(*listen); err != nil {
+			fmt.Fprintln(os.Stderr, "mirza-bench:", err)
+			os.Exit(2)
+		} else if warn != "" {
+			logf("%s", warn)
+		}
+		hsrv := serve.NewHTTPServer(*listen, serve.ObservabilityMux(reg.Snapshot, buildManifest))
 		go func() {
-			if err := http.ListenAndServe(*listen, mux); err != nil {
+			if err := hsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "mirza-bench: listen:", err)
 			}
 		}()
+		stopListen = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = hsrv.Shutdown(ctx)
+		}
 		logf("serving /metrics, /manifest and /debug/pprof on %s", *listen)
 	}
 
@@ -198,6 +208,7 @@ func main() {
 		}
 	}
 
+	stopListen()
 	if !plan.Empty() {
 		fmt.Printf("injected faults: %s (plan %s)\n", suite.Runner().FaultLog().Summary(), plan)
 	}

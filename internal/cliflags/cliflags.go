@@ -9,6 +9,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"net"
+	"strconv"
 	"time"
 
 	"mirza/internal/fault"
@@ -51,6 +53,35 @@ type Values struct {
 	Parallelism int
 	MetricsPath string
 	Audit       bool
+}
+
+// ValidateListen validates a -listen address shared by mirza-bench and
+// mirza-serve: it must be a host:port pair with a numeric port in
+// [0, 65535] (named service ports are rejected so both binaries fail the
+// same way on the same inputs). An empty host binds every interface; port
+// 0 asks the kernel for an ephemeral port. The returned warning is
+// non-empty for a privileged port (1-1023), which usually needs elevated
+// permissions and is almost never what a local metrics endpoint wants.
+func ValidateListen(addr string) (warning string, err error) {
+	if addr == "" {
+		return "", fmt.Errorf("-listen: address must be host:port (e.g. 127.0.0.1:6060 or :0), got empty string")
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("-listen: %q is not host:port: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("-listen: port %q must be numeric (named service ports are not supported)", portStr)
+	}
+	if port < 0 || port > 65535 {
+		return "", fmt.Errorf("-listen: port %d out of range [0, 65535]", port)
+	}
+	if port > 0 && port < 1024 {
+		warning = fmt.Sprintf("-listen: port %d is privileged (< 1024); binding usually requires elevated permissions", port)
+	}
+	_ = host // empty host (":6060") is valid: bind all interfaces
+	return warning, nil
 }
 
 // Resolve validates the parsed flag values. It must be called after the

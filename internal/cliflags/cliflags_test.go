@@ -90,6 +90,44 @@ func TestMalformedFaultPlans(t *testing.T) {
 	}
 }
 
+func TestValidateListen(t *testing.T) {
+	tests := []struct {
+		addr    string
+		wantErr string // substring of the error ("" = no error)
+		warn    bool   // expect a privileged-port warning
+	}{
+		{addr: "", wantErr: "host:port"},
+		{addr: ":0"},
+		{addr: ":6060"},
+		{addr: "127.0.0.1:6060"},
+		{addr: "[::1]:6060"},
+		{addr: "0.0.0.0:65535"},
+		{addr: ":80", warn: true},
+		{addr: "localhost:1", warn: true},
+		{addr: "localhost:http", wantErr: "numeric"},
+		{addr: ":70000", wantErr: "out of range"},
+		{addr: ":-1", wantErr: "out of range"},
+		{addr: "6060", wantErr: "host:port"},
+		{addr: "host:port:extra", wantErr: "host:port"},
+	}
+	for _, tc := range tests {
+		warn, err := ValidateListen(tc.addr)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ValidateListen(%q) err = %v, want substring %q", tc.addr, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ValidateListen(%q) unexpected error: %v", tc.addr, err)
+			continue
+		}
+		if (warn != "") != tc.warn {
+			t.Errorf("ValidateListen(%q) warning = %q, want warning=%v", tc.addr, warn, tc.warn)
+		}
+	}
+}
+
 func TestBadValues(t *testing.T) {
 	if _, err := parse(t, "-j", "-2"); err == nil || !strings.Contains(err.Error(), "-j") {
 		t.Errorf("negative -j: err = %v, want an error naming the flag", err)

@@ -29,6 +29,13 @@ type Result struct {
 	// "DEGRADED" note and must not be compared against full-fidelity runs.
 	Degraded bool
 
+	// Canceled marks a failure observed after the suite context was done:
+	// the experiment was cut short (or never started) by cancellation or a
+	// deadline rather than failing on its own. Served jobs use it to
+	// report "canceled" instead of a generic failure, and cancellation is
+	// never retried, so a Canceled result is always attempt 1's.
+	Canceled bool
+
 	// Attempts is how many attempts were made (1 or 2).
 	Attempts int
 	Duration time.Duration
@@ -135,6 +142,7 @@ func (s *Suite) Run(ctx context.Context, exp Experiment) Result {
 	s.runner = nil
 	if ctx.Err() != nil {
 		// A canceled suite must not burn time on retries.
+		res.Canceled = true
 		res.Duration = time.Since(start)
 		return res
 	}

@@ -123,6 +123,34 @@ func TestHarnessRetryBothFail(t *testing.T) {
 	}
 }
 
+func TestHarnessCanceledContext(t *testing.T) {
+	s := NewSuite(quickOpts(), SuiteConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := s.Run(ctx, Experiment{
+		ID: "doomed",
+		Run: func(r *Runner) (*Table, error) {
+			_, err := runJobs(r, []job[int]{{
+				id:  "doomed/job",
+				run: func(x *Exec) (int, error) { return 0, nil },
+			}})
+			if err != nil {
+				return nil, err
+			}
+			return &Table{ID: "doomed"}, nil
+		},
+	})
+	if !res.Failed() || !res.Canceled {
+		t.Fatalf("want canceled failure, got %+v", res)
+	}
+	if res.Attempts != 1 || res.Degraded {
+		t.Fatalf("cancellation must never be retried: %+v", res)
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("error should wrap context.Canceled: %v", res.Err)
+	}
+}
+
 func TestRunAllAndSummarize(t *testing.T) {
 	s := NewSuite(quickOpts(), SuiteConfig{NoRetry: true})
 	results := s.RunAll(context.Background(), []string{"table1", "no-such-experiment"})

@@ -1,0 +1,185 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolSaturationAndMidDrainCancel fills a pool far beyond its worker
+// count, lets exactly one wave of jobs finish, cancels the batch while
+// the second wave is mid-run, and then audits every guarantee at once:
+// submission-order gather, Canceled results wrapping ctx.Err for the
+// running wave, Skipped-or-Canceled (never run) for the tail, lifetime
+// pool accounting, and zero leaked goroutines.
+func TestPoolSaturationAndMidDrainCancel(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const (
+		n       = 64
+		workers = 4
+	)
+	var started atomic.Int64
+	release := make(chan struct{}, n)
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			ID: fmt.Sprintf("job-%02d", i),
+			Run: func(ctx context.Context) (int, error) {
+				started.Add(1)
+				select {
+				case <-release:
+					return i, nil
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			},
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pool := NewPool(Options{Parallelism: workers})
+	resc := make(chan []Result[int], 1)
+	go func() { resc <- RunOnCtx(ctx, pool, jobs) }()
+
+	waitStarted := func(want int64) {
+		deadline := time.Now().Add(5 * time.Second)
+		for started.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d jobs started, want %d", started.Load(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Wave 1: the first `workers` jobs occupy every worker (the queue
+	// holds the other 60) ...
+	waitStarted(workers)
+	if got := started.Load(); got != workers {
+		t.Fatalf("%d jobs started with %d workers before any release", got, workers)
+	}
+	// ... and are released to complete, which starts wave 2 ...
+	for i := 0; i < workers; i++ {
+		release <- struct{}{}
+	}
+	waitStarted(2 * workers)
+	// ... which is canceled mid-run. Nothing further may start.
+	cancel()
+
+	var results []Result[int]
+	select {
+	case results = <-resc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunOnCtx did not return after cancellation")
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	if got := started.Load(); got != 2*workers {
+		t.Errorf("%d jobs started, want exactly %d (cancel must stop admissions)", got, 2*workers)
+	}
+
+	// Submission-order gather: result i is job i, whatever its fate.
+	for i, r := range results {
+		if r.ID != fmt.Sprintf("job-%02d", i) {
+			t.Fatalf("result %d holds %q; gather order broken", i, r.ID)
+		}
+	}
+	// Wave 1 completed cleanly with its own value.
+	for i := 0; i < workers; i++ {
+		r := results[i]
+		if r.Err != nil || r.Canceled || r.Skipped || r.Value != i {
+			t.Errorf("wave-1 job %d: %+v, want clean completion", i, r)
+		}
+	}
+	// Wave 2 was cut off mid-run: Canceled, wrapping context.Canceled,
+	// with real execution time on the clock.
+	for i := workers; i < 2*workers; i++ {
+		r := results[i]
+		if !r.Canceled || !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("wave-2 job %d: Canceled=%v Err=%v, want canceled wrapping ctx.Err", i, r.Canceled, r.Err)
+		}
+		if r.Skipped || r.Duration <= 0 {
+			t.Errorf("wave-2 job %d: Skipped=%v Duration=%v, want ran-then-canceled", i, r.Skipped, r.Duration)
+		}
+	}
+	// The tail never ran. Whether a slot reads as Canceled (worker saw
+	// ctx.Err first) or Skipped (worker saw the lowered fail index first)
+	// is a benign worker-timing race; running is what would be a bug.
+	for i := 2 * workers; i < n; i++ {
+		r := results[i]
+		if !r.Canceled && !r.Skipped {
+			t.Errorf("tail job %d: %+v, want Canceled or Skipped", i, r)
+		}
+		if r.Duration != 0 {
+			t.Errorf("tail job %d has Duration %v; it must never have run", i, r.Duration)
+		}
+		if r.Canceled && !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("tail job %d: canceled but Err=%v", i, r.Err)
+		}
+	}
+
+	// Lifetime accounting adds up exactly.
+	st := pool.Stats()
+	if st.Submitted != n || st.Completed != int64(workers) {
+		t.Errorf("stats: submitted=%d completed=%d, want %d/%d", st.Submitted, st.Completed, n, workers)
+	}
+	if st.Canceled < int64(workers) || st.Canceled+st.Skipped != n-int64(workers) {
+		t.Errorf("stats: canceled=%d skipped=%d, want canceled >= %d and canceled+skipped == %d",
+			st.Canceled, st.Skipped, workers, n-workers)
+	}
+	if st.Failed != 0 || st.BusyWorkers != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats after drain: failed=%d busy=%d queue=%d, want all zero", st.Failed, st.BusyWorkers, st.QueueDepth)
+	}
+	if st.Ran() != int64(workers) {
+		t.Errorf("Ran() = %d, want %d (canceled mid-run jobs are not completions)", st.Ran(), workers)
+	}
+
+	// Zero leaked goroutines: workers and job shims all unwind. The
+	// count settles asynchronously, so retry briefly before declaring a
+	// leak.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				goroutinesBefore, runtime.NumGoroutine(), buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolSaturationRunsAllWithoutCancel is the control: the same
+// saturated pool, never canceled, must run all jobs to completion in
+// submission order.
+func TestPoolSaturationRunsAllWithoutCancel(t *testing.T) {
+	const n = 48
+	pool := NewPool(Options{Parallelism: 3})
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{ID: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) { return i * i, nil }}
+	}
+	results := RunOnCtx(context.Background(), pool, jobs)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range Values(results) {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d", i, v, i*i)
+		}
+	}
+	st := pool.Stats()
+	if st.Completed != n || st.Canceled != 0 || st.Skipped != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU result cache, content-addressed by
+// Prepared.Key. Values are the canonical manifest bytes of a clean
+// full-fidelity run; because the key hashes the complete resolved
+// configuration plus seed, a hit is byte-for-byte what re-running the
+// job would produce. The bound is explicit (entries and bytes), so a
+// long-lived daemon's memory stays flat however many distinct sweeps
+// pass through it.
+type Cache struct {
+	mu       sync.Mutex
+	maxEnt   int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache bounded to maxEntries entries and maxBytes
+// total value bytes (<= 0 disables the respective bound; both disabled
+// still caches, unbounded — callers should bound at least one).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEnt:   maxEntries,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key and marks the entry most recently
+// used. The returned slice is shared: callers must treat it as
+// read-only.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key (replacing any previous value) and evicts
+// least-recently-used entries until both bounds hold again. The cache
+// keeps a reference to val: callers must not mutate it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.over() {
+		oldest := c.ll.Back()
+		if oldest == nil || oldest == c.ll.Front() {
+			// Never evict the entry just touched: a single value larger
+			// than maxBytes is still served (once), it just won't keep
+			// neighbours.
+			break
+		}
+		e := c.ll.Remove(oldest).(*cacheEntry)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.val))
+	}
+}
+
+// over reports whether either bound is exceeded.
+func (c *Cache) over() bool {
+	if c.maxEnt > 0 && c.ll.Len() > c.maxEnt {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the summed size of cached values.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

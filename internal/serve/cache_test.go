@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 1<<20)
+	c.Put("a", []byte("aa"))
+	c.Put("b", []byte("bb"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity was exceeded")
+	}
+	// a was just touched, so b is the LRU victim.
+	c.Put("c", []byte("cc"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newest entry c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := NewCache(100, 10)
+	c.Put("a", []byte("0123"))
+	c.Put("b", []byte("4567"))
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 8/2", c.Bytes(), c.Len())
+	}
+	// 4 more bytes exceeds the 10-byte bound: oldest entries go.
+	c.Put("c", []byte("89ab"))
+	if c.Bytes() > 10 {
+		t.Errorf("Bytes = %d, exceeds the bound", c.Bytes())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry a should have been evicted for space")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("entry that triggered eviction must itself survive")
+	}
+}
+
+func TestCacheOversizedEntry(t *testing.T) {
+	c := NewCache(10, 4)
+	c.Put("big", []byte("012345678")) // bigger than the whole cache
+	if got, ok := c.Get("big"); ok {
+		// Either policy (reject or keep-alone) is fine as long as the
+		// bound holds and the bytes are right.
+		if !bytes.Equal(got, []byte("012345678")) {
+			t.Errorf("corrupted entry: %q", got)
+		}
+	}
+	if c.Len() > 1 {
+		t.Errorf("Len = %d after oversized insert", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(4, 1<<20)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("newer"))
+	got, ok := c.Get("k")
+	if !ok || !bytes.Equal(got, []byte("newer")) {
+		t.Fatalf("Get after update = %q, %v", got, ok)
+	}
+	if c.Len() != 1 || c.Bytes() != 5 {
+		t.Errorf("len=%d bytes=%d after update, want 1/5", c.Len(), c.Bytes())
+	}
+}
+
+func TestCacheMissAndChurn(t *testing.T) {
+	c := NewCache(8, 1<<20)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("Len = %d after churn, want 8", c.Len())
+	}
+	for i := 92; i < 100; i++ {
+		got, ok := c.Get(fmt.Sprintf("k%d", i))
+		if !ok || got[0] != byte(i) {
+			t.Errorf("k%d missing or wrong after churn", i)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosSoak is the deterministic chaos/soak test of the robustness
+// envelope: concurrent clients hammering one daemon with a mix of
+// shared-key waits (coalescing + cache), async uniques, mid-flight
+// client disconnects, injected panics, failures and degraded results,
+// followed by a deliberate queue-saturation burst and a SIGTERM-style
+// drain. Afterwards the server must be fully drained with zero leaked
+// goroutines, every response accounted for, and cached results
+// byte-identical to fresh ones. Run it under -race (make serve-check
+// does).
+func TestChaosSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	fb := newFakeBackend()
+	fb.started = nil // high volume; nobody listens
+	s, err := New(Config{
+		Backend:     fb,
+		Workers:     4,
+		QueueDepth:  32,
+		Retention:   4096, // keep every record: the audit below reads them
+		DrainBudget: 5 * time.Second,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const (
+		clients          = 8
+		perClient        = 25
+		disconnectEveryN = 10
+	)
+	var (
+		mu        sync.Mutex
+		codes     = map[int]int{}
+		anomalies []string
+	)
+	note := func(format string, args ...any) {
+		mu.Lock()
+		anomalies = append(anomalies, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				// Deterministic per-iteration mix, no randomness: every
+				// client interleaves shared cacheable work, unique work,
+				// failures, panics, degraded runs and disconnects.
+				var body string
+				wait := false
+				disconnect := false
+				switch i % 5 {
+				case 0: // shared key across all clients: coalesce or cache
+					body = fmt.Sprintf(`{"experiment":"soak-shared","seed":%d}`, 1+i/5)
+					wait = true
+				case 1: // unique fire-and-forget
+					body = fmt.Sprintf(`{"experiment":"soak-c%d-i%d"}`, c, i)
+				case 2: // injected failure
+					body = fmt.Sprintf(`{"experiment":"fail-c%d-i%d"}`, c, i)
+					wait = true
+				case 3: // injected panic
+					body = fmt.Sprintf(`{"experiment":"panic-c%d-i%d"}`, c, i)
+					wait = true
+				case 4: // degraded result, must never be cached
+					body = `{"experiment":"degraded-soak"}`
+					wait = true
+				}
+				if wait && i%disconnectEveryN == disconnectEveryN-1 {
+					disconnect = true
+				}
+
+				url := ts.URL + "/v1/jobs"
+				if wait {
+					url += "?wait=1"
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(body))
+				if disconnect {
+					// Walk away mid-flight: the server must cancel or
+					// complete the job without leaking anything.
+					go func() {
+						time.Sleep(time.Millisecond)
+						cancel()
+					}()
+				}
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					cancel()
+					if !disconnect {
+						note("client %d iter %d: %v", c, i, err)
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cancel()
+				mu.Lock()
+				codes[resp.StatusCode]++
+				mu.Unlock()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted &&
+					resp.StatusCode != http.StatusTooManyRequests {
+					note("client %d iter %d: unexpected code %d", c, i, resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every shared-key run is finished and cached by now, so this
+	// resubmission is a guaranteed cache hit (during the storm itself,
+	// duplicates may all coalesce instead — both are fine, but the hit
+	// path must be exercised deterministically).
+	resp0, err := http.Post(ts.URL+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"experiment":"soak-shared","seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitDoc, _ := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	if !strings.Contains(string(hitDoc), `"cached": true`) {
+		t.Errorf("post-soak shared resubmission not served from cache: %s", hitDoc)
+	}
+
+	// Saturation burst: block the workers, then overfill the queue. At
+	// least one submission must be shed with 429 + Retry-After.
+	release := fb.blockOn("burst")
+	sheds := 0
+	for i := 0; i < 4+32+8; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"experiment":"burst","seed":%d}`, i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			sheds++
+			if resp.Header.Get("Retry-After") == "" {
+				note("429 without Retry-After")
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if sheds == 0 {
+		t.Error("saturation burst produced no 429s")
+	}
+	close(release)
+
+	// SIGTERM-style drain: everything admitted must reach a terminal
+	// state within the budget.
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if s.State() != StateDrained {
+		t.Fatalf("state after drain = %s", s.State())
+	}
+
+	// Audit the records: nothing stuck queued/running, panics isolated,
+	// degraded results flagged.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if n := strings.Count(string(raw), `"state": "queued"`) + strings.Count(string(raw), `"state": "running"`); n != 0 {
+		t.Errorf("%d jobs still non-terminal after drain", n)
+	}
+
+	snap := s.Registry().Snapshot()
+	for _, m := range []string{"serve_submitted_total", "serve_jobs_total", "serve_cache_hits_total", "serve_shed_total"} {
+		if snap.CounterTotal(m) == 0 {
+			t.Errorf("soak exercised no %s", m)
+		}
+	}
+	if snap.GaugeTotal("serve_queue_depth") != 0 || snap.GaugeTotal("serve_inflight") != 0 {
+		t.Errorf("gauges nonzero after drain: queue=%d inflight=%d",
+			snap.GaugeTotal("serve_queue_depth"), snap.GaugeTotal("serve_inflight"))
+	}
+	// The degraded experiment ran with one shared key for the whole soak;
+	// every run must have been a real run (never served from cache).
+	if n := fb.runCount(degradedKey(t, fb)); n < 2 {
+		t.Errorf("degraded-soak ran %d times; looks cached", n)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, a := range anomalies {
+		t.Error(a)
+	}
+	t.Logf("soak status codes: %v", codes)
+
+	ts.Close()
+	waitNoGoroutineLeak(t, before)
+}
+
+// degradedKey recomputes the content key the soak's degraded submissions
+// used.
+func degradedKey(t *testing.T, fb *fakeBackend) string {
+	t.Helper()
+	p, err := fb.Prepare(&Request{Experiment: "degraded-soak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Key
+}
+
+// TestCachedEqualsFresh pins the byte-for-byte cache guarantee under
+// concurrency: one fresh run, then many concurrent resubmissions of the
+// same request, all of which must return identical bytes.
+func TestCachedEqualsFresh(t *testing.T) {
+	fb := newFakeBackend()
+	_, ts := newTestServer(t, Config{Workers: 4}, fb)
+
+	const body = `{"experiment":"soak-pin","seed":42,"measure_ms":0.25}`
+	code, doc, _ := submit(t, ts, body, true)
+	if code != http.StatusOK || doc["state"] != "done" {
+		t.Fatalf("fresh run: %d %v", code, doc)
+	}
+	_, fresh, _ := fetchResult(t, ts, doc["id"].(string))
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, doc, _ := submit(t, ts, body, true)
+			if code != http.StatusOK {
+				t.Errorf("resubmit %d: code %d", i, code)
+				return
+			}
+			_, b, _ := fetchResult(t, ts, doc["id"].(string))
+			results[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range results {
+		if !bytes.Equal(b, fresh) {
+			t.Errorf("resubmit %d returned different bytes than the fresh run:\n%s\nvs\n%s", i, b, fresh)
+		}
+	}
+	if got := fb.runCount(doc["key"].(string)); got != 1 {
+		t.Errorf("backend ran %d times, want exactly 1", got)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mirza/internal/telemetry"
+)
+
+// fakeBackend is a scriptable backend for server tests. Behaviour is
+// directed by the request's experiment name:
+//
+//	"fail*"     -> terminal error
+//	"panic*"    -> panics inside Run
+//	"degraded*" -> clean result flagged Degraded
+//	anything else -> clean deterministic manifest
+//
+// A key registered with blockOn blocks in Run until released (or the
+// job context is canceled), which is how tests hold jobs in flight to
+// exercise saturation, coalescing, disconnects and drain.
+type fakeBackend struct {
+	mu      sync.Mutex
+	runs    map[string]int           // key -> times Run executed
+	blocked map[string]chan struct{} // experiment -> release channel
+
+	// started receives each run's experiment name at entry (buffered;
+	// nil disables).
+	started chan string
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		runs:    make(map[string]int),
+		blocked: make(map[string]chan struct{}),
+		started: make(chan string, 128),
+	}
+}
+
+// blockOn makes runs of exp block until the returned channel is closed.
+func (f *fakeBackend) blockOn(exp string) chan struct{} {
+	ch := make(chan struct{})
+	f.mu.Lock()
+	f.blocked[exp] = ch
+	f.mu.Unlock()
+	return ch
+}
+
+func (f *fakeBackend) runCount(key string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runs[key]
+}
+
+func (f *fakeBackend) Prepare(req *Request) (*Prepared, error) {
+	if req.Experiment == "" {
+		return nil, errors.New("experiment id is required")
+	}
+	if strings.HasPrefix(req.Experiment, "invalid") {
+		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	config := map[string]string{
+		"exp":     req.Experiment,
+		"measure": fmt.Sprintf("%g", req.MeasureMS),
+	}
+	return &Prepared{
+		Req:    req,
+		Config: config,
+		Seed:   seed,
+		Key:    fmt.Sprintf("%s-%d", telemetry.ConfigHash(config), seed),
+	}, nil
+}
+
+func (f *fakeBackend) Run(ctx context.Context, p *Prepared) *Outcome {
+	exp := p.Req.Experiment
+	f.mu.Lock()
+	f.runs[p.Key]++
+	release := f.blocked[exp]
+	f.mu.Unlock()
+	if f.started != nil {
+		select {
+		case f.started <- exp:
+		default:
+		}
+	}
+	if release != nil {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return &Outcome{Err: ctx.Err().Error(), Canceled: true}
+		}
+	}
+	// A tiny deterministic delay for soak-* jobs keeps the chaos test's
+	// workers genuinely concurrent without slowing the suite.
+	if strings.HasPrefix(exp, "soak") {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return &Outcome{Err: ctx.Err().Error(), Canceled: true}
+		}
+	}
+	switch {
+	case strings.HasPrefix(exp, "panic"):
+		panic("deliberate fake-backend panic")
+	case strings.HasPrefix(exp, "fail"):
+		return &Outcome{Err: "deliberate fake-backend failure"}
+	}
+	m := telemetry.NewManifest("fake", p.Config)
+	m.Seed = p.Seed
+	m.Degraded = strings.HasPrefix(exp, "degraded")
+	body, err := m.Canonical().JSON()
+	if err != nil {
+		return &Outcome{Err: err.Error()}
+	}
+	return &Outcome{Manifest: body, Degraded: m.Degraded}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"mirza/internal/telemetry"
+)
+
+// Timeouts for NewHTTPServer. A bare http.ListenAndServe has none of
+// these, so one slow-loris client (or an orphaned socket that never
+// finishes its headers) holds a goroutine and a file descriptor forever.
+const (
+	// httpReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers — the slow-loris window.
+	httpReadHeaderTimeout = 10 * time.Second
+
+	// httpReadTimeout bounds reading the whole request (headers + body).
+	// Job submissions are small JSON documents; a minute is generous.
+	httpReadTimeout = time.Minute
+
+	// httpWriteTimeout bounds writing the response. It must comfortably
+	// exceed the longest legitimate response: long-polls (?wait=1) and
+	// /debug/pprof/profile (30s default) both stream for a while.
+	httpWriteTimeout = 15 * time.Minute
+
+	// httpIdleTimeout reaps idle keep-alive connections.
+	httpIdleTimeout = 2 * time.Minute
+
+	// httpMaxHeaderBytes bounds header memory per connection.
+	httpMaxHeaderBytes = 1 << 20
+)
+
+// NewHTTPServer returns an http.Server over handler with the hardening
+// every mirza daemon endpoint uses: read-header/read/write/idle timeouts
+// and a header size cap, so a misbehaving client cannot wedge the
+// process or hold unbounded memory. Callers own listening and shutdown
+// (srv.Serve / srv.Shutdown).
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: httpReadHeaderTimeout,
+		ReadTimeout:       httpReadTimeout,
+		WriteTimeout:      httpWriteTimeout,
+		IdleTimeout:       httpIdleTimeout,
+		MaxHeaderBytes:    httpMaxHeaderBytes,
+	}
+}
+
+// ObservabilityMux returns a mux serving the live introspection
+// endpoints shared by mirza-bench -listen and mirza-serve: /metrics
+// (Prometheus text exposition of snap), /manifest (the JSON RunManifest
+// built by manifest on each request), and the /debug/pprof suite.
+func ObservabilityMux(snap func() telemetry.Snapshot, manifest func() *telemetry.RunManifest) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.PrometheusHandler(snap))
+	mux.Handle("/manifest", telemetry.ManifestHandler(manifest))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,200 @@
+// Package serve is the robustness envelope that turns the experiment
+// pipeline into a long-running simulation-as-a-service daemon
+// (cmd/mirza-serve). Clients POST experiment jobs as JSON, poll or
+// long-poll their progress, and fetch the resulting canonical
+// telemetry.RunManifest.
+//
+// The envelope, not the simulation, is the point of this package:
+//
+//   - Admission control: a bounded queue with explicit backpressure. When
+//     the queue is full a submission is shed with 429 and a Retry-After
+//     estimate instead of growing memory without bound.
+//   - Deadlines and cancellation: every job runs under a context derived
+//     from the server's lifetime plus a per-request deadline; a client
+//     that disconnects mid-wait cancels the underlying job once nobody
+//     else is waiting on it.
+//   - Single-flight coalescing: identical in-flight requests (same
+//     content-addressed key) attach to the one running job instead of
+//     re-simulating.
+//   - Content-addressed result cache: results are cached under
+//     ConfigHash(config) + seed with LRU bounds and hit/miss telemetry, so
+//     a repeated sweep is served byte-for-byte from cache. Only clean
+//     full-fidelity results are cached — a degraded-fidelity retry or a
+//     failure is reported, never cached.
+//   - Panic isolation: a panicking job becomes a structured error
+//     response; the daemon keeps serving.
+//   - Graceful drain: on SIGTERM the server stops admitting, finishes (or
+//     cancels, once the budget expires) queued and in-flight work, and
+//     flushes metrics. /healthz and /readyz report the state honestly:
+//     readiness degrades under overload and during drain.
+//
+// The HTTP endpoints are documented in DESIGN.md §13.
+package serve
+
+import (
+	"context"
+)
+
+// Request is the JSON body of POST /v1/jobs: one experiment job. Zero
+// fields take the backend's defaults; all fidelity knobs participate in
+// the job's content-addressed identity after Prepare resolves them.
+type Request struct {
+	// Experiment is the experiment id (see mirza-bench -list). Required.
+	Experiment string `json:"experiment"`
+
+	// Seed keys every RNG stream of the run. 0 means the default seed
+	// (1), matching the CLIs.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Quick applies the smoke-run preset before the explicit knobs below.
+	Quick bool `json:"quick,omitempty"`
+
+	MeasureMS     float64  `json:"measure_ms,omitempty"`
+	WarmupMS      float64  `json:"warmup_ms,omitempty"`
+	ReplayWindows int      `json:"replay_windows,omitempty"`
+	Workloads     []string `json:"workloads,omitempty"`
+
+	// Faults is a fault-injection plan in internal/fault syntax
+	// ("seed=7,alertdrop=0.5"); empty injects nothing.
+	Faults string `json:"faults,omitempty"`
+
+	// Audit attaches the DDR5 protocol auditor to every simulated channel.
+	Audit bool `json:"audit,omitempty"`
+
+	// NoRetry disables the reduced-fidelity retry after a failed attempt.
+	NoRetry bool `json:"no_retry,omitempty"`
+
+	// TimeoutMS bounds the job's wall-clock execution. 0 means the
+	// server's default; values above the server's maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Prepared is a validated request plus its content-addressed identity.
+type Prepared struct {
+	Req *Request
+
+	// Config is the canonical flattened run configuration: every resolved
+	// fidelity knob as a string, the same shape RunManifest.Config uses.
+	// It is the hashed part of the job's identity.
+	Config map[string]string
+
+	// Seed is the resolved seed (request seed, or the default).
+	Seed uint64
+
+	// Key is the content-addressed cache/coalescing key:
+	// telemetry.ConfigHash(Config) + "-" + Seed. Two requests with equal
+	// keys are the same deterministic computation.
+	Key string
+
+	// Opaque carries backend-private precomputed state from Prepare to
+	// Run (e.g. resolved experiments.Options).
+	Opaque any
+}
+
+// Outcome is the terminal result of running one prepared job.
+type Outcome struct {
+	// Manifest is the canonical RunManifest JSON (nil when the job
+	// produced no usable result). For equal Prepared.Key inputs it is
+	// byte-identical across runs, which is what makes the result cache
+	// transparent.
+	Manifest []byte
+
+	// Degraded marks a result from the reduced-fidelity retry. Degraded
+	// outcomes are returned flagged but never cached.
+	Degraded bool
+
+	// Canceled marks a job cut short by cancellation or a deadline.
+	Canceled bool
+
+	// Panicked marks an Err recovered from a panic; Stack carries the
+	// recovered goroutine's stack trace.
+	Panicked bool
+	Stack    string
+
+	// Err is the terminal error message ("" on success).
+	Err string
+}
+
+// ok reports whether the outcome is a clean success.
+func (o *Outcome) ok() bool { return o.Err == "" && o.Manifest != nil }
+
+// cacheable reports whether the outcome may be stored in the result
+// cache: only clean, full-fidelity results qualify.
+func (o *Outcome) cacheable() bool { return o.ok() && !o.Degraded && !o.Canceled }
+
+// Backend prepares and executes jobs. Implementations must be safe for
+// concurrent use: the server calls Run from Config.Workers goroutines.
+type Backend interface {
+	// Prepare validates req and resolves its content-addressed identity.
+	// Errors are reported to the client as 400 Bad Request.
+	Prepare(req *Request) (*Prepared, error)
+
+	// Run executes the job. It must honor ctx (the server cancels it on
+	// client abandonment, per-request deadline, and drain) and must
+	// report failures in the Outcome rather than panicking — though the
+	// server recovers panics anyway.
+	Run(ctx context.Context, p *Prepared) *Outcome
+}
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+)
+
+// Status is the JSON document describing one job, returned by submission
+// and polling endpoints.
+type Status struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Experiment string   `json:"experiment"`
+	Key        string   `json:"key"`
+
+	// Cached marks a submission served from the result cache without
+	// running; Coalesced marks one attached to an identical in-flight job.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+
+	// Terminal outcome (meaningful once State == StateDone).
+	Degraded  bool   `json:"degraded,omitempty"`
+	Canceled  bool   `json:"canceled,omitempty"`
+	Panicked  bool   `json:"panicked,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+
+	QueueDepth int     `json:"queue_depth"`
+	WaitedMS   float64 `json:"waited_ms,omitempty"`
+	RanMS      float64 `json:"ran_ms,omitempty"`
+}
+
+// ServerState is the daemon lifecycle reported by /healthz.
+type ServerState string
+
+const (
+	StateServing  ServerState = "serving"
+	StateDraining ServerState = "draining"
+	StateDrained  ServerState = "drained"
+)
+
+// Health is the /healthz JSON document.
+type Health struct {
+	State      ServerState `json:"state"`
+	QueueDepth int         `json:"queue_depth"`
+	QueueCap   int         `json:"queue_cap"`
+	InFlight   int         `json:"in_flight"`
+	CacheLen   int         `json:"cache_entries"`
+	UptimeSec  float64     `json:"uptime_seconds"`
+}
+
+// errorDoc is the structured JSON error body every non-2xx response uses.
+type errorDoc struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+	Panicked   bool   `json:"panicked,omitempty"`
+	Canceled   bool   `json:"canceled,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Stack      string `json:"stack,omitempty"`
+}

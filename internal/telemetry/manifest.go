@@ -121,6 +121,18 @@ func (s Snapshot) CounterTotal(name string) int64 {
 	return total
 }
 
+// GaugeTotal sums every gauge series named name (across all label sets).
+// Missing names return 0.
+func (s Snapshot) GaugeTotal(name string) int64 {
+	var total int64
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			total += g.Value
+		}
+	}
+	return total
+}
+
 // Canonical returns the snapshot with every wall-clock-flagged metric
 // removed, along with sparse counters still at zero: what remains is a pure
 // function of (config, seed, fault plan) and can be golden-tested or diffed
@@ -169,6 +181,13 @@ type RunManifest struct {
 
 	Seed      uint64 `json:"seed"`
 	FaultPlan string `json:"fault_plan,omitempty"`
+
+	// Degraded marks a manifest produced by a reduced-fidelity retry after
+	// the full-fidelity attempt failed (see experiments.Result.Degraded).
+	// Consumers must not compare a degraded manifest against full-fidelity
+	// runs, and result caches must not store it under the full-fidelity
+	// config hash.
+	Degraded bool `json:"degraded,omitempty"`
 
 	// SimulatedPS is total simulated picoseconds summed over every
 	// simulation the run executed (the sim_time_total_ps counter).

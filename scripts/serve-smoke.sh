@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the mirza-serve daemon.
+#
+# Builds the daemon, starts it on an ephemeral port, submits the same
+# tiny fig3 job twice, asserts the second submission is served from the
+# result cache with byte-identical manifest bytes, and checks that a
+# SIGTERM drain exits cleanly (exit 0). Run by `make serve-check` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bin="$workdir/mirza-serve"
+log="$workdir/serve.log"
+pid=""
+
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "---- daemon log ----" >&2
+    cat "$log" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building mirza-serve"
+go build -o "$bin" ./cmd/mirza-serve
+
+# Port 0 lets the kernel pick a free port; the daemon logs the resolved
+# address as "listening on <addr>".
+"$bin" -listen 127.0.0.1:0 -workers 2 -v 2>"$log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$log" | head -n1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon died during startup"
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "daemon never logged its listen address"
+echo "serve-smoke: daemon up on $addr (pid $pid)"
+
+body='{"experiment":"fig3","seed":1,"quick":true,"workloads":["xz"],"measure_ms":0.2,"warmup_ms":0.1}'
+
+health=$(curl -fsS "http://$addr/healthz")
+echo "$health" | grep -q '"state": "serving"' || fail "healthz does not report serving: $health"
+
+echo "serve-smoke: submitting fig3 (fresh run)"
+first=$(curl -fsS -X POST -d "$body" "http://$addr/v1/jobs?wait=1")
+echo "$first" | grep -q '"state": "done"' || fail "first submission not done: $first"
+echo "$first" | grep -q '"cached": true' && fail "first submission claims cached: $first"
+id1=$(echo "$first" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+[[ -n "$id1" ]] || fail "no job id in: $first"
+
+echo "serve-smoke: submitting fig3 again (expect cache hit)"
+second=$(curl -fsS -X POST -d "$body" "http://$addr/v1/jobs?wait=1")
+echo "$second" | grep -q '"state": "done"' || fail "second submission not done: $second"
+echo "$second" | grep -q '"cached": true' || fail "second submission was not a cache hit: $second"
+id2=$(echo "$second" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n1)
+
+curl -fsS "http://$addr/v1/jobs/$id1/result" >"$workdir/fresh.json"
+curl -fsS "http://$addr/v1/jobs/$id2/result" >"$workdir/cached.json"
+cmp -s "$workdir/fresh.json" "$workdir/cached.json" \
+    || fail "cached result is not byte-identical to the fresh run"
+grep -q '"config_hash"' "$workdir/fresh.json" || fail "result is not a run manifest"
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.txt"
+grep -q 'serve_cache_hits_total 1' "$workdir/metrics.txt" \
+    || fail "metrics do not show exactly one cache hit"
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$pid"
+code=0
+wait "$pid" || code=$?
+pid=""
+[[ "$code" -eq 0 ]] || fail "daemon exited $code after SIGTERM, want 0 (clean drain)"
+grep -q "drained:" "$log" || fail "daemon log has no drain summary"
+
+echo "serve-smoke: OK (fresh run, cache hit byte-identical, clean drain)"
