@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry serve-check audit bench bench-smoke clean
+.PHONY: check vet build test test-race test-telemetry serve-check audit conformance bench bench-smoke clean
 
 check: vet build test-race test-telemetry
 
@@ -50,6 +50,16 @@ serve-check:
 audit:
 	$(GO) test ./internal/audit/
 	$(GO) run ./cmd/mirza-bench -quick -exp fig3 -audit -j 4
+
+# Mitigation-conformance gate: every policy registered with the track
+# registry runs the full generic battery under the race detector — the
+# attack-pattern security sweep against each policy's analytic bound,
+# fault-injection robustness (no panics, deterministic replay), stats/
+# telemetry counter sanity, and a short audited full-system run (see
+# internal/track/conformance, DESIGN.md section 14). A violation prints
+# as "policy [check]: detail" and fails the run.
+conformance:
+	$(GO) test -race -count=1 ./internal/track/conformance/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE ./...

@@ -1,16 +1,22 @@
 // Command mirza-attack evaluates Rowhammer defenses against worst-case
 // attack patterns using the bank-level attack simulator: it drives
 // activations at full DRAM speed (one ACT per tRC, REF every tREFI, the
-// full ABO protocol) and reports the maximum unmitigated activations any
-// victim experienced, against the analytic safe-threshold bounds of
-// Section VI.
+// full ABO protocol, RFM at the policy's BAT) and reports the maximum
+// unmitigated activations any victim experienced, against the analytic
+// safe-threshold bounds of Section VI.
 //
 // Usage:
 //
-//	mirza-attack -defense mirza -trhd 1000 -pattern double-sided -windows 4
-//	mirza-attack -defense prac -trhd 500 -pattern circular -rows 32
-//	mirza-attack -defense trr -pattern trr-evasion
-//	mirza-attack -defense none -pattern double-sided
+//	mirza-attack -mitigation mirza -trhd 1000 -pattern double-sided -windows 4
+//	mirza-attack -mitigation prac:ath=400 -trhd 500 -pattern circular -rows 32
+//	mirza-attack -mitigation trr -pattern trr-evasion
+//	mirza-attack -mitigation none -pattern double-sided
+//	mirza-attack -list-mitigations
+//
+// Mitigation policies are resolved by name from the registry in
+// internal/track (every policy in internal/track/policies is available);
+// parameters are overridden inline with -mitigation name:key=val,...
+// -defense is kept as an alias for -mitigation.
 package main
 
 import (
@@ -19,82 +25,57 @@ import (
 	"os"
 
 	"mirza/internal/attack"
+	"mirza/internal/cliflags"
 	"mirza/internal/core"
 	"mirza/internal/dram"
-	"mirza/internal/security"
 	"mirza/internal/track"
+	_ "mirza/internal/track/policies" // register every mitigation policy
 )
 
 func main() {
 	var (
-		defense = flag.String("defense", "mirza", "mirza | prac | mint-ref | mithril | trr | none")
-		trhd    = flag.Int("trhd", 1000, "target double-sided threshold")
-		pattern = flag.String("pattern", "double-sided", "single-sided | double-sided | circular | feinting | edge | trr-evasion")
-		rows    = flag.Int("rows", 32, "rows for the circular pattern")
-		windows = flag.Int("windows", 2, "refresh windows (32ms each) to attack")
-		seed    = flag.Uint64("seed", 1, "random seed")
+		mitigation = flag.String("mitigation", "mirza", "mitigation policy, name[:key=val,...] (see -list-mitigations)")
+		trhd       = flag.Int("trhd", 1000, "target double-sided threshold")
+		pattern    = flag.String("pattern", "double-sided", "single-sided | double-sided | circular | feinting | edge | trr-evasion")
+		rows       = flag.Int("rows", 32, "rows for the circular pattern")
+		windows    = flag.Int("windows", 2, "refresh windows (32ms each) to attack")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		listMit    = flag.Bool("list-mitigations", false, "list registered mitigation policies and exit")
 	)
+	flag.StringVar(mitigation, "defense", *mitigation, "alias for -mitigation")
 	flag.Parse()
 
-	g := dram.Default()
-	timing := dram.DDR5()
-	mapping := dram.StridedR2SA
-	model := security.DefaultMINTModel()
+	if *listMit {
+		for _, d := range track.Descriptors() {
+			note := ""
+			if d.Insecure {
+				note = " [no security guarantee]"
+			}
+			fmt.Printf("%-12s %s%s\n", d.Name, d.Doc, note)
+			for _, p := range d.ConfigSchema {
+				fmt.Printf("    %-10s %-6s %s\n", p.Key, p.Kind, p.Doc)
+			}
+		}
+		return
+	}
 
-	cfg, err := core.ForTRHD(*trhd)
+	g := dram.Default()
+	mapping := dram.StridedR2SA
+
+	name, overrides, err := cliflags.ParseMitigation(*mitigation)
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Seed = *seed
-
-	var factory func(sink track.Sink) track.Mitigator
-	var bound int
-	boundKind := "SafeTRHD"
-	switch *defense {
-	case "mirza":
-		if err := cfg.Validate(); err != nil {
-			fatal(err)
-		}
-		factory = func(sink track.Sink) track.Mitigator { return core.MustNew(cfg, sink) }
-		bound = security.SafeTRHD(cfg, model)
-	case "prac":
-		timing = dram.PRAC()
-		factory = func(sink track.Sink) track.Mitigator {
-			return track.NewPRAC(track.PRACConfig{
-				Geometry: g, Mapping: mapping, AlertThreshold: track.ATHForTRHD(*trhd),
-			}, sink)
-		}
-		bound = *trhd
-	case "mint-ref":
-		factory = func(sink track.Sink) track.Mitigator {
-			return track.NewMINT(track.MINTConfig{
-				Geometry: g, Mapping: mapping,
-				Window: security.WindowPerREFs(timing, 1), MitigateEveryREFs: 1, Seed: *seed,
-			}, sink)
-		}
-		bound = model.ToleratedTRHD(security.WindowPerREFs(timing, 1))
-	case "mithril":
-		factory = func(sink track.Sink) track.Mitigator {
-			return track.NewMithril(track.MithrilConfig{
-				Geometry: g, Mapping: mapping, Entries: 2048, MitigateEveryREFs: 1,
-			}, sink)
-		}
-		bound = security.DefaultMithrilModel().ToleratedTRHD(security.WindowPerREFs(timing, 1))
-	case "trr":
-		factory = func(sink track.Sink) track.Mitigator {
-			return track.NewTRR(track.TRRConfig{
-				Geometry: g, Mapping: mapping, Entries: 28, MitigateEveryREFs: 4,
-			}, sink)
-		}
-		bound = *trhd
-		boundKind = "nominal TRHD (TRR has no guarantee)"
-	case "none":
-		factory = func(sink track.Sink) track.Mitigator { return track.NewNop() }
-		bound = *trhd
-		boundKind = "nominal TRHD (unprotected)"
-	default:
-		fatal(fmt.Errorf("unknown defense %q", *defense))
+	built, err := track.Build(name, overrides, track.Config{
+		Geometry: g,
+		Mapping:  mapping,
+		TRHD:     *trhd,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
 	}
+	timing := built.Timing()
 
 	var pat attack.Pattern
 	switch *pattern {
@@ -104,10 +85,18 @@ func main() {
 		pat = attack.DoubleSided(g, mapping, 3, 500)
 	case "circular":
 		pat = attack.Circular(g, mapping, 3, *rows)
-	case "feinting":
-		pat = attack.Feinting(g, mapping, 3, cfg.QueueSize)
-	case "edge":
-		pat = attack.EdgeDoubleSided(g, mapping, 3, cfg.RegionRows())
+	case "feinting", "edge":
+		// These patterns target MIRZA's queue and region geometry, so they
+		// are parameterized by the paper's configuration for this TRHD.
+		cfg, err := core.ForTRHD(*trhd)
+		if err != nil {
+			fatal(err)
+		}
+		if *pattern == "feinting" {
+			pat = attack.Feinting(g, mapping, 3, cfg.QueueSize)
+		} else {
+			pat = attack.EdgeDoubleSided(g, mapping, 3, cfg.RegionRows())
+		}
 	case "trr-evasion":
 		rot := make([]int, 0, 16)
 		for i := 0; i < 15; i++ {
@@ -120,18 +109,21 @@ func main() {
 	}
 
 	sim := attack.NewBankSim(attack.BankSimConfig{
-		Geometry: g, Timing: timing, Mapping: mapping, Bank: 0, NewMitigator: factory,
+		Geometry: g, Timing: timing, Mapping: mapping, Bank: 0,
+		NewMitigator: func(sink track.Sink) track.Mitigator { return built.Factory()(0, sink) },
+		RFMEvery:     built.RFMBAT(),
 	})
 	res := sim.RunWindows(pat, *windows)
+	bound := built.Bound()
 
 	fmt.Printf("defense  : %s (configured for TRHD=%d)\n", sim.Mitigator().Name(), *trhd)
 	fmt.Printf("pattern  : %s over %d refresh windows (%v)\n", pat.Name(), *windows, res.Elapsed)
-	fmt.Printf("activity : %d ACTs, %d REFs, %d ALERTs, %d mitigations\n",
-		res.ACTs, res.REFs, res.Alerts, res.Mitigations)
+	fmt.Printf("activity : %d ACTs, %d REFs, %d RFMs, %d ALERTs, %d mitigations\n",
+		res.ACTs, res.REFs, res.RFMs, res.Alerts, res.Mitigations)
 	fmt.Printf("exposure : max single-sided %d, max double-sided %d unmitigated ACTs\n",
 		res.MaxSingleSided, res.MaxDoubleSided)
-	fmt.Printf("bound    : %d (%s)\n", bound, boundKind)
-	if res.MaxDoubleSided < bound {
+	fmt.Printf("bound    : %d (%s)\n", bound.TRHD, bound.Kind)
+	if res.MaxDoubleSided < bound.TRHD {
 		fmt.Println("verdict  : SECURE (exposure stayed below the bound)")
 	} else {
 		fmt.Println("verdict  : BROKEN (exposure reached the threshold)")

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	mirza-sim -workload fotonik3d -mitigation mirza -trhd 1000 -ms 2
-//	mirza-sim -workload mcf -mitigation prac -trhd 500
+//	mirza-sim -workload mcf -mitigation prac:ath=400 -trhd 500
 //	mirza-sim -workload fotonik3d,lbm,mcf -j 4
 //	mirza-sim -list-workloads
+//	mirza-sim -list-mitigations
 //
-// Mitigations: none, mirza, naive-mirza, prac, mint-rfm, trr.
+// Mitigation policies are resolved by name from the registry in
+// internal/track (every policy in internal/track/policies is available);
+// parameters are overridden inline with -mitigation name:key=val,...
+// Run -list-mitigations for names, docs and tunables.
 //
 // With a comma-separated -workload list the simulations run as independent
 // jobs on -j workers; reports are printed in the order the workloads were
@@ -32,22 +36,21 @@ import (
 
 	"mirza/internal/audit"
 	"mirza/internal/cliflags"
-	"mirza/internal/core"
 	"mirza/internal/cpu"
 	"mirza/internal/dram"
 	"mirza/internal/fault"
 	"mirza/internal/jobs"
 	"mirza/internal/mem"
-	"mirza/internal/security"
 	"mirza/internal/sim"
 	"mirza/internal/telemetry"
 	"mirza/internal/trace"
 	"mirza/internal/track"
+	_ "mirza/internal/track/policies" // register every mitigation policy
 )
 
 // runConfig carries the flag settings shared by every simulation job.
 type runConfig struct {
-	mitigation string
+	built      *track.Built // resolved, validated mitigation policy
 	trhd       int
 	ms, warmMS float64
 	seed       uint64
@@ -60,12 +63,13 @@ type runConfig struct {
 func main() {
 	var (
 		workload   = flag.String("workload", "fotonik3d", "workload name or comma-separated list (see -list-workloads)")
-		mitigation = flag.String("mitigation", "mirza", "none | mirza | naive-mirza | prac | mint-rfm | trr")
+		mitigation = flag.String("mitigation", "mirza", "mitigation policy, name[:key=val,...] (see -list-mitigations)")
 		trhd       = flag.Int("trhd", 1000, "target double-sided Rowhammer threshold")
 		ms         = flag.Float64("ms", 2, "simulated milliseconds")
 		warmMS     = flag.Float64("warmup-ms", 0.5, "warmup before measurement")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		listWl     = flag.Bool("list-workloads", false, "list workloads and exit")
+		listMit    = flag.Bool("list-mitigations", false, "list registered mitigation policies and exit")
 		common     = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -82,21 +86,39 @@ func main() {
 		}
 		return
 	}
+	if *listMit {
+		listMitigations()
+		return
+	}
+
+	name, overrides, err := cliflags.ParseMitigation(*mitigation)
+	if err != nil {
+		fatal(err)
+	}
+	built, err := track.Build(name, overrides, track.Config{
+		Geometry: dram.Default(),
+		Mapping:  dram.StridedR2SA,
+		TRHD:     *trhd,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
 
 	var reg *telemetry.Registry
 	if shared.MetricsPath != "" {
 		reg = telemetry.New()
 	}
 	cfg := runConfig{
-		mitigation: *mitigation,
-		trhd:       *trhd,
-		ms:         *ms,
-		warmMS:     *warmMS,
-		seed:       *seed,
-		plan:       shared.Faults,
-		stall:      shared.StallBudget,
-		audit:      shared.Audit,
-		reg:        reg,
+		built:  built,
+		trhd:   *trhd,
+		ms:     *ms,
+		warmMS: *warmMS,
+		seed:   *seed,
+		plan:   shared.Faults,
+		stall:  shared.StallBudget,
+		audit:  shared.Audit,
+		reg:    reg,
 	}
 
 	var names []string
@@ -181,59 +203,11 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 		return "", err
 	}
 
-	timing := dram.DDR5()
-	bat := 0
-	var factory func(sub int, sink track.Sink) track.Mitigator
-	g := dram.Default()
-	switch rc.mitigation {
-	case "none":
-	case "mirza", "naive-mirza":
-		cfg, err := core.ForTRHD(rc.trhd)
-		if err != nil {
-			return "", err
-		}
-		if rc.mitigation == "naive-mirza" {
-			cfg.FTH = 0
-		}
-		// Validate here where the error can be reported cleanly; the
-		// factory closure below can only panic.
-		if err := cfg.Validate(); err != nil {
-			return "", err
-		}
-		factory = func(sub int, sink track.Sink) track.Mitigator {
-			c := cfg
-			c.Seed = rc.seed + uint64(sub)
-			return core.MustNew(c, sink)
-		}
-	case "prac":
-		timing = dram.PRAC()
-		factory = func(sub int, sink track.Sink) track.Mitigator {
-			return track.NewPRAC(track.PRACConfig{
-				Geometry: g, Mapping: dram.StridedR2SA,
-				AlertThreshold: track.ATHForTRHD(rc.trhd),
-			}, sink)
-		}
-	case "mint-rfm":
-		w := security.DefaultMINTModel().WindowForTRHD(rc.trhd)
-		bat = w
-		factory = func(sub int, sink track.Sink) track.Mitigator {
-			return track.NewMINT(track.MINTConfig{
-				Geometry: g, Mapping: dram.StridedR2SA,
-				Window: w, MitigateOnRFM: true, Seed: rc.seed + uint64(sub),
-			}, sink)
-		}
-	case "trr":
-		factory = func(sub int, sink track.Sink) track.Mitigator {
-			return track.NewTRR(track.TRRConfig{
-				Geometry: g, Mapping: dram.StridedR2SA,
-				Entries: 28, MitigateEveryREFs: 4,
-			}, sink)
-		}
-	default:
-		return "", fmt.Errorf("unknown mitigation %q", rc.mitigation)
-	}
+	timing := rc.built.Timing()
+	bat := rc.built.RFMBAT()
+	factory := rc.built.Factory()
 
-	if factory != nil && !rc.plan.Empty() {
+	if !rc.plan.Empty() {
 		inner := factory
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			return fault.Wrap(rc.plan, inner(sub, sink), uint64(sub), faultLog)
@@ -283,7 +257,7 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "workload   : %s (%s)\n", spec.Name, spec.Suite)
-	fmt.Fprintf(&sb, "mitigation : %s (TRHD=%d)\n", rc.mitigation, rc.trhd)
+	fmt.Fprintf(&sb, "mitigation : %s (TRHD=%d)\n", rc.built.Name(), rc.trhd)
 	fmt.Fprintf(&sb, "window     : %v measured after %v warmup\n", sys.Window(), warm)
 	fmt.Fprintf(&sb, "IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
 	fmt.Fprintf(&sb, "bus util   : %.1f%%\n", sys.BusUtilization())
@@ -314,6 +288,20 @@ func actPKI(acts int64, ipcs []float64, window dram.Time) float64 {
 		return 0
 	}
 	return float64(acts) / instr * 1000
+}
+
+// listMitigations prints every registered policy with its tunables.
+func listMitigations() {
+	for _, d := range track.Descriptors() {
+		note := ""
+		if d.Insecure {
+			note = " [no security guarantee]"
+		}
+		fmt.Printf("%-12s %s%s\n", d.Name, d.Doc, note)
+		for _, p := range d.ConfigSchema {
+			fmt.Printf("    %-10s %-6s %s\n", p.Key, p.Kind, p.Doc)
+		}
+	}
 }
 
 func fatal(err error) {

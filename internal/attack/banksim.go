@@ -19,6 +19,13 @@ type BankSimConfig struct {
 	// sink (the simulator adds its own disturbance bookkeeping around it).
 	NewMitigator func(sink track.Sink) track.Mitigator
 
+	// RFMEvery, when > 0, models the memory controller's RAA counter for
+	// the attacked bank: after every RFMEvery-th activation the MC issues
+	// an RFM to it (the bank is busy for tRFM), granting RFM-driven
+	// trackers (MINT+RFM, Loaded Dice) their proactive mitigation
+	// opportunity. 0 disables RFM, matching a controller with RFM off.
+	RFMEvery int
+
 	// RowThreshold, when set, gives each victim row its own double-sided
 	// Rowhammer threshold so the run counts online bit flips (weak-row
 	// fault campaigns plug fault.WeakRowModel.ThresholdOf in here).
@@ -29,6 +36,7 @@ type BankSimConfig struct {
 type BankSimResult struct {
 	ACTs           int64
 	REFs           int64
+	RFMs           int64
 	Alerts         int64
 	Mitigations    int64
 	MaxSingleSided int
@@ -42,6 +50,9 @@ type BankSimResult struct {
 func (r BankSimResult) String() string {
 	s := fmt.Sprintf("acts=%d refs=%d alerts=%d mitig=%d maxSS=%d maxDS=%d over %v",
 		r.ACTs, r.REFs, r.Alerts, r.Mitigations, r.MaxSingleSided, r.MaxDoubleSided, r.Elapsed)
+	if r.RFMs > 0 {
+		s += fmt.Sprintf(" rfms=%d", r.RFMs)
+	}
 	if r.Flips > 0 {
 		s += fmt.Sprintf(" flips=%d", r.Flips)
 	}
@@ -63,6 +74,7 @@ type BankSim struct {
 	refDue        dram.Time
 	refIndex      int
 	actSinceAlert bool
+	actsSinceRFM  int
 
 	res BankSimResult
 }
@@ -120,6 +132,14 @@ func (s *BankSim) Run(pattern Pattern, until dram.Time) BankSimResult {
 		// One attacker activation; next ACT to the same bank after tRC.
 		s.activate(pattern.Next())
 		s.now += t.TRC
+
+		// The MC's RAA counter reached the BAT: the bank takes an RFM.
+		if s.cfg.RFMEvery > 0 && s.actsSinceRFM >= s.cfg.RFMEvery {
+			s.actsSinceRFM = 0
+			s.res.RFMs++
+			s.mit.OnRFM(s.cfg.Bank, s.now)
+			s.now += t.TRFM
+		}
 	}
 	return s.Result()
 }
@@ -168,6 +188,7 @@ func (s *BankSim) runALERT(pattern Pattern) {
 func (s *BankSim) activate(row int) {
 	s.res.ACTs++
 	s.actSinceAlert = true
+	s.actsSinceRFM++
 	s.dist.OnActivate(row)
 	s.mit.OnActivate(s.cfg.Bank, row, s.now)
 }

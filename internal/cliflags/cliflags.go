@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"strings"
 	"time"
 
 	"mirza/internal/fault"
@@ -53,6 +54,51 @@ type Values struct {
 	Parallelism int
 	MetricsPath string
 	Audit       bool
+}
+
+// ParseMitigation splits a -mitigation value of the form
+// "name[:key=val,key=val,...]" — shared by mirza-sim and mirza-attack —
+// into the policy name and its parameter overrides. Only the syntax is
+// validated here; the name and the override keys/values are checked against
+// the mitigation registry by track.Build, so both binaries report unknown
+// policies and malformed parameters identically.
+func ParseMitigation(s string) (name string, overrides map[string]string, err error) {
+	name = s
+	rest := ""
+	hasRest := false
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		name, rest, hasRest = s[:i], s[i+1:], true
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, fmt.Errorf("-mitigation: policy name required (name[:key=val,...]), got %q", s)
+	}
+	if !hasRest {
+		return name, nil, nil
+	}
+	overrides = map[string]string{}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return "", nil, fmt.Errorf("-mitigation %q: empty key=val entry", s)
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("-mitigation %q: %q is not key=val", s, part)
+		}
+		k, v := strings.TrimSpace(part[:eq]), strings.TrimSpace(part[eq+1:])
+		if k == "" || v == "" {
+			return "", nil, fmt.Errorf("-mitigation %q: %q has an empty key or value", s, part)
+		}
+		if _, dup := overrides[k]; dup {
+			return "", nil, fmt.Errorf("-mitigation %q: duplicate key %q", s, k)
+		}
+		overrides[k] = v
+	}
+	if len(overrides) == 0 {
+		return "", nil, fmt.Errorf("-mitigation %q: expected key=val after %q:", s, name)
+	}
+	return name, overrides, nil
 }
 
 // ValidateListen validates a -listen address shared by mirza-bench and

@@ -136,3 +136,56 @@ func TestBadValues(t *testing.T) {
 		t.Errorf("negative -stall-budget: err = %v, want an error naming the flag", err)
 	}
 }
+
+func TestParseMitigation(t *testing.T) {
+	cases := []struct {
+		in        string
+		name      string
+		overrides map[string]string
+		wantErr   string // substring; "" means valid
+	}{
+		{in: "mirza", name: "mirza"},
+		{in: "  prac  ", name: "prac"},
+		{in: "prac:ath=400", name: "prac", overrides: map[string]string{"ath": "400"}},
+		{in: "mirza:fth=1500,window=12,queue=8", name: "mirza",
+			overrides: map[string]string{"fth": "1500", "window": "12", "queue": "8"}},
+		{in: " graphene : threshold = 250 , entries = 64 ", name: "graphene",
+			overrides: map[string]string{"threshold": "250", "entries": "64"}},
+		{in: "mopac:p=0.25", name: "mopac", overrides: map[string]string{"p": "0.25"}},
+		// A value may itself contain '=' (split happens at the first one).
+		{in: "x:k=a=b", name: "x", overrides: map[string]string{"k": "a=b"}},
+		{in: "", wantErr: "policy name required"},
+		{in: ":ath=400", wantErr: "policy name required"},
+		{in: "prac:", wantErr: "empty key=val entry"},
+		{in: "prac:ath", wantErr: "not key=val"},
+		{in: "prac:ath=400,,window=4", wantErr: "empty key=val entry"},
+		{in: "prac:=400", wantErr: "empty key or value"},
+		{in: "prac:ath=", wantErr: "empty key or value"},
+		{in: "prac:ath=400,ath=500", wantErr: "duplicate key"},
+	}
+	for _, tc := range cases {
+		name, overrides, err := ParseMitigation(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseMitigation(%q): err = %v, want substring %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMitigation(%q): unexpected error %v", tc.in, err)
+			continue
+		}
+		if name != tc.name {
+			t.Errorf("ParseMitigation(%q): name = %q, want %q", tc.in, name, tc.name)
+		}
+		if len(overrides) != len(tc.overrides) {
+			t.Errorf("ParseMitigation(%q): overrides = %v, want %v", tc.in, overrides, tc.overrides)
+			continue
+		}
+		for k, want := range tc.overrides {
+			if got := overrides[k]; got != want {
+				t.Errorf("ParseMitigation(%q): overrides[%q] = %q, want %q", tc.in, k, got, want)
+			}
+		}
+	}
+}

@@ -56,6 +56,14 @@ type Options struct {
 	// Workloads restricts the workload set (nil = all 24 of Table IV).
 	Workloads []string
 
+	// Mitigations restricts the policy grid of the baseline-comparison
+	// experiment to these registered mitigation names (nil = the default
+	// set). Names are resolved through the internal/track registry; an
+	// unknown name fails the experiment with the registry's descriptive
+	// error. Experiments that reproduce a specific paper figure ignore
+	// this and keep their published policy mix.
+	Mitigations []string
+
 	// Cores is the rate-mode width (default 8).
 	Cores int
 

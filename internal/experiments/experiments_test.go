@@ -116,12 +116,33 @@ func TestSlowdownExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestBaselinesExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments are slow")
+	}
+	table, err := quickRunner().Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(baselinePolicies) {
+		t.Fatalf("got %d rows, want one per policy (%d)", len(table.Rows), len(baselinePolicies))
+	}
+	for i, policy := range baselinePolicies {
+		if got := table.Rows[i][0]; !strings.Contains(strings.ToLower(got), policy[:4]) {
+			t.Errorf("row %d policy = %q, want %q", i, got, policy)
+		}
+		if bound := table.Rows[i][5]; bound == "0" {
+			t.Errorf("%s: zero security bound", policy)
+		}
+	}
+}
+
 func TestLookupErrors(t *testing.T) {
 	if _, err := Lookup("bogus"); err == nil {
 		t.Error("bogus id should error")
 	}
-	if len(All()) != 18 {
-		t.Errorf("expected 18 experiments, got %d", len(All()))
+	if len(All()) != 19 {
+		t.Errorf("expected 19 experiments, got %d", len(All()))
 	}
 }
 

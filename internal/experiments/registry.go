@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"table12", "TRR/MINT/MIRZA at the current threshold (4.8K)", (*Runner).Table12},
 		{"table13", "average and worst-case slowdown (Appendix A)", (*Runner).Table13},
 		{"fig1c", "headline summary: mitigations vs MINT, area vs PRAC", (*Runner).Fig1c},
+		{"baselines", "baseline defenses (Graphene, Oracle, Loaded Dice) vs PRAC and MINT", (*Runner).Baselines},
 	}
 }
 

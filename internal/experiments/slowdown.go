@@ -8,59 +8,54 @@ import (
 	"mirza/internal/dram"
 	"mirza/internal/security"
 	"mirza/internal/track"
+	_ "mirza/internal/track/policies" // register every mitigation policy
 )
 
-// mintRFMFactory builds the MINT+RFM baseline tracker (mitigate on RFM).
-func mintRFMFactory(w int, seed uint64) func(sub int, sink track.Sink) track.Mitigator {
-	return func(sub int, sink track.Sink) track.Mitigator {
-		return track.NewMINT(track.MINTConfig{
-			Geometry:      dram.Default(),
-			Mapping:       dram.StridedR2SA,
-			Window:        w,
-			MitigateOnRFM: true,
-			Seed:          seed + uint64(sub)*31,
-		}, sink)
-	}
+// buildPolicy resolves a registered mitigation policy for this run's seed.
+// Table-I provisioning (windows, thresholds, timing, RFM BAT) lives in the
+// policy's registry Descriptor, not here.
+func (x *Exec) buildPolicy(policy string, trhd int, overrides map[string]string) (*track.Built, error) {
+	return track.Build(policy, overrides, track.Config{
+		Geometry: dram.Default(),
+		Mapping:  dram.StridedR2SA,
+		TRHD:     trhd,
+		Seed:     x.r.opts.Seed,
+	})
 }
 
-// pracFactory builds the PRAC+ABO tracker for a target TRHD.
-func pracFactory(trhd int) func(sub int, sink track.Sink) track.Mitigator {
-	return func(sub int, sink track.Sink) track.Mitigator {
-		return track.NewPRAC(track.PRACConfig{
-			Geometry:       dram.Default(),
-			Mapping:        dram.StridedR2SA,
-			AlertThreshold: track.ATHForTRHD(trhd),
-		}, sink)
+// runPolicy measures one registered policy's slowdown for one workload at a
+// target TRHD, resolving construction, timing and RFM cadence through the
+// mitigation registry.
+func (x *Exec) runPolicy(name, policy string, trhd int) (slowdown float64, res *timingResult, err error) {
+	base, err := x.Baseline(name)
+	if err != nil {
+		return 0, nil, err
 	}
+	b, err := x.buildPolicy(policy, trhd, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err = x.runTiming(name, b.Timing(), b.RFMBAT(), b.Factory())
+	if err != nil {
+		return 0, nil, err
+	}
+	return slowdownVs(base, res), res, nil
 }
 
 // runMINTRFM measures the MINT+RFM slowdown and refresh power for one
 // workload at a target TRHD.
 func (x *Exec) runMINTRFM(name string, trhd int) (slowdown, refreshPower float64, err error) {
-	base, err := x.Baseline(name)
+	sd, res, err := x.runPolicy(name, "mint-rfm", trhd)
 	if err != nil {
 		return 0, 0, err
 	}
-	w := security.DefaultMINTModel().WindowForTRHD(trhd)
-	res, err := x.runTiming(name, dram.DDR5(), w, mintRFMFactory(w, x.r.opts.Seed))
-	if err != nil {
-		return 0, 0, err
-	}
-	return slowdownVs(base, res),
-		100 * float64(res.Stats.VictimRows) / float64(res.Stats.DemandRefreshRows), nil
+	return sd, 100 * float64(res.Stats.VictimRows) / float64(res.Stats.DemandRefreshRows), nil
 }
 
 // runPRAC measures the PRAC+ABO slowdown for one workload.
 func (x *Exec) runPRAC(name string, trhd int) (slowdown float64, err error) {
-	base, err := x.Baseline(name)
-	if err != nil {
-		return 0, err
-	}
-	res, err := x.runTiming(name, dram.PRAC(), 0, pracFactory(trhd))
-	if err != nil {
-		return 0, err
-	}
-	return slowdownVs(base, res), nil
+	sd, _, err := x.runPolicy(name, "prac", trhd)
+	return sd, err
 }
 
 // runMIRZA measures the MIRZA slowdown for one workload with a pre-warmed

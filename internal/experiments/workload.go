@@ -448,12 +448,13 @@ func (r *Runner) Fig11b() (*Table, error) {
 		js = append(js, job[float64]{
 			id: "fig11b/" + spec.Name + "/prac",
 			run: func(x *Exec) (float64, error) {
+				b, err := x.buildPolicy("prac", 1000, nil)
+				if err != nil {
+					return 0, err
+				}
 				pracMits := make([]track.Mitigator, g.SubChannels)
 				for j := range pracMits {
-					pracMits[j] = track.NewPRAC(track.PRACConfig{
-						Geometry: g, Mapping: dram.StridedR2SA,
-						AlertThreshold: track.ATHForTRHD(1000),
-					}, track.NopSink{})
+					pracMits[j] = b.Factory()(j, track.NopSink{})
 				}
 				_, measured, mt, err := x.replayRun(spec.Name, pracMits, nil)
 				if err != nil {

@@ -12,6 +12,8 @@ import (
 	"mirza/internal/fault"
 	"mirza/internal/telemetry"
 	"mirza/internal/trace"
+	"mirza/internal/track"
+	_ "mirza/internal/track/policies" // register every mitigation policy
 )
 
 // ExperimentsBackend runs submitted jobs through the hardened
@@ -96,12 +98,25 @@ func (b *ExperimentsBackend) Prepare(req *Request) (*Prepared, error) {
 			opts.Workloads = append(opts.Workloads, name)
 		}
 	}
+	// Resolve mitigation names through the registry so an unknown policy
+	// is refused here (a structured 400) instead of failing inside the
+	// job after burning a queue slot. Canonicalizing the names keeps the
+	// content-addressed key insensitive to the client's casing.
+	var mitigations []string
+	for _, name := range req.Mitigations {
+		d, err := track.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		mitigations = append(mitigations, d.Name)
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
 	}
 	opts.Seed = seed
 	opts.Faults = plan
+	opts.Mitigations = mitigations
 	opts.Audit = req.Audit
 	opts.StallBudget = b.StallBudget
 	opts.Parallelism = b.Parallelism
@@ -122,6 +137,7 @@ func (b *ExperimentsBackend) Prepare(req *Request) (*Prepared, error) {
 		"calibration-ps": strconv.FormatInt(int64(opts.CalibrationWindow), 10),
 		"cores":          strconv.Itoa(opts.Cores),
 		"workloads":      strings.Join(workloads, ","),
+		"mitigations":    strings.Join(mitigations, ","),
 		"audit":          strconv.FormatBool(opts.Audit),
 		"faults":         plan.String(),
 	}

@@ -25,6 +25,8 @@ func TestExperimentsBackendPrepareValidation(t *testing.T) {
 		{"one replay window", Request{Experiment: "fig3", ReplayWindows: 1}, "replay_windows"},
 		{"negative timeout", Request{Experiment: "fig3", TimeoutMS: -3}, "timeout_ms"},
 		{"unknown workload", Request{Experiment: "fig3", Workloads: []string{"quake"}}, "quake"},
+		{"unknown mitigation", Request{Experiment: "baselines", Mitigations: []string{"zilch"}}, "unknown mitigation"},
+		{"valid mitigations", Request{Experiment: "baselines", Mitigations: []string{"PRAC", "graphene"}}, ""},
 		{"valid minimal", Request{Experiment: "fig3"}, ""},
 		{"valid full", Request{Experiment: "fig3", Quick: true, Seed: 9,
 			Workloads: []string{"xz", "mcf"}, MeasureMS: 0.5, ReplayWindows: 2,
@@ -69,6 +71,7 @@ func TestExperimentsBackendKeyIsConfigSensitive(t *testing.T) {
 		{Experiment: "fig3", Seed: 1, Workloads: []string{"xz"}, MeasureMS: 0.5},
 		{Experiment: "fig3", Seed: 1, Workloads: []string{"xz"}, Faults: "seed=3"},
 		{Experiment: "fig3", Seed: 1, Workloads: []string{"xz"}, Audit: true},
+		{Experiment: "fig3", Seed: 1, Workloads: []string{"xz"}, Mitigations: []string{"oracle"}},
 	}
 	for i, v := range variants {
 		req := v
@@ -87,6 +90,20 @@ func TestExperimentsBackendKeyIsConfigSensitive(t *testing.T) {
 	p2, _ := b.Prepare(&timed)
 	if p2.Key != p0.Key {
 		t.Errorf("timeout_ms changed the key: %s vs %s", p2.Key, p0.Key)
+	}
+	// Mitigation names are canonicalized before hashing: casing must not
+	// split the cache.
+	upper := base
+	upper.Mitigations = []string{"ORACLE"}
+	lower := base
+	lower.Mitigations = []string{"oracle"}
+	pu, _ := b.Prepare(&upper)
+	pl, _ := b.Prepare(&lower)
+	if pu.Key != pl.Key {
+		t.Errorf("mitigation casing changed the key: %s vs %s", pu.Key, pl.Key)
+	}
+	if pu.Config["mitigations"] != "oracle" {
+		t.Errorf("mitigations not canonicalized: %q", pu.Config["mitigations"])
 	}
 }
 

@@ -54,6 +54,14 @@ type Request struct {
 	ReplayWindows int      `json:"replay_windows,omitempty"`
 	Workloads     []string `json:"workloads,omitempty"`
 
+	// Mitigations restricts the policy grid of experiments that sweep
+	// mitigation policies (currently "baselines") to these registered
+	// names. Names are validated against the internal/track registry at
+	// admission — an unknown name is a 400, not a burned queue slot —
+	// and canonicalized, so "PRAC" and "prac" key identically.
+	// GET /v1/mitigations lists what is available.
+	Mitigations []string `json:"mitigations,omitempty"`
+
 	// Faults is a fault-injection plan in internal/fault syntax
 	// ("seed=7,alertdrop=0.5"); empty injects nothing.
 	Faults string `json:"faults,omitempty"`

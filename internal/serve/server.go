@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mirza/internal/telemetry"
+	"mirza/internal/track"
 )
 
 // Config tunes a Server. The zero value of every field takes a sane
@@ -262,6 +263,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/mitigations", s.handleMitigations)
+	mux.HandleFunc("GET /mitigations", s.handleMitigations)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("/metrics", telemetry.PrometheusHandler(s.reg.Snapshot))
@@ -815,6 +818,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h.CacheLen = s.cache.Len()
 	h.UptimeSec = time.Since(s.start).Seconds()
 	writeJSON(w, http.StatusOK, h)
+}
+
+// mitigationDoc describes one registered mitigation policy in the
+// GET /v1/mitigations listing.
+type mitigationDoc struct {
+	Name     string            `json:"name"`
+	Doc      string            `json:"doc"`
+	Insecure bool              `json:"insecure,omitempty"`
+	Params   []track.ParamSpec `json:"params,omitempty"`
+}
+
+// handleMitigations lists every mitigation policy the daemon can build,
+// with docs and tunable parameters — the names Request.Mitigations
+// accepts. The set is fixed at process start (registration happens in
+// package init), so the response is stable for the daemon's lifetime.
+func (s *Server) handleMitigations(w http.ResponseWriter, r *http.Request) {
+	ds := track.Descriptors()
+	docs := make([]mitigationDoc, 0, len(ds))
+	for _, d := range ds {
+		docs = append(docs, mitigationDoc{
+			Name:     d.Name,
+			Doc:      d.Doc,
+			Insecure: d.Insecure,
+			Params:   d.ConfigSchema,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"mitigations": docs})
 }
 
 // handleReadyz degrades honestly: not ready while draining or while the

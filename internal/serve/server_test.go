@@ -164,10 +164,10 @@ func TestSubmitWaitRoundTrip(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{}, newFakeBackend())
 	for _, body := range []string{
-		``,                             // empty
-		`{`,                            // malformed
-		`{"experiment":""}`,            // missing id
-		`{"experiment":"invalid-x"}`,   // backend rejects
+		``,                              // empty
+		`{`,                             // malformed
+		`{"experiment":""}`,             // missing id
+		`{"experiment":"invalid-x"}`,    // backend rejects
 		`{"experiment":"a","zzz":true}`, // unknown field
 	} {
 		code, doc, _ := submit(t, ts, body, false)
@@ -591,6 +591,51 @@ func TestUnknownJobIs404(t *testing.T) {
 		if code, _, _ := doJSON(t, http.MethodGet, ts.URL+path, ""); code != http.StatusNotFound {
 			t.Errorf("%s: code %d, want 404", path, code)
 		}
+	}
+}
+
+func TestMitigationsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, newFakeBackend())
+	for _, path := range []string{"/v1/mitigations", "/mitigations"} {
+		code, doc, _ := doJSON(t, http.MethodGet, ts.URL+path, "")
+		if code != http.StatusOK {
+			t.Fatalf("%s: code %d, want 200", path, code)
+		}
+		list, ok := doc["mitigations"].([]any)
+		if !ok || len(list) < 10 {
+			t.Fatalf("%s: expected a list of registered policies, got %v", path, doc["mitigations"])
+		}
+		byName := map[string]map[string]any{}
+		for _, item := range list {
+			m := item.(map[string]any)
+			byName[m["name"].(string)] = m
+		}
+		for _, want := range []string{"mirza", "prac", "graphene", "oracle", "loaded-dice"} {
+			if _, ok := byName[want]; !ok {
+				t.Errorf("%s: policy %q missing from listing", path, want)
+			}
+		}
+		if doc := byName["prac"]["doc"]; doc == nil || doc == "" {
+			t.Errorf("prac has no doc string")
+		}
+		if params, ok := byName["prac"]["params"].([]any); !ok || len(params) == 0 {
+			t.Errorf("prac listing has no params schema")
+		}
+		if byName["trr"]["insecure"] != true {
+			t.Errorf("trr not flagged insecure in listing")
+		}
+	}
+}
+
+func TestSubmitUnknownMitigationIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, &ExperimentsBackend{})
+	code, doc, _ := submit(t, ts, `{"experiment":"baselines","mitigations":["zilch"]}`, false)
+	if code != http.StatusBadRequest {
+		t.Fatalf("code %d, want 400 (doc %v)", code, doc)
+	}
+	msg, _ := doc["error"].(string)
+	if !strings.Contains(msg, "unknown mitigation") || !strings.Contains(msg, "zilch") {
+		t.Errorf("error %q does not name the unknown mitigation", msg)
 	}
 }
 
