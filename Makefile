@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry serve-check audit conformance bench bench-smoke clean
+.PHONY: check vet build test test-race test-telemetry serve-check trace-check audit conformance bench bench-smoke clean
 
 check: vet build test-race test-telemetry
 
@@ -41,6 +41,15 @@ test-telemetry:
 serve-check:
 	$(GO) test -race ./internal/serve/ ./internal/cliflags/
 	./scripts/serve-smoke.sh
+
+# Trace/tenant gate: the trace-ingestion frontend and multi-tenant
+# scenario suites under the race detector, then the scripted golden
+# check — the example traces replayed twice and at different worker
+# counts, plus the tracereplay/intervm experiment tables at -j 1 vs
+# -j 4, must all be byte-identical (see DESIGN.md section 15).
+trace-check:
+	$(GO) test -race -count=1 ./internal/tracefile/ ./internal/tenant/
+	./scripts/trace-check.sh
 
 # Protocol-audit gate: the auditor's unit and property suites (synthetic
 # violations, adversarial traffic, the disabled-tFAW canary), then a quick

@@ -7,6 +7,8 @@
 //	mirza-bench -exp table8
 //	mirza-bench -exp all -measure-ms 1.5 -workloads fotonik3d,lbm,mcf
 //	mirza-bench -exp table8 -faults seed=7,alertdrop=0.5 -timeout 10m
+//	mirza-bench -exp intervm -tenants xz:6+attack=edge:2
+//	mirza-bench -exp tracereplay -trace examples/traces/stream.trace
 //
 // Scale flags trade fidelity for time; with no flags the full 24-workload
 // Table IV set and the default windows are used (see DESIGN.md for the
@@ -87,6 +89,8 @@ func main() {
 	opts.StallBudget = shared.StallBudget
 	opts.Parallelism = shared.Parallelism
 	opts.Audit = shared.Audit
+	opts.Tenants = shared.Tenants
+	opts.TraceFiles = shared.TraceFiles
 	plan := shared.Faults
 	opts.Faults = plan
 	logf := func(format string, args ...any) {
@@ -112,6 +116,8 @@ func main() {
 		"quick":          strconv.FormatBool(*quick),
 		"audit":          strconv.FormatBool(shared.Audit),
 		"j":              strconv.Itoa(shared.Parallelism),
+		"tenants":        shared.Tenants,
+		"trace":          strings.Join(shared.TraceFiles, ","),
 	}
 	buildManifest := func() *telemetry.RunManifest {
 		m := telemetry.NewManifest("mirza-bench", config)

@@ -16,6 +16,16 @@
 //	    'http://127.0.0.1:8080/v1/jobs?wait=1'
 //	curl -s http://127.0.0.1:8080/v1/jobs/j1/result
 //
+// GET /v1/experiments and GET /v1/mitigations enumerate the experiment
+// ids and mitigation policies jobs may name. Jobs can also replay
+// recorded traces by (server-side) reference and run multi-tenant
+// scenarios; both are validated at admission:
+//
+//	curl -s -XPOST -d '{"experiment":"tracereplay","trace":["examples/traces/stream.trace"],"quick":true}' \
+//	    'http://127.0.0.1:8080/v1/jobs?wait=1'
+//	curl -s -XPOST -d '{"experiment":"intervm","tenants":"xz:6+attack=edge:2","quick":true}' \
+//	    'http://127.0.0.1:8080/v1/jobs?wait=1'
+//
 // The daemon sheds load with 429 + Retry-After once its admission queue
 // is full, reports readiness honestly on /readyz, and drains gracefully
 // on SIGTERM/SIGINT: admission stops, queued and in-flight jobs finish

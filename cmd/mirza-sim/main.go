@@ -8,6 +8,8 @@
 //	mirza-sim -workload fotonik3d -mitigation mirza -trhd 1000 -ms 2
 //	mirza-sim -workload mcf -mitigation prac:ath=400 -trhd 500
 //	mirza-sim -workload fotonik3d,lbm,mcf -j 4
+//	mirza-sim -trace dramsim3.trace -mitigation prac
+//	mirza-sim -tenants xz:6+attack=edge:2 -mitigation mirza
 //	mirza-sim -list-workloads
 //	mirza-sim -list-mitigations
 //
@@ -15,6 +17,11 @@
 // internal/track (every policy in internal/track/policies is available);
 // parameters are overridden inline with -mitigation name:key=val,...
 // Run -list-mitigations for names, docs and tunables.
+//
+// Instead of a synthetic workload the simulator can replay recorded
+// traces (-trace, DRAMSim3 "addr cmd cycle" or native NDJSON; see
+// internal/tracefile) or run a multi-tenant inter-VM scenario (-tenants,
+// see internal/tenant). The three input modes are mutually exclusive.
 //
 // With a comma-separated -workload list the simulations run as independent
 // jobs on -j workers; reports are printed in the order the workloads were
@@ -43,7 +50,9 @@ import (
 	"mirza/internal/mem"
 	"mirza/internal/sim"
 	"mirza/internal/telemetry"
+	"mirza/internal/tenant"
 	"mirza/internal/trace"
+	"mirza/internal/tracefile"
 	"mirza/internal/track"
 	_ "mirza/internal/track/policies" // register every mitigation policy
 )
@@ -121,14 +130,20 @@ func main() {
 		reg:    reg,
 	}
 
-	var names []string
-	for _, n := range strings.Split(*workload, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			names = append(names, n)
+	// The three input modes are mutually exclusive: an explicit -workload
+	// next to -trace or -tenants is almost certainly a confused invocation,
+	// so it fails instead of silently ignoring one of them.
+	workloadSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadSet = true
 		}
+	})
+	if len(shared.TraceFiles) > 0 && shared.Tenants != "" {
+		fatal(fmt.Errorf("-trace and -tenants are mutually exclusive"))
 	}
-	if len(names) == 0 {
-		fatal(fmt.Errorf("no workload named"))
+	if workloadSet && (len(shared.TraceFiles) > 0 || shared.Tenants != "") {
+		fatal(fmt.Errorf("-workload cannot be combined with -trace or -tenants"))
 	}
 
 	// Interrupts cancel cooperatively: running simulations stop at their
@@ -137,12 +152,38 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	pool := make([]jobs.Job[string], len(names))
-	for i, name := range names {
-		name := name
-		pool[i] = jobs.Job[string]{
-			ID:  name,
-			Run: func(ctx context.Context) (string, error) { return runOne(ctx, name, cfg) },
+	var pool []jobs.Job[string]
+	switch {
+	case len(shared.TraceFiles) > 0:
+		for _, path := range shared.TraceFiles {
+			path := path
+			pool = append(pool, jobs.Job[string]{
+				ID:  path,
+				Run: func(ctx context.Context) (string, error) { return runTrace(ctx, path, cfg) },
+			})
+		}
+	case shared.Tenants != "":
+		spec := shared.Tenants
+		pool = append(pool, jobs.Job[string]{
+			ID:  spec,
+			Run: func(ctx context.Context) (string, error) { return runTenants(ctx, spec, cfg) },
+		})
+	default:
+		var names []string
+		for _, n := range strings.Split(*workload, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			fatal(fmt.Errorf("no workload named"))
+		}
+		for _, name := range names {
+			name := name
+			pool = append(pool, jobs.Job[string]{
+				ID:  name,
+				Run: func(ctx context.Context) (string, error) { return runOne(ctx, name, cfg) },
+			})
 		}
 	}
 	results := jobs.RunOnCtx(ctx, jobs.NewPool(jobs.Options{
@@ -169,6 +210,8 @@ func main() {
 	if shared.MetricsPath != "" {
 		m := telemetry.NewManifest("mirza-sim", map[string]string{
 			"workload":   *workload,
+			"trace":      strings.Join(shared.TraceFiles, ","),
+			"tenants":    shared.Tenants,
 			"mitigation": *mitigation,
 			"trhd":       strconv.Itoa(*trhd),
 			"ms":         strconv.FormatFloat(*ms, 'g', -1, 64),
@@ -193,7 +236,6 @@ func main() {
 // job-local, so concurrent runOne calls never share state.
 func runOne(ctx context.Context, workload string, rc runConfig) (string, error) {
 	faultLog := fault.NewLog()
-
 	spec, err := trace.Lookup(workload)
 	if err != nil {
 		return "", err
@@ -202,32 +244,108 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 	if err != nil {
 		return "", err
 	}
+	sys, warm, err := simulate(ctx, rc, gens, nil, spec.MLPLimit(), "workload", workload, faultLog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload   : %s (%s)\n", spec.Name, spec.Suite)
+	writeReport(&sb, rc, sys, warm, faultLog)
+	return sb.String(), nil
+}
 
-	timing := rc.built.Timing()
-	bat := rc.built.RFMBAT()
+// runTrace replays one recorded trace file, sharded round-robin over the
+// cores into a single shared address space.
+func runTrace(ctx context.Context, path string, rc runConfig) (string, error) {
+	faultLog := fault.NewLog()
+	tr, err := tracefile.Load(path, tracefile.Options{})
+	if err != nil {
+		return "", err
+	}
+	gens, err := tr.PerCore(8)
+	if err != nil {
+		return "", err
+	}
+	// Every shard indexes the recorded stream's one address space.
+	asids := make([]int, len(gens))
+	sys, warm, err := simulate(ctx, rc, gens, asids, 8, "trace", tr.Name, faultLog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace      : %s (%s, %d ops, sha256 %s)\n",
+		tr.Name, tr.Format, len(tr.Ops), tr.Hash[:16])
+	writeReport(&sb, rc, sys, warm, faultLog)
+	return sb.String(), nil
+}
+
+// runTenants runs a multi-tenant scenario: every VM's cores together on
+// the shared channel, each VM in its own address space. The per-tenant
+// security attribution lives in mirza-bench -exp intervm; this report
+// covers the timing side.
+func runTenants(ctx context.Context, specStr string, rc runConfig) (string, error) {
+	faultLog := fault.NewLog()
+	spec, err := tenant.Parse(specStr)
+	if err != nil {
+		return "", err
+	}
+	gens, asids, err := spec.Generators(rc.seed)
+	if err != nil {
+		return "", err
+	}
+	mshr, err := spec.MLPFor()
+	if err != nil {
+		return "", err
+	}
+	sys, warm, err := simulate(ctx, rc, gens, asids, mshr, "tenants", spec.String(), faultLog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "tenants    : %s (%d cores)\n", spec, spec.TotalCores())
+	ipcs := sys.IPCs()
+	for ti, t := range spec.Tenants {
+		var sum float64
+		n := 0
+		for core, owner := range spec.CoreLayout() {
+			if owner == ti {
+				sum += ipcs[core]
+				n++
+			}
+		}
+		fmt.Fprintf(&sb, "  %-14s %d core(s), avg IPC %.3f\n", t.Name, t.Cores, sum/float64(n))
+	}
+	writeReport(&sb, rc, sys, warm, faultLog)
+	return sb.String(), nil
+}
+
+// simulate builds the system for the given generator/ASID layout (nil
+// asids = one private address space per core), applies rc's fault plan,
+// watchdog and auditor, and runs the warmup plus measurement window.
+func simulate(ctx context.Context, rc runConfig, gens []trace.Generator, asids []int,
+	mshr int, labelKey, labelVal string, faultLog *fault.Log) (*cpu.System, dram.Time, error) {
 	factory := rc.built.Factory()
-
 	if !rc.plan.Empty() {
 		inner := factory
 		factory = func(sub int, sink track.Sink) track.Mitigator {
 			return fault.Wrap(rc.plan, inner(sub, sink), uint64(sub), faultLog)
 		}
 	}
-
 	sys, err := cpu.NewSystem(cpu.SystemConfig{
-		Core: cpu.CoreConfig{MSHR: spec.MLPLimit()},
+		Cores: len(gens),
+		Core:  cpu.CoreConfig{MSHR: mshr},
+		ASIDs: asids,
 		Mem: mem.Config{
-			Timing:       timing,
+			Timing:       rc.built.Timing(),
 			Mapping:      dram.StridedR2SA,
-			RFMBAT:       bat,
+			RFMBAT:       rc.built.RFMBAT(),
 			NewMitigator: factory,
 			Telemetry:    rc.reg,
 		},
 	}, gens)
 	if err != nil {
-		return "", err
+		return nil, 0, err
 	}
-
 	var aud *audit.Auditor
 	if rc.audit {
 		aud = audit.ForChannel(sys.Channel)
@@ -238,45 +356,46 @@ func runOne(ctx context.Context, workload string, rc runConfig) (string, error) 
 	warm := dram.Time(rc.warmMS * float64(dram.Millisecond))
 	horizon := warm + dram.Time(rc.ms*float64(dram.Millisecond))
 	if err := sys.RunCtx(ctx, warm); err != nil {
-		return "", err
+		return nil, 0, err
 	}
 	sys.Snapshot()
 	if err := sys.RunCtx(ctx, horizon); err != nil {
-		return "", err
+		return nil, 0, err
 	}
-	sys.FlushTelemetry(telemetry.L("workload", workload))
+	sys.FlushTelemetry(telemetry.L(labelKey, labelVal))
 	if err := aud.Finish(sys.Channel); err != nil {
-		return "", fmt.Errorf("%s: protocol audit: %w", workload, err)
+		return nil, 0, fmt.Errorf("%s: protocol audit: %w", labelVal, err)
 	}
+	return sys, warm, nil
+}
 
+// writeReport appends the statistics block shared by all three modes.
+func writeReport(sb *strings.Builder, rc runConfig, sys *cpu.System, warm dram.Time, faultLog *fault.Log) {
 	st := sys.MemStats()
 	ipcs := sys.IPCs()
 	var sum float64
 	for _, v := range ipcs {
 		sum += v
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "workload   : %s (%s)\n", spec.Name, spec.Suite)
-	fmt.Fprintf(&sb, "mitigation : %s (TRHD=%d)\n", rc.built.Name(), rc.trhd)
-	fmt.Fprintf(&sb, "window     : %v measured after %v warmup\n", sys.Window(), warm)
-	fmt.Fprintf(&sb, "IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
-	fmt.Fprintf(&sb, "bus util   : %.1f%%\n", sys.BusUtilization())
-	fmt.Fprintf(&sb, "reads      : %d   writes: %d\n", st.Reads, st.Writes)
-	fmt.Fprintf(&sb, "ACTs       : %d (ACT-PKI %.1f)\n", st.ACTs, actPKI(st.ACTs, ipcs, sys.Window()))
-	fmt.Fprintf(&sb, "REFs       : %d   RFMs: %d\n", st.REFs, st.RFMs)
-	fmt.Fprintf(&sb, "ALERTs     : %d (stall %v)\n", st.Alerts, st.AlertStall)
-	fmt.Fprintf(&sb, "mitigations: %d aggressor rows (%d victim refreshes)\n", st.Mitigations, st.VictimRows)
+	fmt.Fprintf(sb, "mitigation : %s (TRHD=%d)\n", rc.built.Name(), rc.trhd)
+	fmt.Fprintf(sb, "window     : %v measured after %v warmup\n", sys.Window(), warm)
+	fmt.Fprintf(sb, "IPC        : avg %.3f per core (%.3f aggregate)\n", sum/float64(len(ipcs)), sum)
+	fmt.Fprintf(sb, "bus util   : %.1f%%\n", sys.BusUtilization())
+	fmt.Fprintf(sb, "reads      : %d   writes: %d\n", st.Reads, st.Writes)
+	fmt.Fprintf(sb, "ACTs       : %d (ACT-PKI %.1f)\n", st.ACTs, actPKI(st.ACTs, ipcs, sys.Window()))
+	fmt.Fprintf(sb, "REFs       : %d   RFMs: %d\n", st.REFs, st.RFMs)
+	fmt.Fprintf(sb, "ALERTs     : %d (stall %v)\n", st.Alerts, st.AlertStall)
+	fmt.Fprintf(sb, "mitigations: %d aggressor rows (%d victim refreshes)\n", st.Mitigations, st.VictimRows)
 	if st.DemandRefreshRows > 0 {
-		fmt.Fprintf(&sb, "refresh pwr: +%.2f%% (victim rows / demand rows)\n",
+		fmt.Fprintf(sb, "refresh pwr: +%.2f%% (victim rows / demand rows)\n",
 			100*float64(st.VictimRows)/float64(st.DemandRefreshRows))
 	}
 	if !rc.plan.Empty() {
-		fmt.Fprintf(&sb, "faults     : %s (plan %s)\n", faultLog.Summary(), rc.plan)
+		fmt.Fprintf(sb, "faults     : %s (plan %s)\n", faultLog.Summary(), rc.plan)
 	}
 	if rc.audit {
-		fmt.Fprintf(&sb, "audit      : clean (0 protocol violations)\n")
+		fmt.Fprintf(sb, "audit      : clean (0 protocol violations)\n")
 	}
-	return sb.String(), nil
 }
 
 func actPKI(acts int64, ipcs []float64, window dram.Time) float64 {

@@ -103,6 +103,10 @@ func NewBankSim(cfg BankSimConfig) *BankSim {
 // Mitigator exposes the defense under test.
 func (s *BankSim) Mitigator() track.Mitigator { return s.mit }
 
+// Disturbance exposes the victim-side bookkeeping so callers can install
+// observers (e.g. per-tenant flip attribution) before running.
+func (s *BankSim) Disturbance() *Disturbance { return s.dist }
+
 // Result returns the accumulated counters.
 func (s *BankSim) Result() BankSimResult {
 	r := s.res

@@ -41,6 +41,12 @@ type Disturbance struct {
 	// counted once per charge/refresh episode.
 	threshold func(row int) int
 	flips     int
+
+	// flipObserver, when set, is called once per flip episode with the
+	// flipped victim's logical row. Multi-tenant studies attribute the
+	// flip here: the row's physical address identifies the tenant whose
+	// data was corrupted.
+	flipObserver func(row int)
 }
 
 // NewDisturbance creates a tracker for one bank.
@@ -51,6 +57,10 @@ func NewDisturbance(g dram.Geometry, mapping dram.R2SAMapping) *Disturbance {
 // SetRowThreshold installs a per-victim-row threshold function used to
 // count online bit flips (see Flips). Pass nil to disable flip counting.
 func (d *Disturbance) SetRowThreshold(fn func(row int) int) { d.threshold = fn }
+
+// SetFlipObserver installs a callback invoked with the victim's logical
+// row on every flip episode counted by Flips. Pass nil to remove it.
+func (d *Disturbance) SetFlipObserver(fn func(row int)) { d.flipObserver = fn }
 
 // OnActivate records an activation of an aggressor row.
 func (d *Disturbance) OnActivate(row int) {
@@ -114,6 +124,9 @@ func (d *Disturbance) update(row int, v *victimState) {
 		if thr > 0 && (double >= thr || single >= 2*thr) {
 			v.flipped = true
 			d.flips++
+			if d.flipObserver != nil {
+				d.flipObserver(row)
+			}
 		}
 	}
 }

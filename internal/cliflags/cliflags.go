@@ -10,11 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"mirza/internal/fault"
+	"mirza/internal/tenant"
 )
 
 // DefaultStallBudget is the watchdog budget both commands default to.
@@ -28,6 +30,8 @@ type Common struct {
 	j       *int
 	metrics *string
 	audit   *bool
+	trace   *string
+	tenants *string
 }
 
 // Register installs the shared flags on fs and returns the handle to
@@ -44,6 +48,10 @@ func Register(fs *flag.FlagSet) *Common {
 			"write a telemetry RunManifest JSON snapshot to this path at exit"),
 		audit: fs.Bool("audit", false,
 			"attach the DDR5 protocol auditor to every simulated channel and fail on violations (see internal/audit)"),
+		trace: fs.String("trace", "",
+			"comma-separated recorded trace files to replay (DRAMSim3 'addr cmd cycle' or NDJSON; see internal/tracefile)"),
+		tenants: fs.String("tenants", "",
+			"multi-tenant scenario spec, '+'-separated name[:cores] with one attack=edge|double entry, e.g. "+tenant.DefaultSpec),
 	}
 }
 
@@ -54,6 +62,14 @@ type Values struct {
 	Parallelism int
 	MetricsPath string
 	Audit       bool
+
+	// TraceFiles are the -trace paths, split and verified to exist at
+	// flag-resolution time so a typo fails before any simulation starts.
+	TraceFiles []string
+
+	// Tenants is the -tenants spec in canonical form (tenant.Parse then
+	// String), or "" when the flag was not given.
+	Tenants string
 }
 
 // ParseMitigation splits a -mitigation value of the form
@@ -143,11 +159,34 @@ func (c *Common) Resolve() (Values, error) {
 	if *c.j < 0 {
 		return Values{}, fmt.Errorf("-j: worker count must be >= 0, got %d", *c.j)
 	}
+	var traces []string
+	for _, p := range strings.Split(*c.trace, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if fi, err := os.Stat(p); err != nil {
+			return Values{}, fmt.Errorf("-trace: %w", err)
+		} else if fi.IsDir() {
+			return Values{}, fmt.Errorf("-trace: %s is a directory, want a trace file", p)
+		}
+		traces = append(traces, p)
+	}
+	tenants := ""
+	if *c.tenants != "" {
+		spec, err := tenant.Parse(*c.tenants)
+		if err != nil {
+			return Values{}, fmt.Errorf("-tenants: %w", err)
+		}
+		tenants = spec.String()
+	}
 	return Values{
 		Faults:      plan,
 		StallBudget: *c.stall,
 		Parallelism: *c.j,
 		MetricsPath: *c.metrics,
 		Audit:       *c.audit,
+		TraceFiles:  traces,
+		Tenants:     tenants,
 	}, nil
 }

@@ -2,6 +2,8 @@ package cliflags
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -134,6 +136,52 @@ func TestBadValues(t *testing.T) {
 	}
 	if _, err := parse(t, "-stall-budget", "-5s"); err == nil || !strings.Contains(err.Error(), "-stall-budget") {
 		t.Errorf("negative -stall-budget: err = %v, want an error naming the flag", err)
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trace")
+	b := filepath.Join(dir, "b.ndjson")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte("0x0 READ 0\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := parse(t, "-trace", a+" , "+b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.TraceFiles) != 2 || v.TraceFiles[0] != a || v.TraceFiles[1] != b {
+		t.Errorf("TraceFiles = %v, want [%s %s]", v.TraceFiles, a, b)
+	}
+	if v, err := parse(t); err != nil || v.TraceFiles != nil {
+		t.Errorf("default TraceFiles = %v (err %v), want none", v.TraceFiles, err)
+	}
+	if _, err := parse(t, "-trace", filepath.Join(dir, "missing.trace")); err == nil ||
+		!strings.Contains(err.Error(), "-trace") {
+		t.Errorf("missing file: err = %v, want an error naming the flag", err)
+	}
+	if _, err := parse(t, "-trace", dir); err == nil ||
+		!strings.Contains(err.Error(), "directory") {
+		t.Errorf("directory: err = %v, want a directory error", err)
+	}
+}
+
+func TestTenantsFlag(t *testing.T) {
+	v, err := parse(t, "-tenants", "attack=edge : 2 + xz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenants != "attack=edge:2+xz:1" {
+		t.Errorf("Tenants = %q, want the canonical spec", v.Tenants)
+	}
+	if v, err := parse(t); err != nil || v.Tenants != "" {
+		t.Errorf("default Tenants = %q (err %v), want empty", v.Tenants, err)
+	}
+	if _, err := parse(t, "-tenants", "no-such-workload:2"); err == nil ||
+		!strings.Contains(err.Error(), "-tenants") {
+		t.Errorf("bad spec: err = %v, want an error naming the flag", err)
 	}
 }
 

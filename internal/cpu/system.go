@@ -18,6 +18,14 @@ type SystemConfig struct {
 	Core  CoreConfig // per-core parameters
 	Mem   mem.Config // channel configuration
 
+	// ASIDs assigns each core an address space for translation. Nil keeps
+	// the historical default — one private space per core (asid = core
+	// index), the rate-mode setup. Multi-tenant runs group cores into
+	// shared spaces (e.g. [0,0,0,1,1]: cores 0-2 are one VM, 3-4 another),
+	// and trace replays put every shard of one recorded stream in one
+	// space. Length must equal Cores; values are bounds-checked.
+	ASIDs []int
+
 	// UseLLC inserts the shared last-level cache between the cores and
 	// the memory controller. The calibrated Table IV workloads model the
 	// post-LLC miss stream directly, so experiments leave this false;
@@ -53,6 +61,21 @@ func NewSystem(cfg SystemConfig, gens []trace.Generator) (*System, error) {
 	if len(gens) != cfg.Cores {
 		return nil, fmt.Errorf("cpu: %d generators for %d cores", len(gens), cfg.Cores)
 	}
+	asids := cfg.ASIDs
+	if asids == nil {
+		asids = make([]int, cfg.Cores)
+		for i := range asids {
+			asids[i] = i
+		}
+	}
+	if len(asids) != cfg.Cores {
+		return nil, fmt.Errorf("cpu: %d ASIDs for %d cores", len(asids), cfg.Cores)
+	}
+	for _, a := range asids {
+		if err := vmap.CheckASID(a); err != nil {
+			return nil, fmt.Errorf("cpu: %w", err)
+		}
+	}
 	cfg.Core.setDefaults()
 
 	k := &sim.Kernel{}
@@ -72,11 +95,11 @@ func NewSystem(cfg SystemConfig, gens []trace.Generator) (*System, error) {
 		}
 	}
 	translate := func(core int, vaddr uint64) uint64 {
-		return s.Mapper.Translate(core, vaddr)
+		return s.Mapper.Translate(asids[core], vaddr)
 	}
 	submit := func(r *mem.Request) { s.Channel.Submit(r) }
 	for i := 0; i < cfg.Cores; i++ {
-		prefault(s.Mapper, i, gens[i])
+		prefault(s.Mapper, asids[i], gens[i])
 		s.Cores = append(s.Cores, NewCore(i, cfg.Core, k, gens[i], translate, submit, s.LLC))
 	}
 	s.posSnapshot = make([]int64, cfg.Cores)

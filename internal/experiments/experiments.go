@@ -67,6 +67,16 @@ type Options struct {
 	// Cores is the rate-mode width (default 8).
 	Cores int
 
+	// Tenants is the multi-tenant scenario spec of the intervm experiment
+	// family (tenant.Parse grammar, e.g. "xz:6+attack=edge:2"). Empty
+	// selects tenant.DefaultSpec.
+	Tenants string
+
+	// TraceFiles are recorded trace files (internal/tracefile formats)
+	// the tracereplay experiment drives through the timing simulator.
+	// Empty renders that experiment as an informational no-op table.
+	TraceFiles []string
+
 	// Faults declares a fault-injection campaign threaded through every
 	// mitigator the experiments build. The zero value injects nothing and
 	// leaves all outputs bit-identical to an unfaulted run.

@@ -141,8 +141,8 @@ func TestLookupErrors(t *testing.T) {
 	if _, err := Lookup("bogus"); err == nil {
 		t.Error("bogus id should error")
 	}
-	if len(All()) != 19 {
-		t.Errorf("expected 19 experiments, got %d", len(All()))
+	if len(All()) != 21 {
+		t.Errorf("expected 21 experiments, got %d", len(All()))
 	}
 }
 

@@ -35,6 +35,8 @@ func All() []Experiment {
 		{"table13", "average and worst-case slowdown (Appendix A)", (*Runner).Table13},
 		{"fig1c", "headline summary: mitigations vs MINT, area vs PRAC", (*Runner).Fig1c},
 		{"baselines", "baseline defenses (Graphene, Oracle, Loaded Dice) vs PRAC and MINT", (*Runner).Baselines},
+		{"intervm", "multi-tenant inter-VM scenario: per-tenant slowdown and attributed flips", (*Runner).InterVM},
+		{"tracereplay", "recorded traces (DRAMSim3/NDJSON) replayed through the timing simulator", (*Runner).TraceReplay},
 	}
 }
 

@@ -35,6 +35,9 @@ type Config struct {
 	// as a row hit rather than a new activation. Default 150ns,
 	// calibrated against the timing simulator's ACT rates.
 	RowOpenWindow dram.Time
+	// ASIDs assigns each core an address space (see cpu.SystemConfig).
+	// Nil defaults to one private space per core.
+	ASIDs []int
 }
 
 func (c *Config) setDefaults() error {
@@ -75,6 +78,7 @@ type Runner struct {
 	gens   []trace.Generator
 	mapper *vmap.Mapper
 	mits   []track.Mitigator
+	asids  []int
 
 	coreInstr []float64 // cumulative instructions per core
 	coreOp    []trace.Op
@@ -103,11 +107,27 @@ func NewRunner(cfg Config, gens []trace.Generator, mits []track.Mitigator) (*Run
 	if len(mits) != cfg.Geometry.SubChannels {
 		return nil, fmt.Errorf("replay: %d mitigators for %d sub-channels", len(mits), cfg.Geometry.SubChannels)
 	}
+	asids := cfg.ASIDs
+	if asids == nil {
+		asids = make([]int, len(gens))
+		for i := range asids {
+			asids[i] = i
+		}
+	}
+	if len(asids) != len(gens) {
+		return nil, fmt.Errorf("replay: %d ASIDs for %d cores", len(asids), len(gens))
+	}
+	for _, a := range asids {
+		if err := vmap.CheckASID(a); err != nil {
+			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
 	r := &Runner{
 		cfg:       cfg,
 		gens:      gens,
 		mapper:    vmap.NewMapper(cfg.Geometry.CapacityBytes()),
 		mits:      mits,
+		asids:     asids,
 		coreInstr: make([]float64, len(gens)),
 		coreOp:    make([]trace.Op, len(gens)),
 		perCore:   cfg.IPS / float64(len(gens)),
@@ -127,7 +147,7 @@ func NewRunner(cfg Config, gens []trace.Generator, mits []track.Mitigator) (*Run
 		// Model the init-phase sequential faulting (see cpu.System).
 		if fp, ok := gens[c].(interface{ FootprintBytes() uint64 }); ok {
 			for off := uint64(0); off < fp.FootprintBytes(); off += vmap.SuperBytes {
-				r.mapper.Translate(c, off)
+				r.mapper.Translate(asids[c], off)
 			}
 		}
 		r.gens[c].Next(&r.coreOp[c])
@@ -172,7 +192,7 @@ func (r *Runner) Run(until dram.Time, obs Observer) {
 		r.now = tc
 
 		op := r.coreOp[c]
-		phys := r.mapper.Translate(c, op.Line*trace.LineBytes)
+		phys := r.mapper.Translate(r.asids[c], op.Line*trace.LineBytes)
 		addr := g.Decompose(phys)
 		st := &r.stats[addr.SubChannel]
 		st.Accesses++

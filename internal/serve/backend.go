@@ -11,7 +11,9 @@ import (
 	"mirza/internal/experiments"
 	"mirza/internal/fault"
 	"mirza/internal/telemetry"
+	"mirza/internal/tenant"
 	"mirza/internal/trace"
+	"mirza/internal/tracefile"
 	"mirza/internal/track"
 	_ "mirza/internal/track/policies" // register every mitigation policy
 )
@@ -110,6 +112,28 @@ func (b *ExperimentsBackend) Prepare(req *Request) (*Prepared, error) {
 		}
 		mitigations = append(mitigations, d.Name)
 	}
+	// Canonicalize the tenant spec so equivalent spellings ("xz:1" and
+	// "xz") are the same computation under the content-addressed key.
+	tenants := ""
+	if req.Tenants != "" {
+		spec, err := tenant.Parse(req.Tenants)
+		if err != nil {
+			return nil, err
+		}
+		tenants = spec.String()
+	}
+	// Trace files travel by reference; admission parses each one (strict)
+	// so a missing or malformed file is refused here, and the cache key
+	// pins the content hash — moving or renaming a file never serves a
+	// stale result, and two paths to identical bytes coalesce.
+	var traceIDs []string
+	for _, path := range req.Trace {
+		tr, err := tracefile.Load(path, tracefile.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		traceIDs = append(traceIDs, tr.Name+":"+tr.Hash)
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = 1
@@ -118,6 +142,8 @@ func (b *ExperimentsBackend) Prepare(req *Request) (*Prepared, error) {
 	opts.Faults = plan
 	opts.Mitigations = mitigations
 	opts.Audit = req.Audit
+	opts.Tenants = tenants
+	opts.TraceFiles = req.Trace
 	opts.StallBudget = b.StallBudget
 	opts.Parallelism = b.Parallelism
 
@@ -138,6 +164,8 @@ func (b *ExperimentsBackend) Prepare(req *Request) (*Prepared, error) {
 		"cores":          strconv.Itoa(opts.Cores),
 		"workloads":      strings.Join(workloads, ","),
 		"mitigations":    strings.Join(mitigations, ","),
+		"tenants":        tenants,
+		"traces":         strings.Join(traceIDs, ","),
 		"audit":          strconv.FormatBool(opts.Audit),
 		"faults":         plan.String(),
 	}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -26,6 +28,10 @@ func TestExperimentsBackendPrepareValidation(t *testing.T) {
 		{"negative timeout", Request{Experiment: "fig3", TimeoutMS: -3}, "timeout_ms"},
 		{"unknown workload", Request{Experiment: "fig3", Workloads: []string{"quake"}}, "quake"},
 		{"unknown mitigation", Request{Experiment: "baselines", Mitigations: []string{"zilch"}}, "unknown mitigation"},
+		{"bad tenants spec", Request{Experiment: "intervm", Tenants: "quake:2"}, "unknown workload"},
+		{"two attackers", Request{Experiment: "intervm", Tenants: "attack=edge+attack=double"}, "more than one attacker"},
+		{"missing trace file", Request{Experiment: "tracereplay", Trace: []string{"/no/such/file.trace"}}, "trace"},
+		{"valid tenants", Request{Experiment: "intervm", Tenants: "xz:2+attack=edge:2"}, ""},
 		{"valid mitigations", Request{Experiment: "baselines", Mitigations: []string{"PRAC", "graphene"}}, ""},
 		{"valid minimal", Request{Experiment: "fig3"}, ""},
 		{"valid full", Request{Experiment: "fig3", Quick: true, Seed: 9,
@@ -104,6 +110,62 @@ func TestExperimentsBackendKeyIsConfigSensitive(t *testing.T) {
 	}
 	if pu.Config["mitigations"] != "oracle" {
 		t.Errorf("mitigations not canonicalized: %q", pu.Config["mitigations"])
+	}
+}
+
+// TestExperimentsBackendTraceAndTenantKeys pins the admission semantics
+// of the two by-reference inputs: the tenant spec is canonicalized before
+// hashing, and a trace job's identity is the trace *content*, so renaming
+// or moving a file never splits (or wrongly serves) the cache.
+func TestExperimentsBackendTraceAndTenantKeys(t *testing.T) {
+	b := &ExperimentsBackend{}
+
+	spelled := Request{Experiment: "intervm", Tenants: "xz + attack=edge : 2"}
+	canonical := Request{Experiment: "intervm", Tenants: "xz:1+attack=edge:2"}
+	ps, err := b.Prepare(&spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, _ := b.Prepare(&canonical)
+	if ps.Key != pc.Key {
+		t.Errorf("equivalent tenant spellings keyed differently: %s vs %s", ps.Key, pc.Key)
+	}
+	if ps.Config["tenants"] != "xz:1+attack=edge:2" {
+		t.Errorf("tenants not canonicalized: %q", ps.Config["tenants"])
+	}
+
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trace")
+	if err := os.WriteFile(a, []byte("0x0 READ 0\n0x1000 READ 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := b.Prepare(&Request{Experiment: "tracereplay", Trace: []string{a}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p0.Config["traces"], "a.trace:") {
+		t.Errorf("trace config %q lacks the content id", p0.Config["traces"])
+	}
+	// Same bytes under the same basename elsewhere: same computation.
+	other := filepath.Join(dir, "sub")
+	if err := os.Mkdir(other, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	copied := filepath.Join(other, "a.trace")
+	if err := os.WriteFile(copied, []byte("0x0 READ 0\n0x1000 READ 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := b.Prepare(&Request{Experiment: "tracereplay", Trace: []string{copied}})
+	if p0.Key != p1.Key {
+		t.Errorf("identical trace content keyed differently: %s vs %s", p0.Key, p1.Key)
+	}
+	// Different content at the same path: different computation.
+	if err := os.WriteFile(a, []byte("0x0 READ 0\n0x2000 WRITE 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := b.Prepare(&Request{Experiment: "tracereplay", Trace: []string{a}})
+	if p2.Key == p0.Key {
+		t.Errorf("changed trace content did not change the key")
 	}
 }
 

@@ -62,6 +62,18 @@ type Request struct {
 	// GET /v1/mitigations lists what is available.
 	Mitigations []string `json:"mitigations,omitempty"`
 
+	// Tenants selects the multi-tenant scenario of the intervm experiment
+	// (internal/tenant spec grammar, e.g. "xz:6+attack=edge:2"). Validated
+	// and canonicalized at admission, so equivalent spellings key
+	// identically.
+	Tenants string `json:"tenants,omitempty"`
+
+	// Trace lists recorded trace files by reference: server-side paths the
+	// tracereplay experiment replays. Every file is parsed at admission —
+	// a missing or malformed file is a 400, not a burned queue slot — and
+	// the job's identity pins the trace content (sha256), not the path.
+	Trace []string `json:"trace,omitempty"`
+
 	// Faults is a fault-injection plan in internal/fault syntax
 	// ("seed=7,alertdrop=0.5"); empty injects nothing.
 	Faults string `json:"faults,omitempty"`

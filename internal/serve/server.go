@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mirza/internal/experiments"
 	"mirza/internal/telemetry"
 	"mirza/internal/track"
 )
@@ -265,6 +266,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
 	mux.HandleFunc("GET /v1/mitigations", s.handleMitigations)
 	mux.HandleFunc("GET /mitigations", s.handleMitigations)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("/metrics", telemetry.PrometheusHandler(s.reg.Snapshot))
@@ -845,6 +848,26 @@ func (s *Server) handleMitigations(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"mitigations": docs})
+}
+
+// experimentDoc describes one experiment in the GET /v1/experiments
+// listing.
+type experimentDoc struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+}
+
+// handleExperiments lists every experiment the daemon can run — the ids
+// Request.Experiment accepts, in the paper's order (the same listing as
+// mirza-bench -list). The registry is compiled in, so the response is
+// stable for the daemon's lifetime.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	all := experiments.All()
+	docs := make([]experimentDoc, 0, len(all))
+	for _, e := range all {
+		docs = append(docs, experimentDoc{ID: e.ID, Description: e.Description})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": docs})
 }
 
 // handleReadyz degrades honestly: not ready while draining or while the

@@ -627,6 +627,33 @@ func TestMitigationsEndpoint(t *testing.T) {
 	}
 }
 
+func TestExperimentsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, newFakeBackend())
+	for _, path := range []string{"/v1/experiments", "/experiments"} {
+		code, doc, _ := doJSON(t, http.MethodGet, ts.URL+path, "")
+		if code != http.StatusOK {
+			t.Fatalf("%s: code %d, want 200", path, code)
+		}
+		list, ok := doc["experiments"].([]any)
+		if !ok || len(list) < 15 {
+			t.Fatalf("%s: expected the experiment registry, got %v", path, doc["experiments"])
+		}
+		byID := map[string]map[string]any{}
+		for _, item := range list {
+			m := item.(map[string]any)
+			byID[m["id"].(string)] = m
+		}
+		for _, want := range []string{"table8", "fig3", "baselines", "intervm", "tracereplay"} {
+			if _, ok := byID[want]; !ok {
+				t.Errorf("%s: experiment %q missing from listing", path, want)
+			}
+		}
+		if desc := byID["intervm"]["description"]; desc == nil || desc == "" {
+			t.Errorf("intervm has no description")
+		}
+	}
+}
+
 func TestSubmitUnknownMitigationIs400(t *testing.T) {
 	_, ts := newTestServer(t, Config{}, &ExperimentsBackend{})
 	code, doc, _ := submit(t, ts, `{"experiment":"baselines","mitigations":["zilch"]}`, false)

@@ -1,0 +1,80 @@
+package tenant
+
+import (
+	"fmt"
+
+	"mirza/internal/trace"
+)
+
+// Hammer generator geometry: the attacker allocates one 512MB superblock
+// (the vmap contiguity unit) and hammers 256KB row-groups inside it. Each
+// group is one DRAM row index across all banks, so alternating groups
+// forces a row conflict — an activation — on every access to a bank.
+const (
+	hammerFootprint = 512 << 20
+	groupLines      = 256 * 1024 / trace.LineBytes // lines per row-group
+	groupsPerSuper  = hammerFootprint / (256 * 1024)
+)
+
+// Hammer is the attacker VM's memory kernel: an endless max-rate stream
+// (Gap 0 — a hammer loop is nothing but misses) rotating over a fixed set
+// of row-groups of the attacker's own virtual superblock. Translation
+// preserves superblock offsets, so virtual group 0 is the physical first
+// row of the attacker's allocation and group 2047 the last: AttackEdge
+// needs no knowledge of the physical layout to sit right next to other
+// tenants' memory.
+type Hammer struct {
+	name   string
+	groups []uint64 // virtual row-group indices under rotation
+	idx    int
+	off    uint64 // line offset within the group, advanced per rotation
+}
+
+var _ trace.Generator = (*Hammer)(nil)
+
+// NewHammer builds the hammer stream for one attacker core. kind is
+// AttackEdge or AttackDouble; core offsets the column phase so threads of
+// the attacker VM do not replay byte-identical streams.
+func NewHammer(kind string, core int) *Hammer {
+	h := &Hammer{
+		name: fmt.Sprintf("attack=%s#%d", kind, core),
+		off:  uint64(core*64) % groupLines,
+	}
+	switch kind {
+	case AttackDouble:
+		// Pairs (k, k+256) share a subarray two physical rows apart
+		// (256 groups = 2 rows of the 128-group stride): double-sided
+		// pressure on the attacker's own interior rows.
+		for k := uint64(0); k < 4; k++ {
+			h.groups = append(h.groups, k, k+256)
+		}
+	default: // AttackEdge
+		// The first and last rows of the allocation: their outer
+		// neighbours belong to whoever owns the adjacent superblocks.
+		for k := uint64(0); k < 4; k++ {
+			h.groups = append(h.groups, k, groupsPerSuper-1-k)
+		}
+	}
+	return h
+}
+
+// Name implements trace.Generator.
+func (h *Hammer) Name() string { return h.name }
+
+// FootprintBytes pins the attacker's allocation to one full superblock.
+func (h *Hammer) FootprintBytes() uint64 { return hammerFootprint }
+
+// Next implements trace.Generator: back-to-back reads rotating over the
+// target groups; the column phase advances each full rotation so the
+// stream touches fresh lines while staying in the same rows.
+func (h *Hammer) Next(op *trace.Op) {
+	g := h.groups[h.idx]
+	op.Gap = 0
+	op.Line = g*groupLines + h.off
+	op.Write = false
+	h.idx++
+	if h.idx == len(h.groups) {
+		h.idx = 0
+		h.off = (h.off + 4) % groupLines
+	}
+}

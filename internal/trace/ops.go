@@ -1,0 +1,59 @@
+package trace
+
+import "fmt"
+
+// Ops replays a fixed operation sequence in an endless loop. It is the
+// bridge between recorded traces (internal/tracefile) and the simulators:
+// anything that can produce a []Op slice becomes a Generator
+// indistinguishable from the synthetic workloads, so the cycle-level
+// system and the fast replayer run it with zero hot-path changes.
+type Ops struct {
+	name     string
+	ops      []Op
+	idx      int
+	maxLine  uint64
+	haveLine bool
+}
+
+var _ Generator = (*Ops)(nil)
+
+// NewOps wraps ops (which must be non-empty) in a looping generator. The
+// slice is retained, not copied; callers must not mutate it afterwards.
+func NewOps(name string, ops []Op) (*Ops, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("trace: %s: empty operation sequence", name)
+	}
+	g := &Ops{name: name, ops: ops}
+	for i := range ops {
+		if !g.haveLine || ops[i].Line > g.maxLine {
+			g.maxLine = ops[i].Line
+			g.haveLine = true
+		}
+	}
+	return g, nil
+}
+
+// Name implements Generator.
+func (g *Ops) Name() string { return g.name }
+
+// Len returns the length of one replay loop.
+func (g *Ops) Len() int { return len(g.ops) }
+
+// FootprintBytes returns the touched virtual range, rounded up to the OS
+// page so the simulators prefault exactly the lines the trace will visit.
+func (g *Ops) FootprintBytes() uint64 {
+	bytes := (g.maxLine + 1) * LineBytes
+	const page = 4096
+	return (bytes + page - 1) / page * page
+}
+
+// Next implements Generator: it replays the sequence, wrapping to the
+// start when exhausted. The wrap is seamless — the first operation's Gap
+// is reused, so the replayed stream is exactly periodic and deterministic.
+func (g *Ops) Next(op *Op) {
+	*op = g.ops[g.idx]
+	g.idx++
+	if g.idx == len(g.ops) {
+		g.idx = 0
+	}
+}

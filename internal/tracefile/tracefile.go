@@ -1,0 +1,444 @@
+// Package tracefile ingests recorded memory traces and turns them into
+// the same trace.Op stream the synthetic generators produce, so external
+// workloads — DRAMSim3-style request traces or this repository's native
+// NDJSON format — drive the cycle-level simulator and the fast replayer
+// with zero changes to either hot path.
+//
+// Two formats are supported, sniffed from the first payload line:
+//
+//   - DRAMSim3: whitespace-separated "address command cycle" per line,
+//     e.g. "0x2A3F4B80 READ 100". Addresses are hex with an 0x prefix or
+//     plain decimal; commands are READ/WRITE (RD/WR accepted); cycles are
+//     non-decreasing memory-clock timestamps whose deltas become Op.Gap.
+//   - NDJSON: one JSON object per line mirroring trace.Op, e.g.
+//     {"gap":12,"line":81502,"write":false}; "addr" (byte address, number
+//     or "0x..." string) may replace "line".
+//
+// Lines that are empty or start with '#' are skipped in both formats.
+//
+// Parsing is strict by default: the first malformed line aborts with a
+// line-numbered error. Lenient mode instead records a bounded list of
+// line-numbered diagnostics, skips the offending lines, and clamps
+// out-of-order cycles. Reading is bounded (line length and operation
+// count) so a malformed or hostile file cannot exhaust memory.
+//
+// Loading is deterministic: the same file yields a byte-identical
+// manifest (see Trace.ManifestJSON), which is what lets run manifests and
+// the serve cache key trace-driven jobs by content.
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mirza/internal/trace"
+)
+
+// Format identifies a trace file format.
+type Format int
+
+const (
+	// FormatAuto sniffs the format from the first payload line.
+	FormatAuto Format = iota
+	// FormatDRAMSim3 is the "address command cycle" text format.
+	FormatDRAMSim3
+	// FormatNDJSON is one trace.Op JSON object per line.
+	FormatNDJSON
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatDRAMSim3:
+		return "dramsim3"
+	case FormatNDJSON:
+		return "ndjson"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxLineBytes = 1 << 20  // longest accepted input line
+	DefaultMaxOps       = 16 << 20 // most operations retained per trace
+	DefaultMaxDiags     = 64       // most diagnostics retained (lenient mode)
+)
+
+// Options configures parsing.
+type Options struct {
+	// Format forces a format; FormatAuto sniffs.
+	Format Format
+	// Lenient skips malformed lines with diagnostics instead of failing
+	// on the first one.
+	Lenient bool
+	// MaxLineBytes bounds a single input line (default 1MB).
+	MaxLineBytes int
+	// MaxOps bounds the number of retained operations (default 16M);
+	// exceeding it is an error in either mode — a truncated trace would
+	// silently change the experiment.
+	MaxOps int
+	// MaxDiags bounds retained diagnostics in lenient mode (default 64);
+	// further skipped lines are still counted in Trace.Skipped.
+	MaxDiags int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxLineBytes == 0 {
+		o.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if o.MaxOps == 0 {
+		o.MaxOps = DefaultMaxOps
+	}
+	if o.MaxDiags == 0 {
+		o.MaxDiags = DefaultMaxDiags
+	}
+}
+
+// Diag is one line-numbered parse diagnostic from lenient mode.
+type Diag struct {
+	Line int    // 1-based line number in the input
+	Msg  string // what was wrong
+}
+
+// String implements fmt.Stringer.
+func (d Diag) String() string { return fmt.Sprintf("line %d: %s", d.Line, d.Msg) }
+
+// Trace is a parsed trace file.
+type Trace struct {
+	Name    string     // base name of the source file (or the Parse name)
+	Format  Format     // detected or forced format
+	Ops     []trace.Op // the operation stream, in file order
+	Diags   []Diag     // lenient-mode diagnostics (bounded by MaxDiags)
+	Skipped int        // total malformed lines skipped (lenient mode)
+	Lines   int        // total payload lines read (excluding blanks/comments)
+	Hash    string     // sha256 over the canonical operation encoding
+}
+
+// Load reads and parses the trace file at path.
+func Load(path string, opts Options) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	defer f.Close()
+	return Parse(filepath.Base(path), f, opts)
+}
+
+// Parse parses a trace from r. name labels errors and the resulting
+// generators.
+func Parse(name string, r io.Reader, opts Options) (*Trace, error) {
+	opts.setDefaults()
+	t := &Trace{Name: name, Format: opts.Format}
+
+	sc := bufio.NewScanner(r)
+	// The scanner's limit is max(cap(buf), MaxLineBytes): size the initial
+	// buffer below the bound so a small bound is actually enforced.
+	initial := 64 * 1024
+	if initial > opts.MaxLineBytes {
+		initial = opts.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
+
+	var (
+		lineNo    int
+		prevCycle uint64
+		haveCycle bool
+	)
+	fail := func(msg string) error {
+		return fmt.Errorf("tracefile: %s: line %d: %s", name, lineNo, msg)
+	}
+	skip := func(msg string) {
+		t.Skipped++
+		if len(t.Diags) < opts.MaxDiags {
+			t.Diags = append(t.Diags, Diag{Line: lineNo, Msg: msg})
+		}
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSuffix(sc.Bytes(), []byte("\r")) // CRLF input
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 || trimmed[0] == '#' {
+			continue
+		}
+		if t.Format == FormatAuto {
+			t.Format = sniff(trimmed)
+		}
+		t.Lines++
+		if len(t.Ops) >= opts.MaxOps {
+			return nil, fail(fmt.Sprintf("trace exceeds the %d-operation bound (raise Options.MaxOps to ingest it whole; truncating silently would change the experiment)", opts.MaxOps))
+		}
+
+		var (
+			op  trace.Op
+			err error
+		)
+		switch t.Format {
+		case FormatDRAMSim3:
+			var cycle uint64
+			op, cycle, err = parseDRAMSim3(trimmed)
+			if err == nil {
+				switch {
+				case !haveCycle:
+					op.Gap = 0
+				case cycle < prevCycle:
+					msg := fmt.Sprintf("cycle %d precedes previous cycle %d", cycle, prevCycle)
+					if !opts.Lenient {
+						return nil, fail(msg)
+					}
+					skip(msg + " (gap clamped to 0)")
+					t.Skipped-- // the line is kept, only its gap is clamped
+					op.Gap = 0
+				default:
+					op.Gap = int64(cycle - prevCycle)
+				}
+				if cycle > prevCycle || !haveCycle {
+					prevCycle = cycle
+				}
+				haveCycle = true
+			}
+		case FormatNDJSON:
+			op, err = parseNDJSON(trimmed, opts.Lenient)
+		}
+		if err != nil {
+			if !opts.Lenient {
+				return nil, fail(err.Error())
+			}
+			skip(err.Error())
+			continue
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		lineNo++
+		if err == bufio.ErrTooLong {
+			return nil, fail(fmt.Sprintf("line exceeds the %d-byte bound", opts.MaxLineBytes))
+		}
+		return nil, fmt.Errorf("tracefile: %s: %w", name, err)
+	}
+	if len(t.Ops) == 0 {
+		return nil, fmt.Errorf("tracefile: %s: no operations (%d payload lines, %d skipped)", name, t.Lines, t.Skipped)
+	}
+	t.Hash = opsHash(t.Ops)
+	return t, nil
+}
+
+// sniff decides the format from the first payload line: NDJSON objects
+// start with '{', anything else is treated as the DRAMSim3 text format.
+func sniff(trimmed []byte) Format {
+	if trimmed[0] == '{' {
+		return FormatNDJSON
+	}
+	return FormatDRAMSim3
+}
+
+// parseDRAMSim3 parses one "address command cycle" line.
+func parseDRAMSim3(line []byte) (trace.Op, uint64, error) {
+	fields := strings.Fields(string(line))
+	if len(fields) != 3 {
+		return trace.Op{}, 0, fmt.Errorf("want 3 fields (address command cycle), got %d", len(fields))
+	}
+	addr, err := parseAddr(fields[0])
+	if err != nil {
+		return trace.Op{}, 0, err
+	}
+	var write bool
+	switch strings.ToUpper(fields[1]) {
+	case "READ", "RD":
+		write = false
+	case "WRITE", "WR":
+		write = true
+	default:
+		return trace.Op{}, 0, fmt.Errorf("unknown command %q (want READ or WRITE)", fields[1])
+	}
+	cycle, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return trace.Op{}, 0, fmt.Errorf("bad cycle %q: not a non-negative integer", fields[2])
+	}
+	return trace.Op{Line: addr / trace.LineBytes, Write: write}, cycle, nil
+}
+
+// parseAddr accepts 0x-prefixed hex or plain decimal byte addresses.
+// Un-prefixed hex is rejected rather than guessed: "123" is ambiguous and
+// a wrong guess silently remaps the whole trace.
+func parseAddr(s string) (uint64, error) {
+	if len(s) > 2 && (s[0:2] == "0x" || s[0:2] == "0X") {
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad hex address %q", s)
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q (want 0x-prefixed hex or decimal)", s)
+	}
+	return v, nil
+}
+
+// ndjsonOp is the native per-line record. Exactly one of Line/Addr must
+// be present (Line may be 0 with Addr absent — the zero value is line 0).
+type ndjsonOp struct {
+	Gap   *int64           `json:"gap"`
+	Line  *uint64          `json:"line"`
+	Addr  *json.RawMessage `json:"addr"`
+	Write bool             `json:"write"`
+}
+
+// parseNDJSON parses one native JSON operation line.
+func parseNDJSON(line []byte, lenient bool) (trace.Op, error) {
+	var rec ndjsonOp
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if !lenient {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(&rec); err != nil {
+		return trace.Op{}, fmt.Errorf("bad JSON: %v", err)
+	}
+	if dec.More() {
+		return trace.Op{}, fmt.Errorf("trailing data after JSON object")
+	}
+	var op trace.Op
+	if rec.Gap != nil {
+		if *rec.Gap < 0 {
+			return trace.Op{}, fmt.Errorf("negative gap %d", *rec.Gap)
+		}
+		op.Gap = *rec.Gap
+	}
+	switch {
+	case rec.Line != nil && rec.Addr != nil:
+		return trace.Op{}, fmt.Errorf(`both "line" and "addr" present`)
+	case rec.Line != nil:
+		op.Line = *rec.Line
+	case rec.Addr != nil:
+		addr, err := parseJSONAddr(*rec.Addr)
+		if err != nil {
+			return trace.Op{}, err
+		}
+		op.Line = addr / trace.LineBytes
+	default:
+		return trace.Op{}, fmt.Errorf(`missing "line" or "addr"`)
+	}
+	op.Write = rec.Write
+	return op, nil
+}
+
+// parseJSONAddr accepts a JSON number or an "0x..."/decimal string.
+func parseJSONAddr(raw json.RawMessage) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return parseAddr(s)
+	}
+	var n uint64
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return 0, fmt.Errorf(`bad "addr" %s (want number or address string)`, raw)
+	}
+	return n, nil
+}
+
+// opsHash is the canonical content hash: sha256 over each op encoded as
+// 17 fixed little-endian bytes (gap, line, write). Two parses agree on
+// the hash iff they produced the same operation stream.
+func opsHash(ops []trace.Op) string {
+	h := sha256.New()
+	var buf [17]byte
+	for i := range ops {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(ops[i].Gap))
+		binary.LittleEndian.PutUint64(buf[8:16], ops[i].Line)
+		buf[16] = 0
+		if ops[i].Write {
+			buf[16] = 1
+		}
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// manifest is the deterministic summary serialized by ManifestJSON.
+// Field order is fixed by the struct; no timestamps, no absolute paths.
+type manifest struct {
+	Name    string `json:"name"`
+	Format  string `json:"format"`
+	Ops     int    `json:"ops"`
+	Lines   int    `json:"lines"`
+	Skipped int    `json:"skipped"`
+	Hash    string `json:"hash"`
+}
+
+// ManifestJSON returns the trace's canonical manifest: same file (and
+// options) in, byte-identical manifest out. It carries the content hash
+// that run manifests and the serve cache embed for trace-driven jobs.
+func (t *Trace) ManifestJSON() []byte {
+	b, err := json.Marshal(manifest{
+		Name:    t.Name,
+		Format:  t.Format.String(),
+		Ops:     len(t.Ops),
+		Lines:   t.Lines,
+		Skipped: t.Skipped,
+		Hash:    t.Hash,
+	})
+	if err != nil { // a fixed struct of scalars cannot fail to marshal
+		panic(err)
+	}
+	return b
+}
+
+// Generator returns a looping generator replaying the whole trace.
+func (t *Trace) Generator() *trace.Ops {
+	g, err := trace.NewOps("trace:"+t.Name, t.Ops)
+	if err != nil { // Parse never returns an empty Trace
+		panic(err)
+	}
+	return g
+}
+
+// PerCore shards the trace across cores round-robin by operation,
+// accumulating the gaps of operations dealt to other cores so each
+// shard's timeline matches its share of the original stream. All shards
+// index one shared address space: run them with a common ASID.
+func (t *Trace) PerCore(cores int) ([]trace.Generator, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("tracefile: %s: need cores > 0, got %d", t.Name, cores)
+	}
+	if cores == 1 {
+		return []trace.Generator{t.Generator()}, nil
+	}
+	shards := make([][]trace.Op, cores)
+	carry := make([]int64, cores)
+	for i, op := range t.Ops {
+		c := i % cores
+		for k := range carry {
+			carry[k] += op.Gap
+		}
+		op.Gap = carry[c]
+		carry[c] = 0
+		shards[c] = append(shards[c], op)
+	}
+	gens := make([]trace.Generator, cores)
+	for c := range shards {
+		if len(shards[c]) == 0 {
+			// Fewer ops than cores: idle shards replay the full trace's
+			// quietest possible stand-in — the first op with the whole
+			// loop's gap — to keep core counts uniform.
+			shards[c] = []trace.Op{t.Ops[0]}
+		}
+		g, err := trace.NewOps(fmt.Sprintf("trace:%s#%d", t.Name, c), shards[c])
+		if err != nil {
+			return nil, err
+		}
+		gens[c] = g
+	}
+	return gens, nil
+}

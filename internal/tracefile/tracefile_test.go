@@ -1,0 +1,354 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mirza/internal/trace"
+)
+
+// TestParseCorners is the table-driven corner-case sweep: CRLF endings,
+// hex vs decimal addresses, malformed and truncated lines, out-of-order
+// cycles, empty files — each in strict and (where behaviour differs)
+// lenient mode.
+func TestParseCorners(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		opts    Options
+		wantErr string     // non-empty: Parse must fail containing this
+		wantOps []trace.Op // nil: don't check ops
+		format  Format
+		skipped int
+		diags   int
+	}{
+		{
+			name:    "dramsim3 basic hex",
+			in:      "0x2A3F4B80 READ 100\n0x2A3F4BC0 WRITE 110\n",
+			wantOps: []trace.Op{{Gap: 0, Line: 0x2A3F4B80 / 64}, {Gap: 10, Line: 0x2A3F4BC0 / 64, Write: true}},
+			format:  FormatDRAMSim3,
+		},
+		{
+			name:    "dramsim3 decimal address",
+			in:      "4096 READ 5\n8192 rd 9\n",
+			wantOps: []trace.Op{{Line: 64}, {Gap: 4, Line: 128}},
+			format:  FormatDRAMSim3,
+		},
+		{
+			name:    "crlf line endings",
+			in:      "0x40 READ 1\r\n0x80 WRITE 2\r\n",
+			wantOps: []trace.Op{{Line: 1}, {Gap: 1, Line: 2, Write: true}},
+			format:  FormatDRAMSim3,
+		},
+		{
+			name:    "comments and blanks skipped",
+			in:      "# header\n\n  \n0x40 READ 1\n# trailing\n",
+			wantOps: []trace.Op{{Line: 1}},
+			format:  FormatDRAMSim3,
+		},
+		{
+			name:    "unprefixed hex rejected",
+			in:      "DEADBEEF READ 1\n",
+			wantErr: "line 1",
+		},
+		{
+			name:    "truncated line strict",
+			in:      "0x40 READ 1\n0x80 WRITE\n",
+			wantErr: "line 2: want 3 fields",
+		},
+		{
+			name:    "truncated line lenient",
+			in:      "0x40 READ 1\n0x80 WRITE\n0xC0 READ 7\n",
+			opts:    Options{Lenient: true},
+			wantOps: []trace.Op{{Line: 1}, {Gap: 6, Line: 3}},
+			skipped: 1,
+			diags:   1,
+		},
+		{
+			name:    "unknown command",
+			in:      "0x40 FLUSH 1\n",
+			wantErr: `unknown command "FLUSH"`,
+		},
+		{
+			name:    "bad cycle",
+			in:      "0x40 READ -3\n",
+			wantErr: "bad cycle",
+		},
+		{
+			name:    "out-of-order cycles strict",
+			in:      "0x40 READ 100\n0x80 READ 90\n",
+			wantErr: "line 2: cycle 90 precedes previous cycle 100",
+		},
+		{
+			name:    "out-of-order cycles lenient clamps",
+			in:      "0x40 READ 100\n0x80 READ 90\n0xC0 READ 105\n",
+			opts:    Options{Lenient: true},
+			wantOps: []trace.Op{{Line: 1}, {Gap: 0, Line: 2}, {Gap: 5, Line: 3}},
+			skipped: 0, // line kept, only its gap clamped
+			diags:   1,
+		},
+		{
+			name:    "empty file",
+			in:      "",
+			wantErr: "no operations",
+		},
+		{
+			name:    "comments only",
+			in:      "# nothing\n# here\n",
+			wantErr: "no operations",
+		},
+		{
+			name:    "all lines malformed lenient",
+			in:      "junk\nmore junk here too much\n",
+			opts:    Options{Lenient: true},
+			wantErr: "no operations",
+		},
+		{
+			name:    "ndjson basic",
+			in:      `{"gap":5,"line":42,"write":true}` + "\n" + `{"line":43}` + "\n",
+			wantOps: []trace.Op{{Gap: 5, Line: 42, Write: true}, {Line: 43}},
+			format:  FormatNDJSON,
+		},
+		{
+			name:    "ndjson addr string and number",
+			in:      `{"addr":"0x1000"}` + "\n" + `{"addr":128}` + "\n",
+			wantOps: []trace.Op{{Line: 64}, {Line: 2}},
+			format:  FormatNDJSON,
+		},
+		{
+			name:    "ndjson line and addr conflict",
+			in:      `{"line":1,"addr":64}` + "\n",
+			wantErr: `both "line" and "addr"`,
+		},
+		{
+			name:    "ndjson missing address",
+			in:      `{"gap":3}` + "\n",
+			wantErr: `missing "line" or "addr"`,
+		},
+		{
+			name:    "ndjson negative gap",
+			in:      `{"gap":-1,"line":0}` + "\n",
+			wantErr: "negative gap",
+		},
+		{
+			name:    "ndjson unknown field strict",
+			in:      `{"line":1,"bogus":true}` + "\n",
+			wantErr: "line 1",
+		},
+		{
+			name:    "ndjson unknown field lenient ignored",
+			in:      `{"line":1,"bogus":true}` + "\n",
+			opts:    Options{Lenient: true},
+			wantOps: []trace.Op{{Line: 1}},
+			format:  FormatNDJSON,
+		},
+		{
+			name:    "ndjson truncated object lenient",
+			in:      `{"line":1}` + "\n" + `{"line":` + "\n" + `{"line":3}` + "\n",
+			opts:    Options{Lenient: true},
+			wantOps: []trace.Op{{Line: 1}, {Line: 3}},
+			skipped: 1,
+			diags:   1,
+		},
+		{
+			name:    "forced format overrides sniff",
+			in:      "0x40 READ 1\n",
+			opts:    Options{Format: FormatDRAMSim3},
+			wantOps: []trace.Op{{Line: 1}},
+			format:  FormatDRAMSim3,
+		},
+		{
+			name:    "max ops bound",
+			in:      "0x40 READ 1\n0x80 READ 2\n0xC0 READ 3\n",
+			opts:    Options{MaxOps: 2},
+			wantErr: "2-operation bound",
+		},
+		{
+			name:    "overlong line",
+			in:      "0x40 READ 1\n0x" + strings.Repeat("A", 300) + " READ 2\n",
+			opts:    Options{MaxLineBytes: 128},
+			wantErr: "128-byte bound",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := Parse(tc.name, strings.NewReader(tc.in), tc.opts)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got ops=%v", tc.wantErr, tr.Ops)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if tc.format != FormatAuto && tr.Format != tc.format {
+				t.Errorf("format = %v want %v", tr.Format, tc.format)
+			}
+			if tr.Skipped != tc.skipped {
+				t.Errorf("skipped = %d want %d", tr.Skipped, tc.skipped)
+			}
+			if len(tr.Diags) != tc.diags {
+				t.Errorf("diags = %v want %d entries", tr.Diags, tc.diags)
+			}
+			if tc.wantOps != nil {
+				if len(tr.Ops) != len(tc.wantOps) {
+					t.Fatalf("ops = %v want %v", tr.Ops, tc.wantOps)
+				}
+				for i := range tc.wantOps {
+					if tr.Ops[i] != tc.wantOps[i] {
+						t.Errorf("op[%d] = %+v want %+v", i, tr.Ops[i], tc.wantOps[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDiagLineNumbers checks diagnostics carry 1-based input line numbers
+// counting blanks and comments.
+func TestDiagLineNumbers(t *testing.T) {
+	in := "# header\n0x40 READ 1\nbroken\n\n0x80 also broken here\n0xC0 READ 9\n"
+	tr, err := Parse("diag", strings.NewReader(in), Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Diags) != 2 || tr.Diags[0].Line != 3 || tr.Diags[1].Line != 5 {
+		t.Fatalf("diags = %v want lines 3 and 5", tr.Diags)
+	}
+	if got := tr.Diags[0].String(); !strings.HasPrefix(got, "line 3: ") {
+		t.Errorf("Diag.String() = %q", got)
+	}
+	if tr.Skipped != 2 || len(tr.Ops) != 2 {
+		t.Errorf("skipped=%d ops=%d want 2 and 2", tr.Skipped, len(tr.Ops))
+	}
+}
+
+// TestMaxDiagsBound checks the diagnostic list is bounded while the skip
+// counter keeps counting.
+func TestMaxDiagsBound(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("0x40 READ 1\n")
+	for i := 0; i < 10; i++ {
+		sb.WriteString("junk\n")
+	}
+	tr, err := Parse("bound", strings.NewReader(sb.String()), Options{Lenient: true, MaxDiags: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Diags) != 3 || tr.Skipped != 10 {
+		t.Fatalf("diags=%d skipped=%d want 3 and 10", len(tr.Diags), tr.Skipped)
+	}
+}
+
+// TestManifestDeterminism is the acceptance property: parsing the same
+// bytes twice yields byte-identical manifests, and any content change
+// changes the hash.
+func TestManifestDeterminism(t *testing.T) {
+	in := "0x2A3F4B80 READ 100\n0x2A3F4BC0 WRITE 110\n0x11112000 READ 250\n"
+	a, err := Parse("same.trace", strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("same.trace", strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := a.ManifestJSON(), b.ManifestJSON()
+	if !bytes.Equal(ma, mb) {
+		t.Fatalf("manifests differ:\n%s\n%s", ma, mb)
+	}
+	c, err := Parse("same.trace", strings.NewReader(in+"0x11112040 READ 260\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == a.Hash {
+		t.Fatalf("hash unchanged after content change")
+	}
+	for _, want := range []string{`"name":"same.trace"`, `"format":"dramsim3"`, `"ops":3`, `"hash":"` + a.Hash + `"`} {
+		if !strings.Contains(string(ma), want) {
+			t.Errorf("manifest %s missing %s", ma, want)
+		}
+	}
+}
+
+// TestGeneratorLoop checks the looping generator replays the exact
+// sequence periodically and reports the right footprint.
+func TestGeneratorLoop(t *testing.T) {
+	tr, err := Parse("loop", strings.NewReader("0x40 READ 1\n0x1000 WRITE 5\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Generator()
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if want := uint64(4096 + 4096 - 64 + 64); g.FootprintBytes()%4096 != 0 || g.FootprintBytes() < 0x1000+64 {
+		t.Fatalf("FootprintBytes = %d (not page-rounded past the last line, want >= %d)", g.FootprintBytes(), want)
+	}
+	var op trace.Op
+	for round := 0; round < 3; round++ {
+		g.Next(&op)
+		if op.Line != 1 || op.Write {
+			t.Fatalf("round %d op0 = %+v", round, op)
+		}
+		g.Next(&op)
+		if op.Line != 0x1000/64 || !op.Write || op.Gap != 4 {
+			t.Fatalf("round %d op1 = %+v", round, op)
+		}
+	}
+}
+
+// TestPerCoreSharding checks round-robin sharding preserves each shard's
+// share of the timeline (gaps of other cores' ops are accumulated) and
+// stays deterministic.
+func TestPerCoreSharding(t *testing.T) {
+	in := "0x40 READ 0\n0x80 READ 10\n0xC0 READ 15\n0x100 READ 35\n"
+	tr, err := Parse("shard", strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := tr.PerCore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op trace.Op
+	// Core 0 gets ops 0 and 2: gaps 0 and 10+5.
+	gens[0].Next(&op)
+	if op.Line != 1 || op.Gap != 0 {
+		t.Fatalf("core0 op0 = %+v", op)
+	}
+	gens[0].Next(&op)
+	if op.Line != 3 || op.Gap != 15 {
+		t.Fatalf("core0 op1 = %+v", op)
+	}
+	// Core 1 gets ops 1 and 3: gaps 0+10 and 5+20.
+	gens[1].Next(&op)
+	if op.Line != 2 || op.Gap != 10 {
+		t.Fatalf("core1 op0 = %+v", op)
+	}
+	gens[1].Next(&op)
+	if op.Line != 4 || op.Gap != 25 {
+		t.Fatalf("core1 op1 = %+v", op)
+	}
+
+	// More cores than ops: every shard still yields a generator.
+	gens, err = tr.PerCore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 8 {
+		t.Fatalf("PerCore(8) = %d generators", len(gens))
+	}
+	for _, g := range gens {
+		g.Next(&op) // must not panic
+	}
+	if _, err := tr.PerCore(0); err == nil {
+		t.Fatal("PerCore(0): want error")
+	}
+}

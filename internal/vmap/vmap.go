@@ -17,7 +17,10 @@
 //     space, a deterministic stand-in for that steady state.
 package vmap
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PageBytes is the base OS page size.
 const PageBytes = 4096
@@ -31,14 +34,29 @@ const PageBytes = 4096
 // long-running system's occupancy.
 const SuperBytes = 512 << 20
 
+// Key layout: lookups are keyed asid<<asidShift | vsuper, so an address
+// space may span at most 1<<asidShift superblocks (512 TB of virtual
+// footprint) and at most MaxASID+1 address spaces are representable.
+// Both limits are validated — see CheckASID and Translate — because a
+// silent wrap of either field would alias two different address spaces
+// onto one mapping, which for a RowHammer study silently merges tenants.
+const (
+	asidShift = 40
+	vsuperMax = uint64(1)<<asidShift - 1
+
+	// MaxASID is the largest valid address-space identifier.
+	MaxASID = int(uint64(1)<<(64-asidShift) - 1)
+)
+
 // Mapper assigns physical superblocks to (address-space, virtual
 // superblock) pairs on first touch.
 type Mapper struct {
 	totalSuper uint64
 	stride     uint64
 	next       uint64
-	blocks     map[uint64]uint64 // asid<<40 | vsuper -> physical superblock
+	blocks     map[uint64]uint64 // asid<<asidShift | vsuper -> physical superblock
 	used       map[uint64]bool
+	owners     map[uint64]int // physical superblock -> owning asid
 }
 
 // NewMapper creates a mapper over a physical memory of capacityBytes.
@@ -59,7 +77,19 @@ func NewMapper(capacityBytes uint64) *Mapper {
 		stride:     stride,
 		blocks:     make(map[uint64]uint64),
 		used:       make(map[uint64]bool),
+		owners:     make(map[uint64]int),
 	}
+}
+
+// CheckASID reports whether asid can be keyed without colliding with
+// another address space. Callers that accept ASIDs from configuration
+// should validate them here, at setup time, so the per-access Translate
+// path stays check-free aside from its own last-resort panic.
+func CheckASID(asid int) error {
+	if asid < 0 || asid > MaxASID {
+		return fmt.Errorf("vmap: asid %d out of range [0, %d]: the mapping key packs the asid above %d bits of virtual superblock index, so a wider asid would alias another address space", asid, MaxASID, asidShift)
+	}
+	return nil
 }
 
 func gcd(a, b uint64) uint64 {
@@ -71,10 +101,29 @@ func gcd(a, b uint64) uint64 {
 
 // Translate returns the physical address for vaddr in address space asid,
 // allocating a superblock on first touch. Offsets within the superblock
-// are preserved.
+// are preserved. Out-of-range inputs panic with the TranslateChecked
+// error; validate ASIDs with CheckASID before entering the access path.
 func (m *Mapper) Translate(asid int, vaddr uint64) uint64 {
+	phys, err := m.TranslateChecked(asid, vaddr)
+	if err != nil {
+		panic(err)
+	}
+	return phys
+}
+
+// TranslateChecked is Translate with the key-packing bounds enforced as a
+// descriptive error instead of a silent collision: an asid wider than the
+// key's asid field or a virtual footprint past the vsuper field would
+// alias a different address space's mappings.
+func (m *Mapper) TranslateChecked(asid int, vaddr uint64) (uint64, error) {
+	if err := CheckASID(asid); err != nil {
+		return 0, err
+	}
 	vsuper := vaddr / SuperBytes
-	key := uint64(asid)<<40 | (vsuper & (1<<40 - 1))
+	if vsuper > vsuperMax {
+		return 0, fmt.Errorf("vmap: asid %d vaddr %#x exceeds the %d-bit virtual superblock field (max superblock index %d)", asid, vaddr, asidShift, vsuperMax)
+	}
+	key := uint64(asid)<<asidShift | vsuper
 	block, ok := m.blocks[key]
 	if !ok {
 		block = (m.next * m.stride) % m.totalSuper
@@ -86,8 +135,30 @@ func (m *Mapper) Translate(asid int, vaddr uint64) uint64 {
 		}
 		m.used[block] = true
 		m.blocks[key] = block
+		m.owners[block] = asid
 	}
-	return block*SuperBytes + vaddr%SuperBytes
+	return block*SuperBytes + vaddr%SuperBytes, nil
+}
+
+// OwnerOf returns the asid owning the superblock containing physical
+// address phys, or ok=false if that superblock is unallocated. This is
+// the attribution primitive for multi-tenant studies: a disturbed row is
+// charged to whichever tenant's data lives there.
+func (m *Mapper) OwnerOf(phys uint64) (asid int, ok bool) {
+	asid, ok = m.owners[phys/SuperBytes]
+	return asid, ok
+}
+
+// BlocksOf returns the physical superblock indices owned by asid, sorted.
+func (m *Mapper) BlocksOf(asid int) []uint64 {
+	var out []uint64
+	for block, owner := range m.owners {
+		if owner == asid {
+			out = append(out, block)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Mapped returns the number of 4KB pages currently mapped (superblocks are

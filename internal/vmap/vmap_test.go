@@ -95,3 +95,80 @@ func TestOffsetsWithinPage(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestASIDBounds is the regression test for the key-packing collision:
+// before bounds validation, asid = 1<<24 silently keyed identically to
+// asid = 0 (the shifted bits fell off the top of the uint64), merging two
+// address spaces into one mapping.
+func TestASIDBounds(t *testing.T) {
+	m := NewMapper(8 << 30)
+
+	if err := CheckASID(0); err != nil {
+		t.Fatalf("CheckASID(0): %v", err)
+	}
+	if err := CheckASID(MaxASID); err != nil {
+		t.Fatalf("CheckASID(MaxASID): %v", err)
+	}
+	for _, asid := range []int{-1, MaxASID + 1, MaxASID * 2} {
+		if err := CheckASID(asid); err == nil {
+			t.Errorf("CheckASID(%d): want error, got nil", asid)
+		}
+		if _, err := m.TranslateChecked(asid, 0); err == nil {
+			t.Errorf("TranslateChecked(%d, 0): want error, got nil", asid)
+		}
+	}
+
+	// The collision itself: the overflowing asid must NOT share asid 0's
+	// physical placement (it must be rejected, not aliased).
+	p0 := m.Translate(0, 0x1234)
+	if p1, err := m.TranslateChecked(MaxASID+1, 0x1234); err == nil && p1 == p0 {
+		t.Fatalf("asid %d aliased asid 0 at phys %#x", MaxASID+1, p0)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Translate with out-of-range asid did not panic")
+		}
+	}()
+	m.Translate(MaxASID+1, 0)
+}
+
+// TestOwnership checks the per-superblock owner attribution used by the
+// multi-tenant experiments.
+func TestOwnership(t *testing.T) {
+	m := NewMapper(8 << 30)
+
+	pa := m.Translate(1, 0)
+	pb := m.Translate(2, 0)
+	pc := m.Translate(2, SuperBytes) // second block of asid 2
+
+	if asid, ok := m.OwnerOf(pa); !ok || asid != 1 {
+		t.Errorf("OwnerOf(%#x) = %d,%v want 1,true", pa, asid, ok)
+	}
+	if asid, ok := m.OwnerOf(pb + 123); !ok || asid != 2 {
+		t.Errorf("OwnerOf(%#x) = %d,%v want 2,true", pb+123, asid, ok)
+	}
+	if len(m.BlocksOf(1)) != 1 || len(m.BlocksOf(2)) != 2 {
+		t.Errorf("BlocksOf: got %d,%d blocks want 1,2", len(m.BlocksOf(1)), len(m.BlocksOf(2)))
+	}
+	blocks := m.BlocksOf(2)
+	if want := []uint64{pb / SuperBytes, pc / SuperBytes}; blocks[0] == blocks[1] ||
+		(blocks[0] != want[0] && blocks[0] != want[1]) {
+		t.Errorf("BlocksOf(2) = %v inconsistent with translations %v", blocks, want)
+	}
+
+	// Repeated touches do not reassign ownership.
+	m.Translate(1, 100)
+	if asid, _ := m.OwnerOf(pa); asid != 1 {
+		t.Errorf("ownership changed on repeat touch: %d", asid)
+	}
+	// Untouched physical space has no owner.
+	for block := uint64(0); block < m.totalSuper; block++ {
+		if _, used := m.used[block]; !used {
+			if _, ok := m.OwnerOf(block * SuperBytes); ok {
+				t.Fatalf("free block %d has an owner", block)
+			}
+			break
+		}
+	}
+}

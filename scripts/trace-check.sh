@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# trace-check.sh — golden determinism check for the trace-ingestion
+# frontend and the multi-tenant scenario layer.
+#
+# Replays the checked-in example traces (DRAMSim3 and native NDJSON)
+# through mirza-sim twice and at -j 1 vs -j 8, and renders the
+# tracereplay and intervm experiment tables at -j 1 vs -j 4: every pair
+# must be byte-identical — the same recorded file is the same experiment,
+# regardless of worker count. Run by `make trace-check` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "trace-check: FAIL: $*" >&2
+    exit 1
+}
+
+traces="examples/traces/stream.trace,examples/traces/pointer-chase.ndjson"
+bin="$workdir/mirza-sim"
+
+echo "trace-check: building mirza-sim"
+go build -o "$bin" ./cmd/mirza-sim
+
+echo "trace-check: replay determinism ($traces)"
+"$bin" -trace "$traces" -mitigation prac -ms 0.2 -warmup-ms 0.1 -j 1 >"$workdir/sim1.txt"
+"$bin" -trace "$traces" -mitigation prac -ms 0.2 -warmup-ms 0.1 -j 1 >"$workdir/sim2.txt"
+"$bin" -trace "$traces" -mitigation prac -ms 0.2 -warmup-ms 0.1 -j 8 >"$workdir/sim3.txt"
+cmp -s "$workdir/sim1.txt" "$workdir/sim2.txt" \
+    || fail "the same trace files replayed twice did not produce byte-identical reports"
+cmp -s "$workdir/sim1.txt" "$workdir/sim3.txt" \
+    || fail "-j 8 replay diverged from -j 1"
+grep -q "sha256" "$workdir/sim1.txt" || fail "replay report does not pin the trace content hash"
+
+# The "(id took Xs ...)" timing line is wall clock, not part of the
+# determinism contract; everything else of the bench output is.
+bench() {
+    go run ./cmd/mirza-bench -quick -exp "$1" "${@:3}" -j "$2" | grep -v '^('
+}
+
+echo "trace-check: tracereplay experiment table, -j 1 vs -j 4"
+bench tracereplay 1 -trace "$traces" >"$workdir/rep1.txt"
+bench tracereplay 4 -trace "$traces" >"$workdir/rep2.txt"
+cmp -s "$workdir/rep1.txt" "$workdir/rep2.txt" \
+    || fail "tracereplay table diverged between -j 1 and -j 4"
+
+echo "trace-check: intervm experiment table, -j 1 vs -j 4"
+bench intervm 1 >"$workdir/ivm1.txt"
+bench intervm 4 >"$workdir/ivm2.txt"
+cmp -s "$workdir/ivm1.txt" "$workdir/ivm2.txt" \
+    || fail "intervm table diverged between -j 1 and -j 4"
+grep -q "xVM flips" "$workdir/ivm1.txt" || fail "intervm table lacks the attribution columns"
+
+echo "trace-check: OK (replays and tables byte-identical across reruns and worker counts)"
