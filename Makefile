@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry serve-check trace-check audit conformance bench bench-smoke clean
+.PHONY: check vet build test test-race test-telemetry serve-check trace-check audit conformance bench bench-smoke bench-mem clean
 
 check: vet build test-race test-telemetry
 
@@ -81,6 +81,16 @@ bench:
 bench-smoke:
 	$(GO) test -short -run=TestScheduleEventAllocFree -bench=BenchmarkKernel -benchmem ./internal/sim/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_kernel.json
+
+# Memory command-path benchmarks with the same gates as bench-smoke: the
+# redesigned SubChannel path must stay allocation-free in steady state and
+# >= 1.5x over the preserved pre-redesign baseline on every pairing, both
+# for the full fig3 system (BenchmarkFig3) and for recorded fig3 request
+# streams replayed straight into the channel (BenchmarkFig3MemPath).
+# Results land in BENCH_mem.json (checked in; CI uploads each run's copy).
+bench-mem:
+	$(GO) test -run=TestFig3SteadyStateAllocFree -bench=BenchmarkFig3 -benchmem ./internal/mem/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_mem.json
 
 clean:
 	$(GO) clean ./...

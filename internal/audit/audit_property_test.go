@@ -173,8 +173,8 @@ func TestAuditCleanUnderAdversarialTraffic(t *testing.T) {
 // the mem debug hook and proves the auditor reports it: a Violation naming
 // the constraint, the bank, and both offending ACT timestamps.
 func TestAuditorCatchesDisabledFAW(t *testing.T) {
-	mem.SetDebugSkipFAW(true)
-	defer mem.SetDebugSkipFAW(false)
+	mem.InstallDebug(&mem.DebugOptions{SkipFAW: true})
+	defer mem.InstallDebug(nil)
 
 	k := &sim.Kernel{}
 	ch, err := mem.NewChannel(k, mem.Config{})

@@ -51,15 +51,46 @@ func (e *missEntry) complete(at dram.Time) {
 		return
 	}
 	// The front-end was stalled; its issue clock resumes now.
-	if c.outstanding[0].done {
+	if c.outstanding.front().done {
 		c.resume(at)
 		return
 	}
 	// MSHR-stalled cores can resume on any completion.
 	c.popDone()
-	if len(c.outstanding) < c.cfg.MSHR {
+	if c.outstanding.len() < c.cfg.MSHR {
 		c.resume(at)
 	}
+}
+
+// missRing is the outstanding-miss window: a fixed-capacity FIFO ring
+// sized to the MSHR count at construction. The former slice held the same
+// bound on live entries but advanced through its backing array with
+// outstanding = outstanding[1:], so every few hundred misses the append
+// hit the array's end and reallocated — the last steady-state allocation
+// on the fig3 hot path.
+type missRing struct {
+	buf  []*missEntry
+	head int
+	n    int
+}
+
+func (r *missRing) init(capacity int) { r.buf = make([]*missEntry, capacity) }
+func (r *missRing) len() int          { return r.n }
+func (r *missRing) front() *missEntry { return r.buf[r.head] }
+
+// push appends e; the caller guarantees len() < cap (the MSHR stall).
+func (r *missRing) push(e *missEntry) {
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+// popFront removes and returns the oldest entry, clearing its slot.
+func (r *missRing) popFront() *missEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
 }
 
 // writeReq is a pooled posted-write request (writeback traffic). The
@@ -89,7 +120,7 @@ type Core struct {
 	pos   int64     // instructions issued (our retirement proxy)
 	posAt dram.Time // simulation time at which pos was reached
 
-	outstanding []*missEntry
+	outstanding missRing
 	waiting     bool // stalled on ROB head or MSHRs
 
 	// wakeEv is the persistent timed-wake event (replaces the former
@@ -117,6 +148,7 @@ func NewCore(id int, cfg CoreConfig, k *sim.Kernel, gen trace.Generator,
 	translate func(core int, vaddr uint64) uint64, submit func(r *mem.Request), llc *LLC) *Core {
 	cfg.setDefaults()
 	c := &Core{id: id, cfg: cfg, k: k, gen: gen, translate: translate, submit: submit, llc: llc}
+	c.outstanding.init(cfg.MSHR)
 	c.wakeEv.Bind((*coreWake)(c))
 	return c
 }
@@ -158,8 +190,8 @@ func (c *Core) run() {
 		}
 
 		limit := int64(math.MaxInt64)
-		if len(c.outstanding) > 0 {
-			limit = c.outstanding[0].pos + int64(c.cfg.ROB)
+		if c.outstanding.len() > 0 {
+			limit = c.outstanding.front().pos + int64(c.cfg.ROB)
 		}
 		target := c.opPos
 		if limit < target {
@@ -191,7 +223,7 @@ func (c *Core) run() {
 		}
 
 		// At the memory operation.
-		if !c.op.Write && len(c.outstanding) >= c.cfg.MSHR {
+		if !c.op.Write && c.outstanding.len() >= c.cfg.MSHR {
 			c.waiting = true
 			return
 		}
@@ -208,8 +240,8 @@ func (c *Core) SyncClock(now dram.Time) {
 		return
 	}
 	limit := int64(math.MaxInt64)
-	if len(c.outstanding) > 0 {
-		limit = c.outstanding[0].pos + int64(c.cfg.ROB)
+	if c.outstanding.len() > 0 {
+		limit = c.outstanding.front().pos + int64(c.cfg.ROB)
 	}
 	target := c.opPos
 	if limit < target {
@@ -291,16 +323,14 @@ func (c *Core) issueMemOp(now dram.Time) {
 	entry := c.newEntry()
 	entry.pos = c.pos
 	entry.req.Addr = phys
-	c.outstanding = append(c.outstanding, entry)
+	c.outstanding.push(entry)
 	c.submit(&entry.req)
 }
 
 func (c *Core) popDone() {
-	for len(c.outstanding) > 0 && c.outstanding[0].done {
-		e := c.outstanding[0]
-		c.outstanding = c.outstanding[1:]
+	for c.outstanding.len() > 0 && c.outstanding.front().done {
 		// The entry's completion has fired and it has left the window:
 		// safe to recycle.
-		c.entryPool = append(c.entryPool, e)
+		c.entryPool = append(c.entryPool, c.outstanding.popFront())
 	}
 }

@@ -1,0 +1,151 @@
+package dram
+
+import "math/bits"
+
+// This file provides the flat per-bank state containers the memory
+// controller's command path is built on: TimePlane, one timing quantity
+// for every bank of a sub-channel as a contiguous slice, and BankSet, a
+// bit set over bank indices. Splitting the controller's bank state into
+// planes (struct-of-arrays) keeps each scheduling scan — "earliest
+// act-ready bank", "raise every bank to the REF end" — inside one or two
+// cache lines instead of striding a struct per bank, and BankSet replaces
+// per-bank boolean scratch arrays whose clearing cost scaled with the
+// geometry.
+
+// TimePlane is one per-bank timing quantity (ready-at, idle-at, ...) for
+// all banks of a sub-channel, indexed by bank.
+type TimePlane []Time
+
+// NewTimePlane returns a plane of n lanes, all zero.
+func NewTimePlane(n int) TimePlane { return make(TimePlane, n) }
+
+// Raise lifts lane i to at least t (monotone update; a lane never moves
+// backwards through Raise).
+func (p TimePlane) Raise(i int, t Time) {
+	if p[i] < t {
+		p[i] = t
+	}
+}
+
+// RaiseAll lifts every lane to at least t (the REF/ALERT "all banks busy
+// until" update).
+func (p TimePlane) RaiseAll(t Time) {
+	for i, v := range p {
+		if v < t {
+			p[i] = t
+		}
+	}
+}
+
+// Fill sets every lane to t.
+func (p TimePlane) Fill(t Time) {
+	for i := range p {
+		p[i] = t
+	}
+}
+
+// Max returns the largest lane value (zero for an empty plane).
+func (p TimePlane) Max() Time {
+	var m Time
+	for _, v := range p {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BankSet is a bit set over bank indices [0, n). The zero value is unusable;
+// construct with NewBankSet. Clearing the whole set costs one word write
+// per 64 banks, which is what makes it cheap enough to rebuild per
+// scheduling pass.
+type BankSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBankSet returns an empty set over [0, n).
+func NewBankSet(n int) BankSet {
+	return BankSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the index bound the set was constructed with.
+func (s BankSet) Len() int { return s.n }
+
+// Set adds i to the set.
+func (s BankSet) Set(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (s BankSet) Clear(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether i is in the set.
+func (s BankSet) Test(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Reset removes every element.
+func (s BankSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// None reports whether the set is empty.
+func (s BankSet) None() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of elements in the set.
+func (s BankSet) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// NextFrom returns the smallest element >= i, or -1 when no such element
+// exists. It is the break-capable iteration primitive:
+//
+//	for b := s.NextFrom(0); b >= 0; b = s.NextFrom(b + 1) { ... }
+func (s BankSet) NextFrom(i int) int {
+	if i >= s.n {
+		return -1
+	}
+	wi := i >> 6
+	w := s.words[wi] >> (uint(i) & 63) << (uint(i) & 63)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi == len(s.words) {
+			return -1
+		}
+		w = s.words[wi]
+	}
+}
+
+// Words exposes the backing bit words (64 banks per word, bank i at word
+// i>>6 bit i&63) for callers that iterate a set inside a measured hot
+// loop, where even an inlined NextFrom re-scan per element shows up.
+// Callers must not grow or shrink the slice; mutating bits through it is
+// equivalent to Set/Clear.
+func (s BankSet) Words() []uint64 { return s.words }
+
+// ForEach calls fn for every element in ascending order. fn must not
+// mutate the set for elements it has not yet been called with; clearing
+// the current or an already-visited element is safe (each word is read
+// once, before its bits are dispatched).
+func (s BankSet) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

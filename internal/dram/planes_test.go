@@ -1,0 +1,97 @@
+package dram
+
+import "testing"
+
+func TestTimePlane(t *testing.T) {
+	p := NewTimePlane(4)
+	p.Raise(1, 100)
+	p.Raise(1, 50) // monotone: never moves backwards
+	if p[1] != 100 {
+		t.Errorf("Raise: lane 1 = %v, want 100", p[1])
+	}
+	p.Raise(3, 70)
+	if got := p.Max(); got != 100 {
+		t.Errorf("Max = %v, want 100", got)
+	}
+	p.RaiseAll(80)
+	want := TimePlane{80, 100, 80, 80}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("RaiseAll: plane = %v, want %v", p, want)
+		}
+	}
+	p.Fill(5)
+	for i := range p {
+		if p[i] != 5 {
+			t.Fatalf("Fill: plane = %v", p)
+		}
+	}
+	if got := NewTimePlane(0).Max(); got != 0 {
+		t.Errorf("empty Max = %v", got)
+	}
+}
+
+func TestBankSet(t *testing.T) {
+	// 130 banks spans three words, exercising the word math at both
+	// boundaries.
+	s := NewBankSet(130)
+	if !s.None() || s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Set(i)
+	}
+	if s.None() || s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if !s.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if s.Test(1) || s.Test(65) || s.Test(128) {
+		t.Error("unset bits report set")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 63, 64, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want ascending %v", got, want)
+		}
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 4 {
+		t.Error("Clear failed")
+	}
+	// NextFrom walks the same elements with break capability.
+	got = got[:0]
+	for i := s.NextFrom(0); i >= 0; i = s.NextFrom(i + 1) {
+		got = append(got, i)
+	}
+	want = []int{0, 63, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("NextFrom walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextFrom walk = %v, want %v", got, want)
+		}
+	}
+	if s.NextFrom(130) != -1 || s.NextFrom(129) != 129 || s.NextFrom(128) != 129 {
+		t.Error("NextFrom boundary behavior wrong")
+	}
+	// Clearing the current element from inside ForEach is safe.
+	s.ForEach(func(i int) { s.Clear(i) })
+	if !s.None() {
+		t.Error("self-clearing ForEach left elements")
+	}
+	s.Set(129)
+	s.Reset()
+	if !s.None() {
+		t.Error("Reset left elements")
+	}
+}

@@ -186,16 +186,6 @@ func (o Options) Quick() Options {
 	return o
 }
 
-// QuickOptions returns heavily reduced settings for tests.
-//
-// Deprecated: use DefaultOptions().Quick(), which composes with the other
-// option fields instead of discarding them. The two spellings produce
-// identical settings (Quick overrides every field the MIRZA_* environment
-// variables can touch).
-func QuickOptions() Options {
-	return DefaultOptions().Quick()
-}
-
 func (o *Options) setDefaults() {
 	if o.Cores == 0 {
 		o.Cores = 8

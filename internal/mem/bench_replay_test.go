@@ -1,0 +1,190 @@
+package mem_test
+
+// Command-path replay benchmark: the fig3 request streams of bench_e2e_test
+// recorded once from the full system and then replayed open-loop straight
+// into a Channel, so the measured cost is the redesigned mem subsystem end
+// to end — pooled requests, sub-channel scheduling, bank planes, kernel —
+// with the core/trace front end out of the denominator. Both impls replay
+// the identical recorded stream (the differential test proves the two
+// command paths are behaviour-identical, so a stream recorded against one
+// is a faithful open-loop load for both), which makes every
+// impl=event/impl=legacy pairing an apples-to-apples measurement of the
+// command path alone.
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/mem"
+	"mirza/internal/sim"
+	"mirza/internal/track"
+	_ "mirza/internal/track/policies" // register mint-rfm
+)
+
+// replayWindow is the length of recorded stream that loops during replay:
+// several refresh intervals' worth of traffic, so the replayed load
+// exercises the full REF/RFM cadence, not one arrival burst.
+const replayWindow = 100 * dram.Microsecond
+
+// recordedReq is one request of a recorded fig3 stream: arrival offset
+// within the window plus the request fields the cores set.
+type recordedReq struct {
+	at    dram.Time
+	addr  uint64
+	write bool
+}
+
+// recordFig3Stream runs the full fig3 system (event impl) past warmup and
+// records one replayWindow of steady-state arrivals, normalised to offsets
+// within the window.
+func recordFig3Stream(tb testing.TB, workload string) []recordedReq {
+	tb.Helper()
+	var stream []recordedReq
+	start := benchWarmup
+	s := newBenchSystem(tb, "event", workload, func(r *mem.Request, now dram.Time) {
+		if now >= start && now < start+replayWindow {
+			stream = append(stream, recordedReq{at: now - start, addr: r.Addr, write: r.Write})
+		}
+	})
+	s.run()
+	s.advance(replayWindow)
+	if len(stream) == 0 {
+		tb.Fatalf("no %s requests recorded in %v", workload, replayWindow)
+	}
+	return stream
+}
+
+// replayer feeds a recorded stream into a channel open-loop, looping the
+// window forever. One persistent feeder event fires at each distinct
+// arrival instant; completed requests return to a free list, so a warm
+// replay runs allocation-free exactly like the closed-loop system.
+type replayer struct {
+	k      *sim.Kernel
+	submit func(*mem.Request)
+	stream []recordedReq
+	next   int       // index of the next stream entry to submit
+	epoch  dram.Time // simulated start time of the current loop iteration
+	free   []*mem.Request
+	ev     sim.Event
+}
+
+func (r *replayer) get() *mem.Request {
+	if n := len(r.free); n > 0 {
+		req := r.free[n-1]
+		r.free = r.free[:n-1]
+		return req
+	}
+	req := &mem.Request{}
+	req.Done = func(dram.Time) { r.free = append(r.free, req) }
+	return req
+}
+
+// Fire submits every stream entry due at now and re-arms for the next
+// arrival instant, wrapping the window when the stream is exhausted.
+func (r *replayer) Fire(now dram.Time) {
+	for r.next < len(r.stream) && r.epoch+r.stream[r.next].at <= now {
+		rec := &r.stream[r.next]
+		req := r.get()
+		req.Addr, req.Write = rec.addr, rec.write
+		r.submit(req)
+		r.next++
+	}
+	if r.next == len(r.stream) {
+		r.next = 0
+		r.epoch += replayWindow
+	}
+	r.k.Reschedule(&r.ev, r.epoch+r.stream[r.next].at)
+}
+
+// replaySystem is the direct-drive counterpart of benchSystem: the same
+// fig3 channel configuration, loaded by a replayer instead of cores.
+type replaySystem struct {
+	k     *sim.Kernel
+	clock dram.Time
+}
+
+func newReplaySystem(tb testing.TB, impl string, stream []recordedReq) *replaySystem {
+	tb.Helper()
+	built, err := track.Build("mint-rfm", nil, track.Config{
+		Geometry: dram.Default(),
+		Mapping:  dram.StridedR2SA,
+		TRHD:     1000,
+		Seed:     benchSeed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := mem.Config{
+		Timing:       built.Timing(),
+		Mapping:      dram.StridedR2SA,
+		RFMBAT:       built.RFMBAT(),
+		NewMitigator: built.Factory(),
+	}
+
+	k := &sim.Kernel{}
+	var submit func(*mem.Request)
+	switch impl {
+	case "event":
+		ch, err := mem.NewChannel(k, cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		submit = ch.Submit
+	case "legacy":
+		ch, err := mem.NewLegacyChannel(k, cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		submit = ch.Submit
+	default:
+		tb.Fatalf("unknown impl %q", impl)
+	}
+
+	r := &replayer{k: k, submit: submit, stream: stream}
+	// Pre-size the free list far past any in-flight high-water mark
+	// (closed-loop MLP is a few hundred) so the timed loop never grows it.
+	r.free = make([]*mem.Request, 0, replayPoolSize)
+	for i := 0; i < replayPoolSize; i++ {
+		req := &mem.Request{}
+		req.Done = func(dram.Time) { r.free = append(r.free, req) }
+		r.free = append(r.free, req)
+	}
+	r.ev.Bind(r)
+	k.ScheduleEvent(&r.ev, stream[0].at)
+	s := &replaySystem{k: k}
+	// The warmup must outlast the closed-loop system's 300us queue
+	// settling AND cycle the REF phase against the looping window (the
+	// window is not a multiple of tREFI, so each epoch replays under a
+	// shifted refresh alignment): ten epochs covers the queue high-water
+	// marks those alignments produce.
+	s.advance(10 * replayWindow)
+	return s
+}
+
+// replayPoolSize is the pre-allocated request pool per replay system.
+const replayPoolSize = 4096
+
+// advance simulates d more time.
+func (s *replaySystem) advance(d dram.Time) {
+	s.clock += d
+	s.k.RunUntil(s.clock)
+}
+
+// BenchmarkFig3MemPath measures one steady-state simulated-time slice per
+// op (the same slice as BenchmarkFig3) of the mem command path serving a
+// recorded fig3 request stream.
+func BenchmarkFig3MemPath(b *testing.B) {
+	for _, workload := range []string{"blender", "xalancbmk", "cactuBSSN", "omnetpp", "fotonik3d"} {
+		stream := recordFig3Stream(b, workload)
+		for _, impl := range []string{"event", "legacy"} {
+			b.Run("impl="+impl+"/workload="+workload, func(b *testing.B) {
+				s := newReplaySystem(b, impl, stream)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.advance(benchSlice)
+				}
+			})
+		}
+	}
+}

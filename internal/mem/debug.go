@@ -1,46 +1,35 @@
 package mem
 
-import "mirza/internal/dram"
+// DebugOptions bundles every test-only instrumentation hook the command
+// path exposes. The hot path carries exactly one package-level pointer
+// (nil in production): each hook site loads it once and pays a single nil
+// test, so an uninstalled hook set costs nothing measurable.
+type DebugOptions struct {
+	// Wake, when non-nil, receives the number of pass transitions each
+	// scheduler wake performed (0 = the wake made no progress).
+	Wake func(progress int)
 
-// Test-only instrumentation counters, populated only after
-// InstallDebugHooks. They are plain (unsynchronized) package-level state,
-// so they must never be armed while simulations run on multiple
-// goroutines — the job engine runs one simulation per worker, and the
-// hooks would race. Production runs leave the hook pointers nil, which
-// also keeps the per-wake overhead off the hot path.
+	// SkipFAW disables the four-activation-window pacing check. It exists
+	// solely so the audit tests can prove the auditor catches a controller
+	// that stops honouring tFAW.
+	SkipFAW bool
+}
+
+// debugOpts is the single active hook set. Plain (unsynchronized)
+// package-level state: install before the simulation starts, from the
+// same goroutine that runs it, and never while the job engine fans
+// simulations out across workers. debugSkipFAW mirrors
+// debugOpts.SkipFAW as a plain bool so the scheduling scan reads one
+// global instead of chasing the pointer per pass.
 var (
-	DebugWakes, DebugNoProgress, DebugSteps int64
-	DebugClamps                             = map[string]int64{}
-	DebugArmLabel                           = map[string]int64{}
-	DebugArmDelta                           = map[string]dram.Time{}
+	debugOpts    *DebugOptions
+	debugSkipFAW bool
 )
 
-// InstallDebugHooks arms the instrumentation counters above. Call it only
-// from single-goroutine tests that need wake/clamp/arm telemetry.
-func InstallDebugHooks() {
-	debugHook = func(progress int) {
-		DebugWakes++
-		DebugSteps += int64(progress)
-		if progress == 0 {
-			DebugNoProgress++
-		}
-	}
-	debugClamp = func(label string) { DebugClamps[label]++ }
-	debugArm = func(label string, delta dram.Time) {
-		DebugArmLabel[label]++
-		DebugArmDelta[label] += delta
-	}
+// InstallDebug makes o the active hook set for every sub-channel in the
+// process. Passing nil uninstalls. Test instrumentation only — never
+// install in production runs.
+func InstallDebug(o *DebugOptions) {
+	debugOpts = o
+	debugSkipFAW = o != nil && o.SkipFAW
 }
-
-// RemoveDebugHooks disarms the instrumentation installed by
-// InstallDebugHooks and leaves the counters at their current values.
-func RemoveDebugHooks() {
-	debugHook, debugClamp, debugArm = nil, nil, nil
-}
-
-// SetDebugSkipFAW toggles the deliberate-breakage hook that makes the
-// scheduler stop honouring the four-activation window. It exists solely so
-// the protocol-auditor tests can prove a tFAW-violating controller is
-// caught; like the other debug hooks it is unsynchronized and must only be
-// flipped from single-goroutine tests.
-func SetDebugSkipFAW(skip bool) { debugSkipFAW = skip }

@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+
+	"mirza/internal/dram"
+	"mirza/internal/sim"
+	"mirza/internal/track"
+)
+
+// Boundary tests for the idle fast-forward wake contract (DESIGN.md §16):
+// arm() schedules exactly one wake at the next interesting timestamp, so
+// the sub-channel must neither miss work scheduled exactly on a computed
+// wake nor generate events during provably dead spans.
+
+// TestFastForwardIdleTREFW runs an empty-queue sub-channel across a full
+// tREFW (32ms, 8205 REF intervals) and requires exactly one wake per REF —
+// zero intermediate events. Before the redesign each REF produced two
+// wakes (one to execute it, one at refBusyUntil to discover there was
+// nothing to resume).
+func TestFastForwardIdleTREFW(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, err := NewChannel(k, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progress := []int{}
+	InstallDebug(&DebugOptions{Wake: func(n int) { progress = append(progress, n) }})
+	defer InstallDebug(nil)
+
+	tm := dram.DDR5()
+	k.RunUntil(tm.TREFW)
+
+	wantREFs := int64(tm.TREFW / tm.TREFI) // one REF per tREFI, none delayed
+	for _, s := range ch.subs {
+		if s.Stats().REFs != wantREFs {
+			t.Errorf("sub %d REFs = %d, want %d", s.id, s.Stats().REFs, wantREFs)
+		}
+		if s.wakes != wantREFs {
+			t.Errorf("sub %d wakes = %d, want %d (one per REF, no intermediate events)",
+				s.id, s.wakes, wantREFs)
+		}
+		if s.steps != wantREFs {
+			t.Errorf("sub %d steps = %d, want %d", s.id, s.steps, wantREFs)
+		}
+	}
+	// Every wake made exactly one transition (the REF): no no-progress
+	// wakes anywhere in the window.
+	for i, n := range progress {
+		if n != 1 {
+			t.Fatalf("wake %d performed %d transitions, want 1", i, n)
+		}
+	}
+}
+
+// TestFastForwardREFOnComputedWake lines a REF up exactly on a computed
+// wake: a single read is timed so its soft close-page point (openedAt +
+// tRAS) coincides with refDue to the picosecond. The coalesced wake must
+// perform both transitions — precharge, then (after tRP) the REF — and
+// the REF must not slip by more than the precharge it had to wait out.
+func TestFastForwardREFOnComputedWake(t *testing.T) {
+	k := &sim.Kernel{}
+	ch, err := NewChannel(k, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &diffObs{}
+	ch.InstallObserver(obs)
+	tm := dram.DDR5()
+
+	// Submit at refDue-tRAS: the bank is idle so the ACT issues
+	// immediately, making the close-page point exactly refDue.
+	at := tm.TREFI - tm.TRAS
+	var done dram.Time
+	var submitEv sim.Event
+	submitEv.Bind(sim.HandlerFunc(func(now dram.Time) {
+		submitLine(ch, 0, 0, 100, 0, &done)
+	}))
+	k.ScheduleEvent(&submitEv, at)
+	k.RunUntil(2 * tm.TREFI)
+
+	if done == 0 {
+		t.Fatal("read never completed")
+	}
+	var pre, ref dram.Time = -1, -1
+	for _, c := range obs.cmds {
+		if c.sub != 0 {
+			continue
+		}
+		switch c.kind {
+		case "pre":
+			if pre < 0 {
+				pre = c.at
+			}
+		case "ref":
+			if ref < 0 {
+				ref = c.at
+			}
+		}
+	}
+	if pre != tm.TREFI {
+		t.Errorf("PRE at %v, want exactly refDue %v", pre, tm.TREFI)
+	}
+	if want := tm.TREFI + tm.TRP; ref != want {
+		t.Errorf("REF at %v, want %v (refDue + the tRP it waited out)", ref, want)
+	}
+	if s := ch.subs[0]; s.refIndex != 2 {
+		t.Errorf("refIndex = %d, want 2 by 2*tREFI", s.refIndex)
+	}
+}
+
+// alertOnce asserts WantsALERT after a fixed ACT count, once.
+type alertOnce struct {
+	*track.Nop
+	acts, at int
+	want     bool
+	serviced dram.Time
+}
+
+func (a *alertOnce) OnActivate(bank, row int, now dram.Time) {
+	a.acts++
+	if a.acts == a.at {
+		a.want = true
+	}
+}
+func (a *alertOnce) WantsALERT() bool { return a.want }
+func (a *alertOnce) ServiceALERT(now dram.Time) {
+	a.want = false
+	a.serviced = now
+}
+
+// TestFastForwardALERTWindows opens and closes an ALERT stall window
+// between wakes and checks the three protocol transitions land at their
+// exact computed instants, with requests submitted mid-stall held until
+// the window closes.
+func TestFastForwardALERTWindows(t *testing.T) {
+	k := &sim.Kernel{}
+	mit := &alertOnce{Nop: track.NewNop(), at: 1}
+	ch, err := NewChannel(k, Config{
+		NewMitigator: func(sub int, sink track.Sink) track.Mitigator {
+			if sub == 0 {
+				return mit
+			}
+			return track.NewNop()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &diffObs{}
+	ch.InstallObserver(obs)
+	tm := dram.DDR5()
+
+	var d1, d2 dram.Time
+	submitLine(ch, 0, 0, 100, 0, &d1) // ACT at 0 trips the ALERT
+	// Second request arrives in the middle of the stall window.
+	midStall := tm.ABOPrologue + tm.ABOStall/2
+	var submitEv sim.Event
+	submitEv.Bind(sim.HandlerFunc(func(now dram.Time) {
+		submitLine(ch, 0, 0, 200, 0, &d2)
+	}))
+	k.ScheduleEvent(&submitEv, midStall)
+	k.RunUntil(tm.TREFI)
+
+	var phases []diffCmd
+	for _, c := range obs.cmds {
+		if c.kind == "alert" && c.sub == 0 {
+			phases = append(phases, c)
+		}
+	}
+	if len(phases) != 3 {
+		t.Fatalf("alert transitions = %+v, want prologue/stall/end", phases)
+	}
+	stallStart := tm.ABOPrologue         // prologue opened at the ACT, t=0
+	stallEnd := stallStart + tm.ABOStall // window closes
+	wants := []struct {
+		phase AlertPhase
+		at    dram.Time
+	}{
+		{AlertPrologueStart, 0},
+		{AlertStallStart, stallStart},
+		{AlertEnd, stallEnd},
+	}
+	for i, w := range wants {
+		if phases[i].phase != w.phase || phases[i].at != w.at {
+			t.Errorf("transition %d = %v@%v, want %v@%v",
+				i, phases[i].phase, phases[i].at, w.phase, w.at)
+		}
+	}
+	if mit.serviced != stallEnd {
+		t.Errorf("ServiceALERT at %v, want stall end %v", mit.serviced, stallEnd)
+	}
+	if d2 == 0 {
+		t.Fatal("mid-stall request never completed")
+	}
+	// The mid-stall request's ACT cannot begin before the window closes.
+	if earliest := stallEnd + tm.TRCD + tm.TCL + tm.TBUS; d2 < earliest {
+		t.Errorf("mid-stall request done at %v, before the stall closed (earliest %v)", d2, earliest)
+	}
+}

@@ -315,6 +315,8 @@ func (ch *Channel) FlushTelemetry(extra ...telemetry.Label) {
 		reg.Counter("mem_alert_stall_ps_total", labels...).Add(int64(st.AlertStall))
 		reg.Counter("mem_ref_busy_ps_total", labels...).Add(int64(st.RefBusy))
 		reg.Counter("mem_rfm_busy_ps_total", labels...).Add(int64(st.RFMBusy))
+		reg.Counter("mem_wakes_total", labels...).Add(s.wakes)
+		reg.Counter("mem_wake_steps_total", labels...).Add(s.steps)
 		track.FlushTelemetry(reg, s.mit, labels...)
 	}
 }

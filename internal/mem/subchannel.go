@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"math/bits"
 	"strconv"
 
 	"mirza/internal/dram"
@@ -16,27 +17,46 @@ const (
 	alertStall
 )
 
-// bankState is the controller's view of one DRAM bank.
-type bankState struct {
-	openRow    int       // -1 when precharged
-	openedAt   dram.Time // time of the last ACT
-	colReadyAt dram.Time // earliest column command (tRCD after ACT)
-	preReadyAt dram.Time // earliest precharge (tRAS / read-to-pre / write recovery)
-	actReadyAt dram.Time // earliest next ACT (tRC after ACT, tRP after PRE, RFM/REF end)
-	idleAt     dram.Time // time the bank is fully precharged/idle (REF/RFM gating)
-	rfmPending bool      // a proactive RFM must execute before the next ACT
-	actCounter int       // BAT counter for proactive RFM
-}
-
 // SubChannel is one independently scheduled DDR5 sub-channel.
+//
+// Bank state lives in struct-of-arrays timing planes (DESIGN.md §16)
+// rather than a []bankState: each scheduling scan — "oldest request with a
+// closed, ready bank", "raise every bank to the REF end" — walks only the
+// one or two flat slices it actually reads, and whole-plane updates
+// (RaiseAll at REF/ALERT) vectorize over contiguous memory. Set-valued
+// bank properties (row open, RFM pending) are dram.BankSets, so emptiness
+// tests are word compares and iteration visits only set members.
 type SubChannel struct {
 	k   *sim.Kernel
 	cfg Config
 	id  int
 	mit track.Mitigator
 
-	banks   []bankState
-	queue   []*Request
+	// Per-bank planes, indexed by bank.
+	openRow    []int32        // open row, -1 when precharged
+	openedAt   dram.TimePlane // time of the last ACT
+	colReadyAt dram.TimePlane // earliest column command (tRCD after ACT)
+	preReadyAt dram.TimePlane // earliest precharge (tRAS / read-to-pre / write recovery)
+	actReadyAt dram.TimePlane // earliest next ACT (tRC after ACT, tRP after PRE, RFM/REF end)
+	idleAt     dram.TimePlane // time the bank is fully precharged/idle (REF/RFM gating)
+	actCounter []int32        // BAT counter for proactive RFM
+
+	open       dram.BankSet // banks with openRow >= 0
+	rfmPending dram.BankSet // banks owing a proactive RFM before their next ACT
+	rfmCount   int          // popcount of rfmPending, kept for O(1) emptiness
+
+	// bankBit[b] is 1<<b for banks below 64 and 0 above: the per-bank
+	// dedup-mask bit, computed once per request at submit.
+	bankBit []uint64
+
+	queue []*Request
+	// qKey and qBit mirror queue[i] into flat per-entry words — the
+	// packed (row, bank) key (row<<32|bank) and the bank's dedup-mask
+	// bit — so the scheduling scan streams two sequential slices
+	// instead of chasing *Request pointers or random-indexing a
+	// per-bank table.
+	qKey    []uint64
+	qBit    []uint64
 	nextEnq int64
 
 	faw       []dram.Time // times of the last 4 ACTs (ring)
@@ -55,16 +75,30 @@ type SubChannel struct {
 
 	// wakeEv is the single persistent scheduler-wake event. It coalesces
 	// every wake source — request arrival, bank/bus timing, refresh due,
-	// ALERT windows — into one reusable handle: requestWake moves it
-	// earlier with Reschedule instead of piling up superseded closures.
+	// ALERT windows — into one reusable handle: arm() reschedules it to
+	// the next provably interesting time and nothing sooner, so an idle
+	// sub-channel fast-forwards straight to its next REF with no
+	// intermediate events, and submit fires it at the arrival instant
+	// through the kernel's O(1) poke lane instead of pulling the slot
+	// through the heap and back.
 	wakeEv sim.Event
 	stats  Stats
 
-	// hitBank/conflictBank are arm()'s per-bank scratch flags, sized from
-	// the geometry (a fixed [64]bool here once indexed out of range for
-	// configs with more than 64 banks per sub-channel). They are zeroed at
-	// the top of every arm pass.
-	hitBank, conflictBank []bool
+	// nextAction is the earliest instant anything can issue, as armed by
+	// the last scheduling scan and min-merged with the enable time of
+	// every arrival since (see submit). A wake that fires strictly before
+	// it is an arrival-coalescing wake: the scheduler re-arms in O(1)
+	// instead of scanning, because the merged candidate set already
+	// proves the scan would be a no-op.
+	nextAction dram.Time
+
+	wakes int64 // kernel wakes delivered (mem_wakes_total)
+	steps int64 // step transitions across all wakes (mem_wake_steps_total)
+
+	// hitSet/confSet classify banks against the current scheduling window
+	// (pending row hit / pending row conflict). They are rebuilt per pass;
+	// resetting costs one word write per 64 banks.
+	hitSet, confSet dram.BankSet
 
 	// obs, when non-nil, shadows every command the sub-channel issues
 	// (protocol auditing, test instrumentation). Each command site pays
@@ -79,20 +113,33 @@ type SubChannel struct {
 }
 
 func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
+	nb := cfg.Geometry.BanksPerSubChannel
 	s := &SubChannel{
 		k:             k,
 		cfg:           cfg,
 		id:            id,
-		banks:         make([]bankState, cfg.Geometry.BanksPerSubChannel),
-		hitBank:       make([]bool, cfg.Geometry.BanksPerSubChannel),
-		conflictBank:  make([]bool, cfg.Geometry.BanksPerSubChannel),
+		openRow:       make([]int32, nb),
+		openedAt:      dram.NewTimePlane(nb),
+		colReadyAt:    dram.NewTimePlane(nb),
+		preReadyAt:    dram.NewTimePlane(nb),
+		actReadyAt:    dram.NewTimePlane(nb),
+		idleAt:        dram.NewTimePlane(nb),
+		actCounter:    make([]int32, nb),
+		open:          dram.NewBankSet(nb),
+		rfmPending:    dram.NewBankSet(nb),
+		hitSet:        dram.NewBankSet(nb),
+		confSet:       dram.NewBankSet(nb),
 		faw:           make([]dram.Time, 4),
 		refDue:        cfg.Timing.TREFI,
 		actSinceAlert: true,
 	}
 	s.wakeEv.Bind((*subWake)(s))
-	for i := range s.banks {
-		s.banks[i].openRow = -1
+	s.bankBit = make([]uint64, nb)
+	for b := 0; b < nb && b < 64; b++ {
+		s.bankBit[b] = 1 << uint(b)
+	}
+	for i := range s.openRow {
+		s.openRow[i] = -1
 	}
 	for i := range s.faw {
 		s.faw[i] = -cfg.Timing.TFAW
@@ -108,12 +155,12 @@ func newSubChannel(k *sim.Kernel, cfg Config, id int) *SubChannel {
 		s.mit = track.NewNop()
 	}
 	if cfg.Telemetry.Enabled() {
-		s.teleBankActs = make([]int64, cfg.Geometry.BanksPerSubChannel)
+		s.teleBankActs = make([]int64, nb)
 		s.teleActHist = cfg.Telemetry.Histogram("mem_bank_acts_per_ref", 32, 4,
 			telemetry.L("sub", strconv.Itoa(id)))
 	}
 	// Refresh is self-sustaining: arm the first REF.
-	s.requestWake(s.refDue)
+	s.arm(s.refDue)
 	return s
 }
 
@@ -138,10 +185,108 @@ func (s *SubChannel) submit(r *Request) {
 	r.enqueue = s.nextEnq
 	s.nextEnq++
 	s.queue = append(s.queue, r)
+	s.qKey = append(s.qKey, uint64(uint32(r.addr.Row))<<32|uint64(uint32(r.addr.Bank)))
+	s.qBit = append(s.qBit, s.bankBit[r.addr.Bank])
 	if s.obs != nil {
 		s.obs.ObserveSubmit(s.id, r.Write, r.arrive)
 	}
-	s.requestWake(s.k.Now())
+	if c := s.arrivalWake(int(r.addr.Bank), int32(r.addr.Row)); c < s.nextAction {
+		s.nextAction = c
+	}
+	// Fire the wake at the submit instant. Unless it is already due right
+	// now, poke it: the wake fires with a fresh FIFO sequence number —
+	// after every event already queued for this instant, exactly as the
+	// old pull-forward Reschedule ordered it — while its heap slot stays
+	// parked at the armed time, where the post-wake re-arm moves it with a
+	// short fix instead of a full to-now-and-back round trip.
+	if !(s.wakeEv.Scheduled() && s.wakeEv.When() <= r.arrive) {
+		s.k.PokeNow(&s.wakeEv)
+	}
+}
+
+// arrivalWake returns the earliest time at which this arrival can change
+// the scheduler's next action, for submit to min-merge into nextAction.
+// The wake itself still fires at the submit instant — that keeps the
+// kernel event sequencing identical to an always-scan controller, which
+// closed-loop runs observe through same-instant completion ordering —
+// but when the merged time is still in the future the wake re-arms in
+// O(1) instead of walking the window and the bank planes.
+//
+// For an in-window arrival in the normal (unblocked) state, the entry
+// only ever *enables* its own command sort: demand precharge at
+// preReadyAt for a row conflict, activate at the bank/pacing gates for a
+// closed bank — mirrored exactly from pass()'s candidate formulas. Every
+// other case must force a full scan at the submit instant (return now),
+// because the arrival changes the candidate set in a way a single
+// formula does not capture:
+//
+//   - a row hit vetoes the bank's soft close-page and RFM-precharge
+//     candidates, so the armed time may now be too early — only a rescan
+//     restores exactness;
+//   - while a demand REF is due or executing, or an ALERT stall is
+//     pending, the scheduler's next action belongs to the refresh/ALERT
+//     machinery, and an arrival flips the idle-through-REF decision —
+//     pass() re-decides through armBlocked/passRefresh, which are O(1)
+//     and O(banks) respectively, so forcing the scan costs nothing;
+//   - beyond the scheduling window the entry is invisible to the command
+//     ladder and contributes nothing — the armed time stays exact (the
+//     queue was already non-empty, so no idle-through decision flips) and
+//     the wake stays lazy.
+func (s *SubChannel) arrivalWake(b int, row int32) dram.Time {
+	t := &s.cfg.Timing
+	now := s.k.Now()
+	if s.alertState == alertStall || now < s.refBusyUntil || s.refDue <= now ||
+		s.rfmCount > 0 {
+		// Blocked states, a due REF, or a pending proactive RFM: the next
+		// action belongs to machinery whose issue rules are more permissive
+		// than the armed candidates (the RFM precharge, in particular,
+		// overrides the pending-hit veto the arm honours), so only a rescan
+		// keeps the armed time exact.
+		return now
+	}
+	if len(s.queue) > s.cfg.WindowDepth {
+		return s.nextAction
+	}
+	switch or := s.openRow[b]; {
+	case or == row:
+		return now
+	case or >= 0:
+		if s.hitSet.Test(b) {
+			// The open row has a pending hit, which vetoes every precharge
+			// candidate on this bank — the armed time may include sorts this
+			// conflict cannot unlock; rescan for exactness.
+			return now
+		}
+		// A conflict drops the bank's precharge time from the soft
+		// close-page point to preReadyAt.
+		return s.preReadyAt[b]
+	default:
+		at := s.actReadyAt[b]
+		if s.idleAt[b] > at {
+			at = s.idleAt[b]
+		}
+		if f := s.faw[s.fawIdx] + t.TFAW; f > at && !debugSkipFAW {
+			at = f
+		}
+		if rr := s.lastActAt + t.TRRD; rr > at {
+			at = rr
+		}
+		return at
+	}
+}
+
+// dequeue removes queue slot i, keeping the flat mirrors in step. The
+// vacated pointer slot is cleared so the retired *Request (and its bound
+// done event) does not stay reachable through the backing array.
+func (s *SubChannel) dequeue(i int) {
+	last := len(s.queue) - 1
+	copy(s.queue[i:], s.queue[i+1:])
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	copy(s.qKey[i:], s.qKey[i+1:])
+	s.qKey = s.qKey[:last]
+	copy(s.qBit[i:], s.qBit[i+1:])
+	s.qBit = s.qBit[:last]
 }
 
 // subWake adapts a SubChannel to sim.Handler for its wake event.
@@ -149,36 +294,62 @@ type subWake SubChannel
 
 func (w *subWake) Fire(dram.Time) { (*SubChannel)(w).wake() }
 
-// requestWake ensures the wake event is scheduled no later than at. A
-// pending wake at an earlier-or-equal time wins (coalescing); a later one
-// is pulled forward with Reschedule, which — matching the retired
-// generation-counter scheme — assigns a fresh FIFO sequence number, so the
-// wake still fires after events already queued for the same instant.
-func (s *SubChannel) requestWake(at dram.Time) {
-	now := s.k.Now()
-	if at < now {
-		at = now
-	}
-	if s.wakeEv.Scheduled() && s.wakeEv.When() <= at {
+func (s *SubChannel) wake() {
+	if s.nextAction > s.k.Now() {
+		// Arrival-coalescing wake: everything merged into nextAction since
+		// the last scan lies strictly in the future, so a scan would issue
+		// nothing and re-arm at exactly nextAction — do that re-arm (with
+		// this instant's event ordering, like the scan would) and skip the
+		// window/bank walk.
+		s.wakes++
+		if d := debugOpts; d != nil && d.Wake != nil {
+			d.Wake(0)
+		}
+		s.k.Reschedule(&s.wakeEv, s.nextAction)
 		return
 	}
-	s.k.Reschedule(&s.wakeEv, at)
-}
-
-func (s *SubChannel) wake() {
 	n := 0
-	for s.step() {
+	for s.pass() {
 		n++
 	}
-	if debugHook != nil {
-		debugHook(n)
+	s.wakes++
+	s.steps += int64(n)
+	if d := debugOpts; d != nil && d.Wake != nil {
+		d.Wake(n)
 	}
-	s.arm()
 }
 
-// step attempts one state transition at the current time; it reports
-// whether progress was made (zero-delay actions chain until quiescent).
-func (s *SubChannel) step() bool {
+// arm records the next provably interesting instant and schedules the
+// wake there. Every scheduling scan ends here (or in a blocked-state
+// equivalent); submit min-merges arrival enable times into nextAction
+// between scans. The Reschedule is unconditional — arm always runs as a
+// wake concludes, and the fresh FIFO sequence number it assigns is what
+// keeps the wake firing after events already queued for the armed
+// instant, exactly as the retired pop-and-reschedule shape ordered it.
+func (s *SubChannel) arm(at dram.Time) {
+	s.nextAction = at
+	if at < never {
+		s.k.Reschedule(&s.wakeEv, at)
+	} else {
+		s.k.Cancel(&s.wakeEv)
+	}
+}
+
+// never is the sentinel "no candidate" wake time.
+const never = dram.Time(1) << 62
+
+// pass attempts the single highest-priority transition available at the
+// current instant — ALERT bookkeeping, demand REF, ALERT initiation, RFM,
+// column, precharge, activate, in that strict order — and reports whether
+// one fired (zero-delay actions chain until quiescent). When nothing
+// fires, the very same traversals have already collected the earliest
+// future candidate time for every transition sort, and pass arms the wake
+// there before returning false. Fusing the issue scan and the arm scan is
+// the second half of the fast-forward redesign: the old shape paid a full
+// window walk per issued command plus a classify-and-rescan in arm(); the
+// fused pass pays one window traversal that issues, classifies and
+// collects candidates in a single sweep.
+func (s *SubChannel) pass() bool {
 	now := s.k.Now()
 	t := &s.cfg.Timing
 
@@ -186,6 +357,7 @@ func (s *SubChannel) step() bool {
 	switch s.alertState {
 	case alertStall:
 		if now < s.alertEndAt {
+			s.armBlocked(now)
 			return false
 		}
 		// The back-off RFM executed during the stall window; mitigation
@@ -206,18 +378,9 @@ func (s *SubChannel) step() bool {
 			// per-bank timers are then raised to the stall end, which always
 			// dominates the tRP that precharge just applied (the stall is
 			// 350ns, tRP at most 36ns).
-			for b := range s.banks {
-				bk := &s.banks[b]
-				if bk.openRow >= 0 {
-					s.precharge(b, now, true)
-				}
-				if bk.actReadyAt < s.alertEndAt {
-					bk.actReadyAt = s.alertEndAt
-				}
-				if bk.idleAt < s.alertEndAt {
-					bk.idleAt = s.alertEndAt
-				}
-			}
+			s.open.ForEach(func(b int) { s.precharge(b, now, true) })
+			s.actReadyAt.RaiseAll(s.alertEndAt)
+			s.idleAt.RaiseAll(s.alertEndAt)
 			s.alertState = alertStall
 			if s.obs != nil {
 				s.obs.ObserveAlert(s.id, AlertStallStart, now)
@@ -228,12 +391,13 @@ func (s *SubChannel) step() bool {
 
 	// Sub-channel blocked while a REF executes.
 	if now < s.refBusyUntil {
+		s.armBlocked(now)
 		return false
 	}
 
 	// Demand refresh has strict priority once due.
 	if now >= s.refDue && s.alertState == alertIdle {
-		return s.stepRefresh(now)
+		return s.passRefresh(now)
 	}
 
 	// Reactive ALERT initiation: requires at least one ACT since the
@@ -251,139 +415,294 @@ func (s *SubChannel) step() bool {
 		return true
 	}
 
-	// Proactive RFM execution.
-	for b := range s.banks {
-		bk := &s.banks[b]
-		if !bk.rfmPending {
+	// Proactive RFM execution. Wake candidates for still-blocked pending
+	// banks need the hit classification, so they are collected after the
+	// window traversal below.
+	if s.rfmCount > 0 {
+		for wi, w := range s.rfmPending.Words() {
+			for base := wi << 6; w != 0; w &= w - 1 {
+				b := base + bits.TrailingZeros64(w)
+				if s.openRow[b] >= 0 {
+					if now >= s.preReadyAt[b] {
+						s.precharge(b, now, false)
+						return true
+					}
+					continue
+				}
+				if now >= s.idleAt[b] {
+					s.rfmPending.Clear(b)
+					s.rfmCount--
+					s.actReadyAt[b] = now + t.TRFM
+					s.idleAt[b] = now + t.TRFM
+					s.stats.RFMs++
+					s.stats.RFMBusy += t.TRFM
+					if s.obs != nil {
+						s.obs.ObserveRFM(s.id, b, now)
+					}
+					s.mit.OnRFM(b, now)
+					return true
+				}
+			}
+		}
+	}
+
+	window := len(s.queue)
+	if window > s.cfg.WindowDepth {
+		window = s.cfg.WindowDepth
+	}
+
+	next := never
+	if s.alertState == alertPrologue {
+		next = s.alertStallAt
+	}
+	if s.refDue > now && s.refDue < next {
+		next = s.refDue // refresh is self-sustaining
+	}
+
+	// One traversal of the scheduling window does triple duty: issue the
+	// oldest ready column command, classify banks against the window
+	// (pending row hit / pending row conflict) for the precharge policy,
+	// and collect the column/activate wake candidates. The bus test for
+	// column issue is loop-invariant; a hit behind a busy bus wakes when
+	// the bus frees (busFreeAt - tCL), a blocked activate at the latest of
+	// its bank timers and the channel-level pacing gates.
+	hitW := s.hitSet.Words()
+	confW := s.confSet.Words()
+	if len(hitW) > 1 {
+		s.hitSet.Reset()
+		s.confSet.Reset()
+	}
+	busOK := s.busFreeAt <= now+t.TCL
+	busEarliest := s.busFreeAt - t.TCL
+	skipFAW := debugSkipFAW
+	trrdGate := s.lastActAt + t.TRRD
+	fawGate := s.faw[s.fawIdx] + t.TFAW
+	actIdx := -1
+	// Per-bank dedup: the window (up to 64 entries) repeats banks heavily,
+	// and every entry after the first of its class on a bank is fully
+	// redundant — the bank state is identical, so it reaches the same
+	// issue decision and the same wake candidate, and FR-FCFS age order
+	// already favoured the earlier entry. The register masks cover banks
+	// < 64 and double as word zero of hitSet/confSet, stored once when
+	// the traversal completes; larger geometries keep per-entry set
+	// updates for the excess banks (still correct, just slower). Between
+	// scans the sets stay valid — arrivalWake reads hitSet for the
+	// pending-hit precharge veto — because only the final (arming) pass
+	// of a wake is observable out there and it always completes the
+	// traversal.
+	// resolved accumulates banks no further entry can say anything new
+	// about — closed banks after their first entry, open banks once both
+	// a hit and a conflict are recorded — so the dense tail of a deep
+	// window skips in two instructions without touching the bank planes.
+	var seenHit, seenConf, seenClosed, resolved uint64
+	qKey := s.qKey[:window]
+	qBit := s.qBit[:window]
+	// Reslicing every timing plane to the openRow length lets the first
+	// openRow[b] access prove b in range for the rest (one bounds check
+	// per entry instead of one per plane).
+	openRow := s.openRow
+	colReadyAt := s.colReadyAt[:len(openRow)]
+	actReadyAt := s.actReadyAt[:len(openRow)]
+	idleAt := s.idleAt[:len(openRow)]
+	for i := 0; i < window; i++ {
+		key := qKey[i]
+		bit := qBit[i]
+		if resolved&bit != 0 {
 			continue
 		}
-		if bk.openRow >= 0 {
-			if now >= bk.preReadyAt {
-				s.precharge(b, now, false)
+		b := int(uint32(key))
+		switch row := openRow[b]; {
+		case row == int32(key>>32):
+			if seenHit&bit != 0 {
+				continue
+			}
+			seenHit |= bit
+			resolved |= seenConf & bit
+			at := colReadyAt[b]
+			if busOK && now >= at {
+				r := s.queue[i]
+				s.issueColumn(r, b, now)
+				s.dequeue(i)
 				return true
 			}
-			continue
-		}
-		if now >= bk.idleAt {
-			bk.rfmPending = false
-			bk.actReadyAt = now + t.TRFM
-			bk.idleAt = now + t.TRFM
-			s.stats.RFMs++
-			s.stats.RFMBusy += t.TRFM
-			if s.obs != nil {
-				s.obs.ObserveRFM(s.id, b, now)
+			if bit == 0 {
+				s.hitSet.Set(b)
 			}
-			s.mit.OnRFM(b, now)
-			return true
+			if busEarliest > at {
+				at = busEarliest
+			}
+			if at < next {
+				next = at
+			}
+		case row >= 0:
+			if seenConf&bit != 0 {
+				continue
+			}
+			seenConf |= bit
+			resolved |= seenHit & bit
+			if bit == 0 {
+				s.confSet.Set(b)
+			}
+		default:
+			seenClosed |= bit
+			resolved |= bit
+			at := actReadyAt[b]
+			if ia := idleAt[b]; ia > at {
+				at = ia
+			}
+			if actIdx < 0 && now >= at && !s.rfmPending.Test(b) {
+				actIdx = i
+			}
+			if fawGate > at && !skipFAW {
+				at = fawGate
+			}
+			if trrdGate > at {
+				at = trrdGate
+			}
+			if at < next {
+				next = at
+			}
 		}
 	}
+	hitW[0] = seenHit
+	confW[0] = seenConf
 
-	window := s.queue
-	if len(window) > s.cfg.WindowDepth {
-		window = window[:s.cfg.WindowDepth]
-	}
-
-	// Column command for the oldest row hit.
-	for i, r := range window {
-		bk := &s.banks[r.addr.Bank]
-		if bk.openRow != r.addr.Row || now < bk.colReadyAt {
-			continue
+	// RFM wake candidates: a pending bank fires at preReady (open, no
+	// hit) or at idle (closed).
+	if s.rfmCount > 0 {
+		for wi, w := range s.rfmPending.Words() {
+			hw := hitW[wi]
+			for base := wi << 6; w != 0; w &= w - 1 {
+				b := base + bits.TrailingZeros64(w)
+				if s.openRow[b] >= 0 {
+					if hw&(w&-w) == 0 && s.preReadyAt[b] < next {
+						next = s.preReadyAt[b]
+					}
+				} else if s.idleAt[b] < next {
+					next = s.idleAt[b]
+				}
+			}
 		}
-		if s.busFreeAt > now+t.TCL {
-			continue // data bus not free at data time
-		}
-		s.issueColumn(r, bk, now)
-		// Shift-and-truncate, clearing the vacated tail slot so the retired
-		// *Request (and its bound done event) does not stay reachable for
-		// the rest of the run through the slice's backing array.
-		copy(s.queue[i:], s.queue[i+1:])
-		s.queue[len(s.queue)-1] = nil
-		s.queue = s.queue[:len(s.queue)-1]
-		return true
 	}
 
 	// Precharge: oldest-conflict demand or soft close-page after tRAS.
-	for b := range s.banks {
-		bk := &s.banks[b]
-		if bk.openRow < 0 || now < bk.preReadyAt {
-			continue
-		}
-		hasHit, hasConflict := false, false
-		for _, r := range window {
-			if r.addr.Bank != b {
-				continue
-			}
-			if r.addr.Row == bk.openRow {
-				hasHit = true
-				break
-			}
-			hasConflict = true
-		}
-		if hasHit {
-			continue // soft close-page: pending hits are served first
-		}
-		if hasConflict || now-bk.openedAt >= t.TRAS {
-			s.precharge(b, now, false)
-			return true
-		}
-	}
-
-	// Activate for the oldest request with a closed, ready bank.
-	for _, r := range window {
-		bk := &s.banks[r.addr.Bank]
-		if bk.openRow >= 0 || bk.rfmPending {
-			continue
-		}
-		if now < bk.actReadyAt || now < bk.idleAt {
-			continue
-		}
-		if now < s.lastActAt+t.TRRD {
-			break // channel-level ACT pacing blocks all activates
-		}
-		if !debugSkipFAW && now < s.faw[s.fawIdx]+t.TFAW {
-			break // four-activation window blocks all activates
-		}
-		s.activate(r.addr.Bank, r.addr.Row, now)
-		return true
-	}
-
-	return false
-}
-
-// stepRefresh makes progress toward (or executes) a due REF.
-func (s *SubChannel) stepRefresh(now dram.Time) bool {
-	t := &s.cfg.Timing
-	g := &s.cfg.Geometry
-	allIdle := true
-	var latestIdle dram.Time
-	for b := range s.banks {
-		bk := &s.banks[b]
-		if bk.openRow >= 0 {
-			allIdle = false
-			if now >= bk.preReadyAt {
+	// A non-issuable open bank contributes its close time — immediately
+	// at preReady for a pending conflict, the soft close-page point
+	// otherwise — as a wake candidate. Hit-bearing banks are masked out
+	// wholesale (soft close-page: pending hits are served first).
+	for wi, w := range s.open.Words() {
+		w &^= hitW[wi]
+		cw := confW[wi]
+		for base := wi << 6; w != 0; w &= w - 1 {
+			b := base + bits.TrailingZeros64(w)
+			conf := cw&(w&-w) != 0
+			if now >= s.preReadyAt[b] && (conf || now-s.openedAt[b] >= t.TRAS) {
 				s.precharge(b, now, false)
 				return true
 			}
-			continue
-		}
-		if bk.idleAt > latestIdle {
-			latestIdle = bk.idleAt
+			at := s.preReadyAt[b]
+			if !conf && s.openedAt[b]+t.TRAS > at {
+				at = s.openedAt[b] + t.TRAS
+			}
+			if at < next {
+				next = at
+			}
 		}
 	}
-	if !allIdle || now < latestIdle {
+
+	// Activate the oldest eligible request, gated by the channel-level
+	// ACT pacing (tRRD and the four-activation window).
+	if actIdx >= 0 && now >= trrdGate && (skipFAW || now >= fawGate) {
+		key := s.qKey[actIdx]
+		s.activate(int(uint32(key)), int(key>>32), now)
+		return true
+	}
+
+	if next < never && next <= now {
+		// Defensive only: an on-time candidate cannot reach here (it
+		// would have issued above); the clamp keeps the wake monotonic
+		// regardless.
+		next = now + dram.Picosecond
+	}
+	s.arm(next)
+	return false
+}
+
+// armBlocked arms the wake while the sub-channel cannot issue at all (an
+// ALERT prologue/stall wait or a REF busy window). No bank or queue scan
+// is needed: REF raised every bank timer to at least refBusyUntil and
+// closed every row, so every command candidate lands at or after the
+// block ends — only the block end itself, the next REF, and the idle
+// fast-forward decision matter.
+func (s *SubChannel) armBlocked(now dram.Time) {
+	next := never
+	switch s.alertState {
+	case alertPrologue:
+		next = s.alertStallAt
+	case alertStall:
+		next = s.alertEndAt
+	}
+	if now < s.refBusyUntil {
+		// The wake at refBusyUntil exists only to resume work the REF
+		// blocked. With provably nothing to resume — no queued requests,
+		// no pending RFM, no ALERT initiation owed, no open rows (there
+		// cannot be: REF requires all banks idle) — the next interesting
+		// time is refDue itself, so skip the intermediate wake and let the
+		// sub-channel sleep a whole tREFI. Mitigator state cannot change
+		// during the busy window (it only sees ACT/REF/RFM events, and
+		// none issue before refBusyUntil), so WantsALERT sampled here
+		// holds until then.
+		idleThrough := len(s.queue) == 0 && s.rfmCount == 0 &&
+			!(s.alertState == alertIdle && s.actSinceAlert && s.mit.WantsALERT()) &&
+			s.refDue > s.refBusyUntil && s.open.None()
+		if !idleThrough && s.refBusyUntil < next {
+			next = s.refBusyUntil
+		}
+	}
+	if s.refDue > now && s.refDue < next {
+		next = s.refDue
+	}
+	s.arm(next)
+}
+
+// passRefresh makes progress toward (or executes) a due REF; while the
+// REF is gated it arms the wake at the gating bank's time.
+func (s *SubChannel) passRefresh(now dram.Time) bool {
+	t := &s.cfg.Timing
+	g := &s.cfg.Geometry
+	if !s.open.None() {
+		// Close open rows first; the earliest preReady bank goes now.
+		// Banks already closed still gate the REF through idleAt (tRP,
+		// RFM), so the latest of those is a candidate too.
+		next := never
+		var latestIdle dram.Time
+		for b := range s.openRow {
+			if s.openRow[b] >= 0 {
+				if now >= s.preReadyAt[b] {
+					s.precharge(b, now, false)
+					return true
+				}
+				if s.preReadyAt[b] < next {
+					next = s.preReadyAt[b]
+				}
+			} else if s.idleAt[b] > latestIdle {
+				latestIdle = s.idleAt[b]
+			}
+		}
+		if latestIdle > now && latestIdle < next {
+			next = latestIdle
+		}
+		s.arm(next)
+		return false
+	}
+	if m := s.idleAt.Max(); now < m {
+		s.arm(m)
 		return false
 	}
 	// Execute the all-bank REF.
 	s.refBusyUntil = now + t.TRFC
-	for b := range s.banks {
-		bk := &s.banks[b]
-		if bk.actReadyAt < s.refBusyUntil {
-			bk.actReadyAt = s.refBusyUntil
-		}
-		if bk.idleAt < s.refBusyUntil {
-			bk.idleAt = s.refBusyUntil
-		}
-	}
+	s.actReadyAt.RaiseAll(s.refBusyUntil)
+	s.idleAt.RaiseAll(s.refBusyUntil)
 	s.stats.REFs++
 	s.stats.RefBusy += t.TRFC
 	s.stats.DemandRefreshRows += int64(g.RowsPerREF) * int64(g.BanksPerSubChannel)
@@ -408,24 +727,22 @@ func (s *SubChannel) stepRefresh(now dram.Time) bool {
 // stats.PREs and still subject to RowPress equivalent-ACT weighting.
 func (s *SubChannel) precharge(bank int, now dram.Time, forced bool) {
 	t := &s.cfg.Timing
-	bk := &s.banks[bank]
-	if s.cfg.RowPressWeighting && bk.openRow >= 0 {
+	if s.cfg.RowPressWeighting && s.openRow[bank] >= 0 {
 		// RowPress mitigation (Section II.A): a long-open row disturbs
 		// its neighbours like extra activations; report one equivalent
 		// ACT to the tracker per additional tRAS the row stayed open.
-		extra := int((now-bk.openedAt)/t.TRAS) - 1
+		extra := int((now-s.openedAt[bank])/t.TRAS) - 1
 		if extra > 8 {
 			extra = 8
 		}
 		for i := 0; i < extra; i++ {
-			s.mit.OnActivate(bank, bk.openRow, now)
+			s.mit.OnActivate(bank, int(s.openRow[bank]), now)
 		}
 	}
-	bk.openRow = -1
-	if bk.actReadyAt < now+t.TRP {
-		bk.actReadyAt = now + t.TRP
-	}
-	bk.idleAt = now + t.TRP
+	s.openRow[bank] = -1
+	s.open.Clear(bank)
+	s.actReadyAt.Raise(bank, now+t.TRP)
+	s.idleAt[bank] = now + t.TRP
 	s.stats.PREs++
 	if s.obs != nil {
 		s.obs.ObservePRE(s.id, bank, forced, now)
@@ -434,12 +751,12 @@ func (s *SubChannel) precharge(bank int, now dram.Time, forced bool) {
 
 func (s *SubChannel) activate(bank, row int, now dram.Time) {
 	t := &s.cfg.Timing
-	bk := &s.banks[bank]
-	bk.openRow = row
-	bk.openedAt = now
-	bk.colReadyAt = now + t.TRCD
-	bk.preReadyAt = now + t.TRAS
-	bk.actReadyAt = now + t.TRC
+	s.openRow[bank] = int32(row)
+	s.open.Set(bank)
+	s.openedAt[bank] = now
+	s.colReadyAt[bank] = now + t.TRCD
+	s.preReadyAt[bank] = now + t.TRAS
+	s.actReadyAt[bank] = now + t.TRC
 	s.faw[s.fawIdx] = now
 	s.fawIdx = (s.fawIdx + 1) % len(s.faw)
 	s.lastActAt = now
@@ -450,10 +767,13 @@ func (s *SubChannel) activate(bank, row int, now dram.Time) {
 	}
 
 	if s.cfg.RFMBAT > 0 {
-		bk.actCounter++
-		if bk.actCounter >= s.cfg.RFMBAT {
-			bk.actCounter = 0
-			bk.rfmPending = true
+		s.actCounter[bank]++
+		if int(s.actCounter[bank]) >= s.cfg.RFMBAT {
+			s.actCounter[bank] = 0
+			if !s.rfmPending.Test(bank) {
+				s.rfmPending.Set(bank)
+				s.rfmCount++
+			}
 		}
 	}
 	if s.obs != nil {
@@ -462,12 +782,12 @@ func (s *SubChannel) activate(bank, row int, now dram.Time) {
 	s.mit.OnActivate(bank, row, now)
 }
 
-func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
+func (s *SubChannel) issueColumn(r *Request, bank int, now dram.Time) {
 	t := &s.cfg.Timing
 	dataDone := now + t.TCL + t.TBUS
 	s.busFreeAt = dataDone
 	s.stats.BusBusy += t.TBUS
-	if bk.openedAt <= r.arrive {
+	if s.openedAt[bank] <= r.arrive {
 		// The row was already open when the request arrived.
 		s.stats.RowHits++
 	} else {
@@ -475,9 +795,7 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 	}
 	if r.Write {
 		s.stats.Writes++
-		if bk.preReadyAt < dataDone+t.TWR {
-			bk.preReadyAt = dataDone + t.TWR
-		}
+		s.preReadyAt.Raise(bank, dataDone+t.TWR)
 		if s.obs != nil {
 			s.obs.ObserveWrite(s.id, r.addr.Bank, r.addr.Row, now)
 		}
@@ -487,9 +805,7 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 		return
 	}
 	s.stats.Reads++
-	if bk.preReadyAt < now+t.TRTP {
-		bk.preReadyAt = now + t.TRTP
-	}
+	s.preReadyAt.Raise(bank, now+t.TRTP)
 	if s.obs != nil {
 		s.obs.ObserveRead(s.id, r.addr.Bank, r.addr.Row, now)
 	}
@@ -497,156 +813,3 @@ func (s *SubChannel) issueColumn(r *Request, bk *bankState, now dram.Time) {
 		s.k.ScheduleEvent(&r.doneEv, dataDone)
 	}
 }
-
-// arm computes the earliest future time at which step could make progress
-// and schedules a wake there.
-func (s *SubChannel) arm() {
-	now := s.k.Now()
-	t := &s.cfg.Timing
-	const never = dram.Time(1) << 62
-	next := never
-
-	chosen := ""
-	consider := func(at dram.Time, label string) {
-		if at <= now {
-			at = now + dram.Picosecond
-			if debugClamp != nil {
-				debugClamp(label)
-			}
-		}
-		if at < next {
-			next = at
-			chosen = label
-		}
-	}
-	defer func() {
-		if debugArm != nil && next < never {
-			debugArm(chosen, next-now)
-		}
-	}()
-
-	switch s.alertState {
-	case alertPrologue:
-		consider(s.alertStallAt, "alertStallAt")
-	case alertStall:
-		consider(s.alertEndAt, "alertEndAt")
-	}
-	if now < s.refBusyUntil {
-		consider(s.refBusyUntil, "refBusy")
-	}
-	if s.refDue > now {
-		consider(s.refDue, "refDue") // refresh is self-sustaining
-	}
-
-	refPending := now >= s.refDue && s.alertState == alertIdle && now >= s.refBusyUntil
-	if refPending {
-		// Only the latest idle time gates the REF; banks already idle
-		// need no wake of their own.
-		var latestIdle dram.Time
-		for b := range s.banks {
-			bk := &s.banks[b]
-			if bk.openRow >= 0 {
-				consider(bk.preReadyAt, "ref-pre")
-			} else if bk.idleAt > latestIdle {
-				latestIdle = bk.idleAt
-			}
-		}
-		if latestIdle > now {
-			consider(latestIdle, "ref-idle")
-		}
-		// While refresh is pending nothing else issues.
-		if next < never {
-			s.requestWake(next)
-		}
-		return
-	}
-
-	if s.alertState == alertStall {
-		s.requestWake(next)
-		return
-	}
-
-	window := s.queue
-	if len(window) > s.cfg.WindowDepth {
-		window = window[:s.cfg.WindowDepth]
-	}
-	hitBank, conflictBank := s.hitBank, s.conflictBank
-	for i := range hitBank {
-		hitBank[i] = false
-		conflictBank[i] = false
-	}
-	for _, r := range window {
-		bk := &s.banks[r.addr.Bank]
-		if bk.openRow == r.addr.Row {
-			hitBank[r.addr.Bank] = true
-		} else if bk.openRow >= 0 {
-			conflictBank[r.addr.Bank] = true
-		}
-	}
-
-	for b := range s.banks {
-		bk := &s.banks[b]
-		if bk.rfmPending {
-			if bk.openRow >= 0 {
-				if !hitBank[b] {
-					consider(bk.preReadyAt, "rfm-pre")
-				}
-			} else {
-				consider(bk.idleAt, "rfm-idle")
-			}
-		}
-		if bk.openRow >= 0 && !hitBank[b] {
-			// Precharge timer: immediately at preReady for a pending
-			// conflict, at the soft close-page point otherwise.
-			at := bk.preReadyAt
-			if !conflictBank[b] && bk.openedAt+t.TRAS > at {
-				at = bk.openedAt + t.TRAS
-			}
-			consider(at, "pre")
-		}
-	}
-	for _, r := range window {
-		bk := &s.banks[r.addr.Bank]
-		switch {
-		case bk.openRow == r.addr.Row:
-			at := bk.colReadyAt
-			if s.busFreeAt-t.TCL > at {
-				at = s.busFreeAt - t.TCL
-			}
-			consider(at, "col")
-		case bk.openRow >= 0:
-			if !hitBank[r.addr.Bank] {
-				consider(bk.preReadyAt, "conf-pre")
-			}
-		default:
-			at := bk.actReadyAt
-			if bk.idleAt > at {
-				at = bk.idleAt
-			}
-			if f := s.faw[s.fawIdx] + t.TFAW; f > at && !debugSkipFAW {
-				at = f
-			}
-			if rr := s.lastActAt + t.TRRD; rr > at {
-				at = rr
-			}
-			consider(at, "act")
-		}
-	}
-
-	if next < never {
-		s.requestWake(next)
-	}
-}
-
-// debugHook, when non-nil, receives the number of step transitions each
-// wake performed (test instrumentation). debugClamp receives the label of
-// any candidate that had to be clamped into the future. debugSkipFAW
-// disables the four-activation-window pacing check — it exists solely so
-// the audit tests can prove the auditor catches a controller that stops
-// honouring tFAW.
-var (
-	debugHook    func(progress int)
-	debugClamp   func(label string)
-	debugArm     func(label string, delta dram.Time)
-	debugSkipFAW bool
-)

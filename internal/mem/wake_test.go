@@ -6,13 +6,13 @@ import (
 	"mirza/internal/dram"
 )
 
-// The sub-channel owns exactly one persistent wake event; requestWake must
-// coalesce onto it. The audited contract (DESIGN.md §11): an
-// earlier-or-equal pending wake wins, a later one is pulled forward with a
-// fresh FIFO sequence number — the exact behavior of the retired
-// generation-counter scheme, minus the superseded no-op events it left in
-// the queue.
-func TestRequestWakeCoalesces(t *testing.T) {
+// The sub-channel owns exactly one persistent wake event. arm moves it
+// with Reschedule (fresh FIFO sequence number, so the wake fires after
+// events already queued for the armed instant), and submit fires it at
+// the arrival instant through the kernel's poke lane without disturbing
+// the armed slot — so the kernel queue never accumulates superseded
+// wakes (the audited contract, DESIGN.md §11/§16).
+func TestWakeEventSingleAndCoalesced(t *testing.T) {
 	k, ch := newTestChannel(t, Config{})
 	s := ch.SubChannel(0)
 
@@ -25,37 +25,39 @@ func TestRequestWakeCoalesces(t *testing.T) {
 	}
 	base := k.Pending()
 
-	// A later wake request coalesces into the pending earlier one.
-	s.requestWake(s.wakeEv.When() + dram.Microsecond)
+	// Re-arming moves the single event; it never schedules a second one.
+	s.arm(s.wakeEv.When() / 2)
 	if k.Pending() != base {
-		t.Fatalf("later requestWake grew the queue: %d -> %d", base, k.Pending())
+		t.Fatalf("re-arm grew the queue: %d -> %d", base, k.Pending())
+	}
+	if got, want := s.wakeEv.When(), s.cfg.Timing.TREFI/2; got != want {
+		t.Fatalf("wake at %v, want re-armed to %v", got, want)
 	}
 
-	// An equal-time request is also absorbed.
-	s.requestWake(s.wakeEv.When())
-	if k.Pending() != base {
-		t.Fatalf("equal-time requestWake grew the queue: %d -> %d", base, k.Pending())
+	// An arrival-instant poke adds one pending firing without moving the
+	// armed slot; a second poke in the same instant coalesces.
+	k.PokeNow(&s.wakeEv)
+	if k.Pending() != base+1 {
+		t.Fatalf("poke pending: %d, want %d", k.Pending(), base+1)
+	}
+	k.PokeNow(&s.wakeEv)
+	if k.Pending() != base+1 {
+		t.Fatalf("second poke did not coalesce: %d, want %d", k.Pending(), base+1)
+	}
+	if got, want := s.wakeEv.When(), s.cfg.Timing.TREFI/2; got != want {
+		t.Fatalf("poke moved the armed slot to %v, want %v untouched", got, want)
 	}
 
-	// An earlier request pulls the single event forward — never a second
-	// event.
-	earlier := s.wakeEv.When() / 2
-	s.requestWake(earlier)
-	if k.Pending() != base {
-		t.Fatalf("earlier requestWake grew the queue: %d -> %d", base, k.Pending())
+	// The poked firing drains at the current instant; the armed slot
+	// survives it.
+	if !k.Step() {
+		t.Fatal("no poked firing to execute")
 	}
-	if got := s.wakeEv.When(); got != earlier {
-		t.Fatalf("wake at %v, want pulled forward to %v", got, earlier)
+	if k.Now() != 0 {
+		t.Fatalf("poked firing advanced the clock to %v, want 0", k.Now())
 	}
-
-	// Past-time requests clamp to now.
-	k.RunUntil(earlier / 2)
-	s.requestWake(0)
-	if got := s.wakeEv.When(); got != k.Now() {
-		t.Fatalf("past requestWake at %v, want clamped to now %v", got, k.Now())
-	}
-	if k.Pending() != base {
-		t.Fatalf("past requestWake grew the queue: %d -> %d", base, k.Pending())
+	if !s.wakeEv.Scheduled() {
+		t.Fatal("armed slot lost after poked firing")
 	}
 }
 
@@ -67,9 +69,9 @@ func TestSingleWakeEventUnderLoad(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		addr := ch.Geometry().Compose(dram.Address{SubChannel: 0, Bank: i % 8, Row: i, Col: 0})
 		ch.Submit(&Request{Addr: addr, Done: func(dram.Time) { dones++ }})
-		// Pending: at most the one wake per sub-channel plus in-flight
-		// read-done events.
-		if max := ch.Geometry().SubChannels + 32; k.Pending() > max {
+		// Pending: at most the one wake (plus one pending poked firing)
+		// per sub-channel plus in-flight read-done events.
+		if max := 2*ch.Geometry().SubChannels + 32; k.Pending() > max {
 			t.Fatalf("queue grew to %d events (> %d): superseded wakes accumulating", k.Pending(), max)
 		}
 	}

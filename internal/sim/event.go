@@ -29,6 +29,12 @@ type Event struct {
 	at  dram.Time
 	seq uint64
 	pos int32 // 1-based heap position; 0 when idle
+
+	// poked/pokeSeq track a pending PokeNow firing (see Kernel.PokeNow):
+	// an extra same-instant firing that rides the kernel's lane instead of
+	// the heap, independent of the scheduled slot above.
+	poked   bool
+	pokeSeq uint64
 }
 
 // Bind sets the event's fire target. It must be called before the first
@@ -36,7 +42,7 @@ type Event struct {
 // scheduled. Rebinding an idle event is allowed (pooled objects rebind on
 // reuse).
 func (e *Event) Bind(h Handler) {
-	if e.pos != 0 {
+	if e.pos != 0 || e.poked {
 		panic("sim: Bind on a scheduled event")
 	}
 	if h == nil {
@@ -52,14 +58,14 @@ func (e *Event) Scheduled() bool { return e.pos != 0 }
 // meaningful while Scheduled() is true.
 func (e *Event) When() dram.Time { return e.at }
 
-// eventFunc adapts a one-shot closure to the Event API; it backs the
-// deprecated Kernel.Schedule shim.
-type eventFunc struct {
-	ev Event
-	fn func()
-}
+// HandlerFunc adapts a plain function to the Handler interface, for call
+// sites (mostly tests) where a dedicated adapter type is overkill. The
+// caller still owns and reuses the Event it binds the function to — unlike
+// the retired Schedule(at, func()) shim, nothing is allocated per firing.
+type HandlerFunc func(now dram.Time)
 
-func (f *eventFunc) Fire(dram.Time) { f.fn() }
+// Fire implements Handler.
+func (f HandlerFunc) Fire(now dram.Time) { f(now) }
 
 // The event queue is a monomorphic 4-ary min-heap of *Event ordered by
 // (at, seq): no container/heap, no interface boxing, and a shallower tree
@@ -206,14 +212,20 @@ func (k *Kernel) Reschedule(e *Event, at dram.Time) {
 	k.fix(int(e.pos) - 1)
 }
 
-// Cancel removes e from the queue, reporting whether it was pending. It
-// is a no-op on an idle event.
+// Cancel removes e from the queue — and voids any pending poke — reporting
+// whether anything was pending. It is a no-op on an idle event.
 func (k *Kernel) Cancel(e *Event) bool {
-	if e.pos == 0 {
-		return false
+	was := false
+	if e.poked {
+		e.poked = false
+		k.laneLive--
+		was = true
 	}
-	k.remove(int(e.pos) - 1)
-	return true
+	if e.pos != 0 {
+		k.remove(int(e.pos) - 1)
+		was = true
+	}
+	return was
 }
 
 // pastTimeDiagnostic builds the panic message for scheduling before now.

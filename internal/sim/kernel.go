@@ -3,12 +3,12 @@
 // monotonic picosecond clock.
 //
 // The queue is a monomorphic 4-ary min-heap of typed *Event handles (see
-// event.go). Hot-path callers allocate an Event once, Bind it to a
-// Handler, and Schedule/Reschedule/Cancel it for the lifetime of the
-// simulation: steady-state scheduling performs zero heap allocations (the
-// contract is pinned by testing.AllocsPerRun in kernel_bench_test.go).
-// The closure-based Schedule(at, func()) remains as a deprecated shim for
-// cold paths and external tests.
+// event.go). Callers allocate an Event once, Bind it to a Handler, and
+// ScheduleEvent/Reschedule/Cancel it for the lifetime of the simulation:
+// steady-state scheduling performs zero heap allocations (the contract is
+// pinned by testing.AllocsPerRun in kernel_bench_test.go). One-shot
+// closures can be bound through HandlerFunc; the caller still owns the
+// Event.
 package sim
 
 import (
@@ -27,42 +27,86 @@ type Kernel struct {
 	seq    uint64
 	events []*Event // 4-ary min-heap ordered by (at, seq)
 
+	// lane holds PokeNow firings pending at the current instant, FIFO by
+	// the sequence number each poke allocated. Entries merge with the heap
+	// in exact (time, seq) order in Step; the backing array is reused once
+	// drained, so steady-state pokes allocate nothing.
+	lane     []laneEntry
+	laneHead int
+	laneLive int
+
 	// recent is a ring of the times of the most recently executed events,
 	// reported in watchdog stall diagnostics.
 	recent   [recentEvents]dram.Time
 	executed uint64
 }
 
+// laneEntry is one pending PokeNow firing. The seq snapshot doubles as the
+// tombstone check: a poke cancelled (or consumed) before the entry drains
+// no longer matches the event's pokeSeq and is skipped.
+type laneEntry struct {
+	e   *Event
+	seq uint64
+}
+
 // Now returns the current simulation time.
 func (k *Kernel) Now() dram.Time { return k.now }
 
-// Schedule runs fn at time at. Scheduling in the past panics: it would
-// silently corrupt causality.
-//
-// Deprecated: Schedule allocates a one-shot event and boxes fn on every
-// call. Hot paths should embed a reusable Event, Bind it once, and use
-// ScheduleEvent/Reschedule instead. The shim remains for tests and
-// cold-path callers.
-func (k *Kernel) Schedule(at dram.Time, fn func()) {
-	f := &eventFunc{fn: fn}
-	f.ev.h = f
-	k.ScheduleEvent(&f.ev, at)
-}
+// Pending returns the number of queued firings: heap events plus pending
+// pokes.
+func (k *Kernel) Pending() int { return len(k.events) + k.laneLive }
 
-// After schedules fn delay after the current time.
+// PokeNow fires e once at the current instant, ordered exactly as if it
+// had been rescheduled to now — it allocates a fresh FIFO sequence number,
+// so it fires after every event already queued for this instant — but
+// WITHOUT disturbing e's scheduled slot: the event stays queued at its
+// future time, where a later Reschedule can move it for the cost of a
+// short heap fix instead of a full pull-to-now-and-back round trip.
 //
-// Deprecated: see Schedule.
-func (k *Kernel) After(delay dram.Time, fn func()) {
-	k.Schedule(k.now+delay, fn)
+// A second poke while one is pending coalesces (no sequence number is
+// allocated), mirroring how a reschedule-to-now coalesces against a wake
+// already due at the current instant. Poking an event whose scheduled
+// time IS the current instant is the caller's responsibility to avoid
+// (it would fire twice); the intended pattern guards with
+// e.Scheduled() && e.When() <= now first.
+func (k *Kernel) PokeNow(e *Event) {
+	if e.h == nil {
+		panic("sim: PokeNow on an unbound event (call Bind first)")
+	}
+	if e.poked {
+		return
+	}
+	k.seq++
+	e.poked = true
+	e.pokeSeq = k.seq
+	k.lane = append(k.lane, laneEntry{e, k.seq})
+	k.laneLive++
 }
-
-// Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
 
 // Step executes the earliest event, advancing the clock. It returns false
 // if no events remain. The fired event is idle (and may be rescheduled,
-// including from inside its own Fire) by the time Fire runs.
+// including from inside its own Fire) by the time Fire runs; a poked
+// event keeps its scheduled slot.
 func (k *Kernel) Step() bool {
+	for k.laneHead < len(k.lane) {
+		le := k.lane[k.laneHead]
+		if !le.e.poked || le.e.pokeSeq != le.seq {
+			// Tombstone: the poke was cancelled before draining.
+			k.laneDrop()
+			continue
+		}
+		if len(k.events) > 0 && (k.events[0].at < k.now ||
+			(k.events[0].at == k.now && k.events[0].seq < le.seq)) {
+			break // an older same-instant heap event fires first
+		}
+		k.laneDrop()
+		k.laneLive--
+		le.e.poked = false
+		k.recent[k.executed%recentEvents] = k.now
+		k.executed++
+		le.e.h.Fire(k.now)
+		return true
+	}
 	if len(k.events) == 0 {
 		return false
 	}
@@ -72,6 +116,16 @@ func (k *Kernel) Step() bool {
 	k.executed++
 	e.h.Fire(e.at)
 	return true
+}
+
+// laneDrop consumes the head lane entry, recycling the backing array once
+// the lane drains.
+func (k *Kernel) laneDrop() {
+	k.laneHead++
+	if k.laneHead == len(k.lane) {
+		k.lane = k.lane[:0]
+		k.laneHead = 0
+	}
 }
 
 // Executed returns the number of events the kernel has run.
@@ -157,7 +211,8 @@ func (k *Kernel) NextTimes(n int) []dram.Time {
 // empties, leaving later events queued. The clock is left at
 // min(deadline, last-event time).
 func (k *Kernel) RunUntil(deadline dram.Time) {
-	for len(k.events) > 0 && k.events[0].at <= deadline {
+	for (k.laneLive > 0 && k.now <= deadline) ||
+		(len(k.events) > 0 && k.events[0].at <= deadline) {
 		k.Step()
 	}
 	if k.now < deadline {

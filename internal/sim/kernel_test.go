@@ -7,13 +7,23 @@ import (
 	"mirza/internal/dram"
 )
 
+// scheduleFunc schedules a one-shot fn at time at through a typed Event
+// handle. Test convenience: each call allocates its own handle, which is
+// exactly what the retired Schedule(at, func()) shim did implicitly —
+// production callers embed and reuse their Events instead.
+func scheduleFunc(k *Kernel, at dram.Time, fn func()) {
+	e := &Event{}
+	e.Bind(HandlerFunc(func(dram.Time) { fn() }))
+	k.ScheduleEvent(e, at)
+}
+
 func TestKernelOrdering(t *testing.T) {
 	var k Kernel
 	var got []int
-	k.Schedule(30, func() { got = append(got, 3) })
-	k.Schedule(10, func() { got = append(got, 1) })
-	k.Schedule(20, func() { got = append(got, 2) })
-	k.Schedule(10, func() { got = append(got, 11) }) // FIFO at equal times
+	scheduleFunc(&k, 30, func() { got = append(got, 3) })
+	scheduleFunc(&k, 10, func() { got = append(got, 1) })
+	scheduleFunc(&k, 20, func() { got = append(got, 2) })
+	scheduleFunc(&k, 10, func() { got = append(got, 11) }) // FIFO at equal times
 	for k.Step() {
 	}
 	want := []int{1, 11, 2, 3}
@@ -30,8 +40,8 @@ func TestKernelOrdering(t *testing.T) {
 func TestKernelRunUntil(t *testing.T) {
 	var k Kernel
 	fired := 0
-	k.Schedule(100, func() { fired++ })
-	k.Schedule(200, func() { fired++ })
+	scheduleFunc(&k, 100, func() { fired++ })
+	scheduleFunc(&k, 200, func() { fired++ })
 	k.RunUntil(150)
 	if fired != 1 {
 		t.Fatalf("fired = %d, want 1", fired)
@@ -46,16 +56,18 @@ func TestKernelRunUntil(t *testing.T) {
 }
 
 func TestKernelSelfScheduling(t *testing.T) {
+	// The idiomatic self-rescheduling pattern: one reusable Event handle,
+	// bound once, rescheduled from inside its own Fire.
 	var k Kernel
 	count := 0
-	var tick func()
-	tick = func() {
+	var tickEv Event
+	tickEv.Bind(HandlerFunc(func(now dram.Time) {
 		count++
 		if count < 10 {
-			k.After(5*dram.Nanosecond, tick)
+			k.ScheduleEvent(&tickEv, now+5*dram.Nanosecond)
 		}
-	}
-	k.Schedule(0, tick)
+	}))
+	k.ScheduleEvent(&tickEv, 0)
 	k.RunUntil(dram.Millisecond)
 	if count != 10 {
 		t.Errorf("count = %d", count)
@@ -83,20 +95,19 @@ func TestRunUntilEmptyQueue(t *testing.T) {
 }
 
 func TestSameTimeFIFOInterleaved(t *testing.T) {
-	// Events scheduled at the same instant through interleaved Schedule and
-	// After calls — including from inside running events — must execute in
-	// submission order.
+	// Events scheduled for the same instant — including from inside
+	// running events — must execute in submission order.
 	var k Kernel
 	var got []int
-	k.Schedule(10, func() {
+	scheduleFunc(&k, 10, func() {
 		got = append(got, 0)
 		// Same-time events enqueued mid-execution run after the ones
 		// already queued for this instant, in submission order.
-		k.Schedule(10, func() { got = append(got, 3) })
-		k.After(0, func() { got = append(got, 4) })
+		scheduleFunc(&k, 10, func() { got = append(got, 3) })
+		scheduleFunc(&k, k.Now(), func() { got = append(got, 4) })
 	})
-	k.Schedule(10, func() { got = append(got, 1) })
-	k.After(10, func() { got = append(got, 2) }) // After from t=0 lands at 10 too
+	scheduleFunc(&k, 10, func() { got = append(got, 1) })
+	scheduleFunc(&k, 10, func() { got = append(got, 2) })
 	k.RunUntil(20)
 	want := []int{0, 1, 2, 3, 4}
 	if len(got) != len(want) {
@@ -111,29 +122,28 @@ func TestSameTimeFIFOInterleaved(t *testing.T) {
 
 func TestSchedulePastPanics(t *testing.T) {
 	var k Kernel
-	k.Schedule(100, func() {})
+	scheduleFunc(&k, 100, func() {})
 	k.Step()
 	defer func() {
 		if recover() == nil {
 			t.Error("scheduling in the past must panic")
 		}
 	}()
-	k.Schedule(50, func() {})
+	scheduleFunc(&k, 50, func() {})
 }
 
 func TestDrain(t *testing.T) {
 	var k Kernel
 	for i := 0; i < 5; i++ {
-		at := dram.Time(i)
-		k.Schedule(at, func() {})
+		scheduleFunc(&k, dram.Time(i), func() {})
 	}
 	if err := k.Drain(10); err != nil {
 		t.Errorf("drain: %v", err)
 	}
 	var k2 Kernel
-	var reschedule func()
-	reschedule = func() { k2.After(1, reschedule) }
-	k2.Schedule(0, reschedule)
+	var spinEv Event
+	spinEv.Bind(HandlerFunc(func(now dram.Time) { k2.ScheduleEvent(&spinEv, now+1) }))
+	k2.ScheduleEvent(&spinEv, 0)
 	if err := k2.Drain(100); err == nil {
 		t.Error("unbounded drain should report an error")
 	}
@@ -144,7 +154,7 @@ func TestNextTimes(t *testing.T) {
 	// Schedule in an order that leaves the heap internally unsorted, with
 	// duplicates to exercise the (time, seq) tie-break.
 	for _, at := range []dram.Time{50, 10, 40, 10, 30, 20, 60, 5} {
-		k.Schedule(at, func() {})
+		scheduleFunc(&k, at, func() {})
 	}
 	got := k.NextTimes(5)
 	want := []dram.Time{5, 10, 10, 20, 30}
@@ -193,7 +203,7 @@ func TestNextTimesLargeBacklog(t *testing.T) {
 		state ^= state << 17
 		at := dram.Time(state % 100000)
 		ref = append(ref, at)
-		k.Schedule(at, func() {})
+		scheduleFunc(&k, at, func() {})
 	}
 	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
 	got := k.NextTimes(64)

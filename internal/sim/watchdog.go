@@ -133,7 +133,8 @@ func (k *Kernel) RunUntilCtx(ctx context.Context, deadline dram.Time, w *Watchdo
 	}
 	lastNow := k.now
 	sinceCheck := 0
-	for len(k.events) > 0 && k.events[0].at <= deadline {
+	for (k.laneLive > 0 && k.now <= deadline) ||
+		(len(k.events) > 0 && k.events[0].at <= deadline) {
 		k.Step()
 		sinceCheck++
 		if sinceCheck < checkEvery {
@@ -159,7 +160,7 @@ func (k *Kernel) RunUntilCtx(ctx context.Context, deadline dram.Time, w *Watchdo
 				Now:      k.now,
 				Stalled:  elapsed,
 				Executed: k.executed,
-				Pending:  len(k.events),
+				Pending:  k.Pending(),
 				Next:     k.NextTimes(8),
 				Recent:   k.RecentTimes(),
 			}

@@ -25,9 +25,9 @@ func TestWatchdogAbortsLivelock(t *testing.T) {
 	var k Kernel
 	// A pathological back-off loop: every event re-arms itself at now+1ps,
 	// so simulated time crawls while wall-clock time burns.
-	var spin func()
-	spin = func() { k.After(dram.Picosecond, spin) }
-	k.Schedule(0, spin)
+	var spinEv Event
+	spinEv.Bind(HandlerFunc(func(now dram.Time) { k.ScheduleEvent(&spinEv, now+dram.Picosecond) }))
+	k.ScheduleEvent(&spinEv, 0)
 
 	clock := &fakeClock{now: time.Unix(0, 0), step: 50 * time.Millisecond}
 	w := &Watchdog{Budget: time.Second, CheckEvery: 4, clock: clock.Now}
@@ -58,9 +58,9 @@ func TestWatchdogAbortsLivelock(t *testing.T) {
 func TestWatchdogAbortsZeroAdvanceLoop(t *testing.T) {
 	var k Kernel
 	// Same-time rescheduling: the clock never moves at all.
-	var spin func()
-	spin = func() { k.Schedule(k.Now(), spin) }
-	k.Schedule(5*dram.Nanosecond, spin)
+	var spinEv Event
+	spinEv.Bind(HandlerFunc(func(now dram.Time) { k.ScheduleEvent(&spinEv, now) }))
+	k.ScheduleEvent(&spinEv, 5*dram.Nanosecond)
 
 	clock := &fakeClock{now: time.Unix(0, 0), step: 100 * time.Millisecond}
 	w := &Watchdog{Budget: time.Second, CheckEvery: 8, clock: clock.Now}
@@ -75,12 +75,12 @@ func TestWatchdogAbortsZeroAdvanceLoop(t *testing.T) {
 func TestWatchdogPassesHealthyRun(t *testing.T) {
 	var k Kernel
 	count := 0
-	var tick func()
-	tick = func() {
+	var tickEv Event
+	tickEv.Bind(HandlerFunc(func(now dram.Time) {
 		count++
-		k.After(10*dram.Nanosecond, tick)
-	}
-	k.Schedule(0, tick)
+		k.ScheduleEvent(&tickEv, now+10*dram.Nanosecond)
+	}))
+	k.ScheduleEvent(&tickEv, 0)
 
 	// Wall clock jumps far past the budget between checks, but simulated
 	// time advances healthily, so progress resets the allowance.
@@ -100,7 +100,7 @@ func TestWatchdogPassesHealthyRun(t *testing.T) {
 func TestWatchdogDisabled(t *testing.T) {
 	var k Kernel
 	fired := false
-	k.Schedule(10, func() { fired = true })
+	scheduleFunc(&k, 10, func() { fired = true })
 	if err := k.RunUntilWatched(100, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestWatchdogDisabled(t *testing.T) {
 		t.Errorf("nil watchdog must behave like RunUntil (fired=%v now=%v)", fired, k.Now())
 	}
 	var k2 Kernel
-	k2.Schedule(10, func() {})
+	scheduleFunc(&k2, 10, func() {})
 	if err := k2.RunUntilWatched(100, &Watchdog{}); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestKernelDiagnosticAccessors(t *testing.T) {
 		t.Errorf("fresh kernel next = %v", got)
 	}
 	for i := 1; i <= 20; i++ {
-		k.Schedule(dram.Time(i), func() {})
+		scheduleFunc(&k, dram.Time(i), func() {})
 	}
 	if got := k.NextTimes(3); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Errorf("next = %v, want [1 2 3]", got)
