@@ -11,7 +11,7 @@ GO ?= go
 # parallel path, not just -j 1.
 SHORT_ENV = MIRZA_MEASURE_MS=0.2 MIRZA_WARMUP_MS=0.1 MIRZA_REPLAY_WINDOWS=2 MIRZA_WORKLOADS=xz MIRZA_PARALLELISM=4
 
-.PHONY: check vet build test test-race test-telemetry serve-check trace-check audit conformance bench bench-smoke bench-mem clean
+.PHONY: check vet build test test-race test-telemetry serve-check trace-check sweep-check audit conformance bench bench-smoke bench-mem clean
 
 check: vet build test-race test-telemetry
 
@@ -50,6 +50,17 @@ serve-check:
 trace-check:
 	$(GO) test -race -count=1 ./internal/tracefile/ ./internal/tenant/
 	./scripts/trace-check.sh
+
+# Sweep/provenance gate: the sweep-engine and Merkle-ledger suites under
+# the race detector (process-level determinism, SIGKILL retry, cache
+# reuse, inclusion proofs, tamper detection), then the scripted
+# end-to-end check — a 2-worker grid vs a 1-worker rerun must produce
+# byte-identical ledgers, `mirza-sweep verify` must prove every entry,
+# and flipping one recorded manifest byte must fail verification (see
+# DESIGN.md section 17).
+sweep-check:
+	$(GO) test -race -count=1 ./internal/sweep/ ./internal/provenance/
+	./scripts/sweep-check.sh
 
 # Protocol-audit gate: the auditor's unit and property suites (synthetic
 # violations, adversarial traffic, the disabled-tFAW canary), then a quick

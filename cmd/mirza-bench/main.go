@@ -22,7 +22,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,6 +55,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline per engine job (0 = none)")
 		listen    = flag.String("listen", "", "serve live /metrics, /manifest and /debug/pprof on this address (e.g. :6060)")
 		noRetry   = flag.Bool("no-retry", false, "disable the reduced-fidelity retry of failed experiments")
+		shardPath = flag.String("shard", "", "worker mode: run one sweep shard from this request JSON file (see mirza-sweep)")
+		shardOut  = flag.String("shard-out", "", "worker mode: write the shard's canonical manifest to this path (required with -shard)")
 		common    = cliflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -61,6 +65,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mirza-bench:", err)
 		os.Exit(2)
+	}
+
+	if *shardPath != "" || *shardOut != "" {
+		os.Exit(runShard(*shardPath, *shardOut, shared, *timeout, *verbose))
 	}
 
 	if *list {
@@ -236,4 +244,66 @@ func main() {
 	case sum.Degraded > 0:
 		os.Exit(3)
 	}
+}
+
+// runShard is the sweep worker mode (-shard/-shard-out): it reads one
+// serve.Request JSON file, runs it through the same ExperimentsBackend
+// the daemon uses, and writes the canonical run manifest — so a shard
+// executed by a worker process is byte-identical to the same request
+// served by mirza-serve or cached by mirza-sweep. Exit codes: 0 clean,
+// 1 failed, 2 bad request, 3 degraded fidelity (mirza-sweep treats
+// anything nonzero as a failed shard).
+func runShard(reqPath, outPath string, shared cliflags.Values, engineTimeout time.Duration, verbose bool) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "mirza-bench: shard: "+format+"\n", args...)
+		return 1
+	}
+	if reqPath == "" || outPath == "" {
+		fmt.Fprintln(os.Stderr, "mirza-bench: worker mode needs both -shard <request.json> and -shard-out <manifest.json>")
+		return 2
+	}
+	body, err := os.ReadFile(reqPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mirza-bench: shard:", err)
+		return 2
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req serve.Request
+	if err := dec.Decode(&req); err != nil {
+		fmt.Fprintf(os.Stderr, "mirza-bench: shard: %s: %v\n", reqPath, err)
+		return 2
+	}
+	backend := &serve.ExperimentsBackend{
+		StallBudget:   shared.StallBudget,
+		Parallelism:   shared.Parallelism,
+		EngineTimeout: engineTimeout,
+	}
+	if verbose {
+		backend.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+	prep, err := backend.Prepare(&req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mirza-bench: shard:", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	out := backend.Run(ctx, prep)
+	if out.Err != "" {
+		if out.Panicked {
+			fmt.Fprintln(os.Stderr, out.Stack)
+		}
+		return fail("%s (key %s)", out.Err, prep.Key)
+	}
+	if err := os.WriteFile(outPath, out.Manifest, 0o644); err != nil {
+		return fail("%v", err)
+	}
+	if out.Degraded {
+		fmt.Fprintf(os.Stderr, "mirza-bench: shard %s: DEGRADED fidelity\n", prep.Key)
+		return 3
+	}
+	return 0
 }

@@ -47,6 +47,7 @@ import (
 
 	"mirza/internal/cliflags"
 	"mirza/internal/serve"
+	"mirza/internal/sweep"
 )
 
 func main() {
@@ -62,14 +63,16 @@ func main() {
 		stall    = flag.Duration("stall-budget", cliflags.DefaultStallBudget, "livelock watchdog budget per simulation (0 = disabled)")
 		j        = flag.Int("j", 0, "experiment engine workers per job (0 = GOMAXPROCS)")
 		metrics  = flag.String("metrics", "", "write the server's telemetry RunManifest JSON to this path after drain")
+		sweepOn  = flag.Bool("sweep", true, "serve POST /v1/sweep: fan a grid spec into the admission queue with NDJSON progress")
+		sweepMax = flag.Int("sweep-inflight", 4, "max shards of one fanned sweep in the admission queue at once")
 		verbose  = flag.Bool("v", false, "log per-job progress to stderr")
 	)
 	flag.Parse()
-	os.Exit(run(*listen, *workers, *queue, *cacheEnt, *cacheMB, *jobTO, *maxJobTO, *drain, *stall, *j, *metrics, *verbose))
+	os.Exit(run(*listen, *workers, *queue, *cacheEnt, *cacheMB, *jobTO, *maxJobTO, *drain, *stall, *j, *metrics, *sweepOn, *sweepMax, *verbose))
 }
 
 // run is main minus os.Exit, so deferred cleanup actually runs.
-func run(listen string, workers, queue, cacheEnt, cacheMB int, jobTO, maxJobTO, drain, stall time.Duration, j int, metrics string, verbose bool) int {
+func run(listen string, workers, queue, cacheEnt, cacheMB int, jobTO, maxJobTO, drain, stall time.Duration, j int, metrics string, sweepOn bool, sweepMax int, verbose bool) int {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mirza-serve: "+format+"\n", args...)
 	}
@@ -107,6 +110,16 @@ func run(listen string, workers, queue, cacheEnt, cacheMB int, jobTO, maxJobTO, 
 	if err != nil {
 		logf("%v", err)
 		return 2
+	}
+	if sweepOn {
+		// The fan handler lives in internal/sweep (dependency direction
+		// sweep → serve) and rides the same admission queue, bounded so a
+		// fanned grid shares it with interactive submissions.
+		fanCfg := sweep.FanConfig{MaxInFlight: sweepMax}
+		if verbose {
+			fanCfg.Logf = logf
+		}
+		srv.Handle("POST /v1/sweep", sweep.FanHandler(srv, fanCfg))
 	}
 
 	ln, err := net.Listen("tcp", listen)

@@ -1,0 +1,380 @@
+package provenance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Ledger file layout inside the ledger directory:
+//
+//	entries.ndjson     append-only: one Entry JSON per line, seq order
+//	manifests/<leaf>.json   record bytes, content-addressed by leaf hash
+//	HEAD.json          Head: tree size + Merkle root, chained to the
+//	                   previous root (the "signed root" analogue)
+//
+// Every file is a pure function of the appended (record, key, shard)
+// sequence — no timestamps, no absolute paths — so two ledgers built
+// from the same shard results are byte-identical, whatever worker count
+// or machine produced them.
+const (
+	entriesFile  = "entries.ndjson"
+	headFile     = "HEAD.json"
+	manifestsDir = "manifests"
+)
+
+// LedgerSchemaVersion identifies the on-disk layout.
+const LedgerSchemaVersion = 1
+
+// Entry is one appended record: the ledger's unit of provenance.
+type Entry struct {
+	// Seq is the append index (0-based): the record's leaf index in the
+	// Merkle tree.
+	Seq int `json:"seq"`
+
+	// Key is the content-addressed run identity the record answers for
+	// (telemetry.ConfigHash(config) + "-" + seed for sweep shards). A key
+	// appears at most once; re-appending it with identical bytes is a
+	// no-op and with different bytes an error — history is append-only.
+	Key string `json:"key"`
+
+	// Leaf is the hex leaf hash of the record bytes; the record itself
+	// lives in manifests/<leaf>.json.
+	Leaf string `json:"leaf"`
+
+	// Shard is the human-readable shard identity ("fig3/w=xz/m=prac/s=3").
+	Shard string `json:"shard,omitempty"`
+}
+
+// Head is the ledger head: the Merkle root over all entries in seq
+// order, chained to the root it replaced.
+type Head struct {
+	SchemaVersion int    `json:"schema_version"`
+	Size          int    `json:"size"`
+	Root          string `json:"root"`
+
+	// PrevRoot is the root the previous Sync recorded (empty for the
+	// first). The chain of heads is what makes silent truncation — not
+	// just mutation — detectable by anyone who recorded an older root.
+	PrevRoot string `json:"prev_root,omitempty"`
+}
+
+// Ledger is an append-only Merkle ledger rooted at a directory. It is
+// not safe for concurrent use; one writer owns a ledger directory.
+type Ledger struct {
+	dir     string
+	entries []Entry
+	leaves  []Hash
+	byKey   map[string]int
+	head    Head // as last synced (zero if never)
+	dirty   bool
+}
+
+// Open opens the ledger at dir, creating the directory structure on
+// first use. Existing entries are loaded and lightly validated (seq
+// contiguity, well-formed hashes, unique keys); use Verify for the full
+// bytes-on-disk check.
+func Open(dir string) (*Ledger, error) {
+	if err := os.MkdirAll(filepath.Join(dir, manifestsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("provenance: %w", err)
+	}
+	l := &Ledger{dir: dir, byKey: make(map[string]int)}
+	entries, err := readEntries(filepath.Join(dir, entriesFile))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.Seq != len(l.entries) {
+			return nil, fmt.Errorf("provenance: %s: entry %q has seq %d, want %d (ledger is append-only)",
+				dir, e.Key, e.Seq, len(l.entries))
+		}
+		if _, dup := l.byKey[e.Key]; dup {
+			return nil, fmt.Errorf("provenance: %s: key %q recorded twice", dir, e.Key)
+		}
+		leaf, err := ParseHash(e.Leaf)
+		if err != nil {
+			return nil, fmt.Errorf("provenance: %s: entry %d: %w", dir, e.Seq, err)
+		}
+		l.byKey[e.Key] = e.Seq
+		l.entries = append(l.entries, e)
+		l.leaves = append(l.leaves, leaf)
+	}
+	if head, err := readHead(filepath.Join(dir, headFile)); err == nil {
+		l.head = head
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Dir returns the ledger directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Len returns the number of recorded entries.
+func (l *Ledger) Len() int { return len(l.entries) }
+
+// Entries returns the recorded entries in seq order (shared slice; do
+// not mutate).
+func (l *Ledger) Entries() []Entry { return l.entries }
+
+// Lookup finds the entry recorded for key.
+func (l *Ledger) Lookup(key string) (Entry, bool) {
+	i, ok := l.byKey[key]
+	if !ok {
+		return Entry{}, false
+	}
+	return l.entries[i], true
+}
+
+// Root returns the current Merkle root over all entries.
+func (l *Ledger) Root() Hash { return Root(l.leaves) }
+
+// Record returns the raw record bytes of entry seq.
+func (l *Ledger) Record(seq int) ([]byte, error) {
+	if seq < 0 || seq >= len(l.entries) {
+		return nil, fmt.Errorf("provenance: seq %d out of range [0, %d)", seq, len(l.entries))
+	}
+	return os.ReadFile(l.manifestPath(l.entries[seq].Leaf))
+}
+
+func (l *Ledger) manifestPath(leafHex string) string {
+	return filepath.Join(l.dir, manifestsDir, leafHex+".json")
+}
+
+// Append records one (record, key, shard). Appending a key already in
+// the ledger with byte-identical record bytes returns the existing entry
+// with added=false; with different bytes it fails — the ledger refuses
+// to rewrite history. Call Sync to publish the new head.
+func (l *Ledger) Append(record []byte, key, shard string) (Entry, bool, error) {
+	if key == "" {
+		return Entry{}, false, fmt.Errorf("provenance: empty entry key")
+	}
+	leaf := LeafHash(record)
+	if i, ok := l.byKey[key]; ok {
+		if l.entries[i].Leaf != leaf.String() {
+			return Entry{}, false, fmt.Errorf(
+				"provenance: key %s already recorded at seq %d with leaf %s; refusing to append different bytes (leaf %s) — the ledger is append-only",
+				key, i, l.entries[i].Leaf, leaf)
+		}
+		return l.entries[i], false, nil
+	}
+	e := Entry{Seq: len(l.entries), Key: key, Leaf: leaf.String(), Shard: shard}
+
+	// Record bytes first (content-addressed, so double-writes are safe),
+	// then the entry line: a crash between the two leaves a readable
+	// ledger plus an orphan record, never an entry without its record.
+	path := l.manifestPath(e.Leaf)
+	if prev, err := os.ReadFile(path); err == nil {
+		if !bytes.Equal(prev, record) {
+			return Entry{}, false, fmt.Errorf("provenance: %s exists with different bytes (hash collision or tamper)", path)
+		}
+	} else if err := os.WriteFile(path, record, 0o644); err != nil {
+		return Entry{}, false, fmt.Errorf("provenance: %w", err)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, entriesFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("provenance: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return Entry{}, false, fmt.Errorf("provenance: appending entry: %w", werr)
+	}
+	l.entries = append(l.entries, e)
+	l.leaves = append(l.leaves, leaf)
+	l.byKey[key] = e.Seq
+	l.dirty = true
+	return e, true, nil
+}
+
+// Sync publishes the current head: the Merkle root over every entry,
+// chained to the previously synced root. It is a no-op when nothing was
+// appended since the last Sync, so re-running an already-recorded sweep
+// leaves every ledger byte untouched.
+func (l *Ledger) Sync() (Head, error) {
+	if !l.dirty && l.head.Size == len(l.entries) && l.head.Root != "" {
+		return l.head, nil
+	}
+	head := Head{
+		SchemaVersion: LedgerSchemaVersion,
+		Size:          len(l.entries),
+		Root:          l.Root().String(),
+		PrevRoot:      l.head.Root,
+	}
+	if head.PrevRoot == head.Root {
+		// Re-synced with no growth: keep the existing chain link.
+		head.PrevRoot = l.head.PrevRoot
+	}
+	b, err := json.Marshal(head)
+	if err != nil {
+		return Head{}, err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(l.dir, headFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return Head{}, fmt.Errorf("provenance: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return Head{}, fmt.Errorf("provenance: %w", err)
+	}
+	l.head = head
+	l.dirty = false
+	return head, nil
+}
+
+// Head returns the last synced head (zero if never synced).
+func (l *Ledger) Head() Head { return l.head }
+
+// Prove returns the inclusion proof of entry seq against the current
+// tree, usable with VerifyInclusion and the current root.
+func (l *Ledger) Prove(seq int) (Proof, error) {
+	return Prove(l.leaves, seq)
+}
+
+// Verify re-reads the ledger from disk and checks every byte of it:
+//
+//   - entries.ndjson parses, seqs are contiguous from 0, keys unique;
+//   - every entry's record file exists and hashes to the entry's leaf;
+//   - the Merkle root over the leaves equals HEAD.json's root, and the
+//     head's size equals the entry count;
+//   - every entry's inclusion proof verifies against that root.
+//
+// Any flipped bit in a record, an entry line or the head fails loudly
+// with the offending seq/key/file. Verify uses only the on-disk state,
+// never this Ledger's in-memory copy, so it is what `mirza-sweep verify`
+// runs against a ledger produced by anyone.
+func (l *Ledger) Verify() error {
+	entries, err := readEntries(filepath.Join(l.dir, entriesFile))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("provenance: %s: empty ledger (no entries)", l.dir)
+	}
+	leaves := make([]Hash, len(entries))
+	keys := make(map[string]bool, len(entries))
+	for i, e := range entries {
+		if e.Seq != i {
+			return fmt.Errorf("provenance: %s: entry %d has seq %d (reordered or truncated entries)", l.dir, i, e.Seq)
+		}
+		if keys[e.Key] {
+			return fmt.Errorf("provenance: %s: key %s recorded twice", l.dir, e.Key)
+		}
+		keys[e.Key] = true
+		want, err := ParseHash(e.Leaf)
+		if err != nil {
+			return fmt.Errorf("provenance: %s: entry %d: %w", l.dir, i, err)
+		}
+		record, err := os.ReadFile(l.manifestPath(e.Leaf))
+		if err != nil {
+			return fmt.Errorf("provenance: %s: entry %d (%s): record missing: %w", l.dir, i, e.Key, err)
+		}
+		if got := LeafHash(record); got != want {
+			return fmt.Errorf("provenance: %s: entry %d (%s): record bytes hash to %s, entry says %s — record was modified",
+				l.dir, i, e.Key, got, want)
+		}
+		leaves[i] = want
+	}
+	head, err := readHead(filepath.Join(l.dir, headFile))
+	if err != nil {
+		return err
+	}
+	if head.SchemaVersion != LedgerSchemaVersion {
+		return fmt.Errorf("provenance: %s: head schema %d, want %d", l.dir, head.SchemaVersion, LedgerSchemaVersion)
+	}
+	if head.Size != len(entries) {
+		return fmt.Errorf("provenance: %s: head records %d entries, ledger has %d — entries were added or removed without a Sync",
+			l.dir, head.Size, len(entries))
+	}
+	root := Root(leaves)
+	if head.Root != root.String() {
+		return fmt.Errorf("provenance: %s: recomputed root %s does not match head root %s — ledger was modified",
+			l.dir, root, head.Root)
+	}
+	for i := range leaves {
+		proof, err := Prove(leaves, i)
+		if err != nil {
+			return err
+		}
+		if err := VerifyInclusion(root, leaves[i], i, len(leaves), proof); err != nil {
+			return fmt.Errorf("provenance: %s: entry %d: %w", l.dir, i, err)
+		}
+	}
+	return nil
+}
+
+// readEntries loads the entry log (empty slice when the file does not
+// exist yet).
+func readEntries(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("provenance: %w", err)
+	}
+	defer f.Close()
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("provenance: %s: line %d: %w", path, lineNo, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("provenance: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// readHead loads HEAD.json.
+func readHead(path string) (Head, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Head{}, fmt.Errorf("provenance: %s: %w", path, os.ErrNotExist)
+		}
+		return Head{}, fmt.Errorf("provenance: %w", err)
+	}
+	var h Head
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&h); err != nil {
+		return Head{}, fmt.Errorf("provenance: %s: %w", path, err)
+	}
+	return h, nil
+}
+
+// Keys returns every recorded key, sorted (for listings and error
+// messages; entry order is Entries).
+func (l *Ledger) Keys() []string {
+	out := make([]string, 0, len(l.byKey))
+	for k := range l.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

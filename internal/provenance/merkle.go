@@ -1,0 +1,178 @@
+// Package provenance chains run manifests into a tamper-evident,
+// append-only ledger: a Merkle tree over the canonical manifest bytes of
+// every recorded run, with inclusion proofs, so any table or figure in
+// the repository can be proven back to the exact configuration hash,
+// seed and fault plan that produced it (ROADMAP: fleet-scale sweeps with
+// tamper-evident provenance; mirza-sweep is the CLI over this package).
+//
+// The hashing follows the RFC 6962 (Certificate Transparency) tree:
+//
+//	leaf  = SHA-256(0x00 || record bytes)
+//	node  = SHA-256(0x01 || left || right)
+//	MTH(n leaves) splits at the largest power of two < n
+//
+// The domain-separating prefixes make a leaf unforgeable as an interior
+// node (and vice versa), so an attacker cannot splice a fake subtree into
+// a recorded ledger without changing the root.
+//
+// A ledger is a directory (see Ledger) holding the records themselves
+// content-addressed by leaf hash, an append-only NDJSON entry log fixing
+// their order, and a head file carrying the current Merkle root chained
+// to the previous one. Verification recomputes everything from the bytes
+// on disk: a single flipped bit in any recorded manifest, entry line or
+// head field is detected.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// HashSize is the size of every hash in the tree (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one tree hash (a leaf or an interior node).
+type Hash [HashSize]byte
+
+// String returns the lowercase hex rendering used in ledger files.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash parses the hex rendering produced by Hash.String.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != HashSize {
+		return h, fmt.Errorf("provenance: %q is not a %d-byte hex hash", s, HashSize)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// Domain-separation prefixes (RFC 6962 §2.1).
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash hashes one record's bytes as a tree leaf.
+func LeafHash(record []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(record)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree hashes into their parent.
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Root computes the Merkle tree head over leaves in order. The empty
+// tree hashes to SHA-256 of the empty string (RFC 6962).
+func Root(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return sha256.Sum256(nil)
+	}
+	return subRoot(leaves)
+}
+
+func subRoot(leaves []Hash) Hash {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(subRoot(leaves[:k]), subRoot(leaves[k:]))
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n >= 2): the RFC 6962 left-subtree width.
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Proof is an inclusion proof: the audit path from a leaf to the root,
+// ordered leaf-side first. Together with the leaf index and the tree
+// size it reconstructs the root from the leaf alone.
+type Proof []Hash
+
+// Prove returns the inclusion proof for leaf index m in the tree over
+// leaves.
+func Prove(leaves []Hash, m int) (Proof, error) {
+	if m < 0 || m >= len(leaves) {
+		return nil, fmt.Errorf("provenance: leaf index %d out of range [0, %d)", m, len(leaves))
+	}
+	return provePath(leaves, m), nil
+}
+
+func provePath(leaves []Hash, m int) Proof {
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(len(leaves))
+	if m < k {
+		return append(provePath(leaves[:k], m), subRoot(leaves[k:]))
+	}
+	return append(provePath(leaves[k:], m-k), subRoot(leaves[:k]))
+}
+
+// VerifyInclusion checks that leaf sits at index m of the size-n tree
+// whose head is root, using the audit path proof. It returns nil exactly
+// when the proof reconstructs root.
+func VerifyInclusion(root, leaf Hash, m, n int, proof Proof) error {
+	if n <= 0 {
+		return fmt.Errorf("provenance: inclusion in an empty tree is unprovable")
+	}
+	if m < 0 || m >= n {
+		return fmt.Errorf("provenance: leaf index %d out of range [0, %d)", m, n)
+	}
+	got, err := pathRoot(leaf, m, n, proof)
+	if err != nil {
+		return err
+	}
+	if got != root {
+		return fmt.Errorf("provenance: inclusion proof for leaf %d/%d reconstructs root %s, want %s",
+			m, n, got, root)
+	}
+	return nil
+}
+
+// pathRoot recomputes the root from a leaf and its audit path, mirroring
+// the recursive structure of subRoot/provePath.
+func pathRoot(leaf Hash, m, n int, proof Proof) (Hash, error) {
+	if n == 1 {
+		if len(proof) != 0 {
+			return Hash{}, fmt.Errorf("provenance: proof has %d extra step(s)", len(proof))
+		}
+		return leaf, nil
+	}
+	if len(proof) == 0 {
+		return Hash{}, fmt.Errorf("provenance: proof too short for a %d-leaf tree", n)
+	}
+	last, rest := proof[len(proof)-1], proof[:len(proof)-1]
+	k := splitPoint(n)
+	if m < k {
+		sub, err := pathRoot(leaf, m, k, rest)
+		if err != nil {
+			return Hash{}, err
+		}
+		return nodeHash(sub, last), nil
+	}
+	sub, err := pathRoot(leaf, m-k, n-k, rest)
+	if err != nil {
+		return Hash{}, err
+	}
+	return nodeHash(last, sub), nil
+}

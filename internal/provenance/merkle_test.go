@@ -1,0 +1,129 @@
+package provenance
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func leavesFor(n int) []Hash {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = LeafHash([]byte(fmt.Sprintf("record-%d", i)))
+	}
+	return leaves
+}
+
+func TestEmptyTreeRoot(t *testing.T) {
+	want := Hash(sha256.Sum256(nil))
+	if got := Root(nil); got != want {
+		t.Fatalf("empty root = %s, want sha256 of empty string %s", got, want)
+	}
+}
+
+func TestLeafAndNodeDomainSeparation(t *testing.T) {
+	// A single-leaf tree's root is the leaf hash, which must differ from
+	// the plain sha256 of the record (0x00 prefix) — otherwise a record
+	// could be forged to look like an interior node.
+	record := []byte("payload")
+	leaf := LeafHash(record)
+	if plain := Hash(sha256.Sum256(record)); leaf == plain {
+		t.Fatalf("leaf hash equals unprefixed sha256; domain separation lost")
+	}
+	if got := Root([]Hash{leaf}); got != leaf {
+		t.Fatalf("single-leaf root = %s, want the leaf %s", got, leaf)
+	}
+}
+
+func TestSplitPoint(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 4, 7: 4, 8: 4, 9: 8, 100: 64}
+	for n, want := range cases {
+		if got := splitPoint(n); got != want {
+			t.Errorf("splitPoint(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRFC6962Structure(t *testing.T) {
+	// Spot-check the tree shape for n=3 against the spec:
+	// MTH(d0..d2) = node(node(leaf0, leaf1), leaf2).
+	l := leavesFor(3)
+	want := nodeHash(nodeHash(l[0], l[1]), l[2])
+	if got := Root(l); got != want {
+		t.Fatalf("3-leaf root does not match RFC 6962 structure")
+	}
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		leaves := leavesFor(n)
+		root := Root(leaves)
+		for m := 0; m < n; m++ {
+			proof, err := Prove(leaves, m)
+			if err != nil {
+				t.Fatalf("n=%d m=%d: Prove: %v", n, m, err)
+			}
+			if err := VerifyInclusion(root, leaves[m], m, n, proof); err != nil {
+				t.Fatalf("n=%d m=%d: VerifyInclusion: %v", n, m, err)
+			}
+		}
+	}
+}
+
+func TestVerifyInclusionRejectsTamper(t *testing.T) {
+	leaves := leavesFor(6)
+	root := Root(leaves)
+	proof, err := Prove(leaves, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := VerifyInclusion(root, LeafHash([]byte("forged")), 2, 6, proof); err == nil {
+		t.Fatal("verified a forged leaf")
+	}
+	if err := VerifyInclusion(root, leaves[2], 3, 6, proof); err == nil {
+		t.Fatal("verified with the wrong index")
+	}
+	bad := append(Proof(nil), proof...)
+	bad[0][0] ^= 0x01
+	if err := VerifyInclusion(root, leaves[2], 2, 6, bad); err == nil {
+		t.Fatal("verified with a corrupted audit path")
+	}
+	if err := VerifyInclusion(root, leaves[2], 2, 6, proof[:len(proof)-1]); err == nil {
+		t.Fatal("verified with a truncated proof")
+	}
+	if err := VerifyInclusion(root, leaves[2], 2, 6, append(append(Proof(nil), proof...), leaves[0])); err == nil {
+		t.Fatal("verified with an over-long proof")
+	}
+	otherRoot := Root(leavesFor(7))
+	if err := VerifyInclusion(otherRoot, leaves[2], 2, 6, proof); err == nil {
+		t.Fatal("verified against a different tree's root")
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	leaves := leavesFor(3)
+	if _, err := Prove(leaves, -1); err == nil {
+		t.Fatal("Prove(-1) succeeded")
+	}
+	if _, err := Prove(leaves, 3); err == nil {
+		t.Fatal("Prove(len) succeeded")
+	}
+	if err := VerifyInclusion(Root(leaves), leaves[0], 0, 0, nil); err == nil {
+		t.Fatal("inclusion in empty tree verified")
+	}
+}
+
+func TestParseHashRoundTrip(t *testing.T) {
+	h := LeafHash([]byte("x"))
+	back, err := ParseHash(h.String())
+	if err != nil || back != h {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if _, err := ParseHash("zz"); err == nil {
+		t.Fatal("parsed junk hex")
+	}
+	if _, err := ParseHash("abcd"); err == nil {
+		t.Fatal("parsed short hash")
+	}
+}

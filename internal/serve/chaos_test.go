@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -153,8 +154,11 @@ func TestChaosSoak(t *testing.T) {
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			sheds++
-			if resp.Header.Get("Retry-After") == "" {
-				note("429 without Retry-After")
+			// Chaos runs produce sub-second jobs, driving the EWMA wall
+			// clock below 1s: the advertised Retry-After must still be a
+			// whole second or more, never 0.
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+				t.Errorf("429 Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
 			}
 		}
 		io.Copy(io.Discard, resp.Body)

@@ -277,21 +277,24 @@ func (s *Server) buildMux() *http.ServeMux {
 
 // ---- admission ----
 
-// errShed and errDraining are admission refusals mapped to HTTP codes.
+// ErrShed and ErrDraining are admission refusals: the queue is full
+// (shed with 429 + Retry-After) or the server is draining (503). Submit
+// returns them; external handlers mounted via Handle map them to the
+// same HTTP codes the built-in endpoints use.
 var (
-	errShed     = errors.New("queue full")
-	errDraining = errors.New("server is draining, not admitting work")
+	ErrShed     = errors.New("queue full")
+	ErrDraining = errors.New("server is draining, not admitting work")
 )
 
 // admit either resolves prep from the cache, coalesces it onto an
 // identical in-flight job, or enqueues a new job. wait marks a blocking
 // submission (its disconnect may cancel the job). The returned flags
-// describe which path was taken; err is errShed or errDraining.
+// describe which path was taken; err is ErrShed or ErrDraining.
 func (s *Server) admit(prep *Prepared, wait bool) (rec *jobRec, cached, coalesced bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, false, false, errDraining
+		return nil, false, false, ErrDraining
 	}
 	s.mSubmitted.Inc()
 
@@ -319,7 +322,7 @@ func (s *Server) admit(prep *Prepared, wait bool) (rec *jobRec, cached, coalesce
 
 	if s.queued >= s.cfg.QueueDepth {
 		s.mShed.Inc()
-		return nil, false, false, errShed
+		return nil, false, false, ErrShed
 	}
 	s.mCacheMisses.Inc()
 
@@ -516,9 +519,20 @@ func (s *Server) releaseKey(rec *jobRec) {
 	s.mu.Unlock()
 }
 
+// Retry-After bounds. The floor matters: with sub-second jobs the EWMA
+// (avgRunMS) divided down to seconds rounds to 0, and a 0-second
+// Retry-After tells shed clients to retry immediately — they hammer the
+// full queue and get re-shed in a tight loop. RFC 9110 allows 0 but the
+// only sane backoff is >= 1s, so the estimate is clamped to the floor on
+// every path that emits the header (handleSubmit 429, handleReadyz 503).
+const (
+	retryAfterFloorSeconds = 1
+	retryAfterCeilSeconds  = 300
+)
+
 // retryAfterSeconds estimates when shed load should come back: the
 // current backlog over the worker count, scaled by the average job
-// duration. Clamped to [1, 300].
+// duration. Clamped to [retryAfterFloorSeconds, retryAfterCeilSeconds].
 func (s *Server) retryAfterSeconds() int {
 	avg := s.avgRunMS.Load()
 	if avg <= 0 {
@@ -528,7 +542,7 @@ func (s *Server) retryAfterSeconds() int {
 	depth := s.queued + s.inflight
 	s.mu.Unlock()
 	secs := int(math.Ceil(float64(avg) / 1000 * (float64(depth)/float64(s.cfg.Workers) + 1)))
-	return max(1, min(secs, 300))
+	return max(retryAfterFloorSeconds, min(secs, retryAfterCeilSeconds))
 }
 
 // ---- drain ----
@@ -630,10 +644,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	rec, cached, coalesced, err := s.admit(prep, wait)
 	switch {
-	case errors.Is(err, errDraining):
-		writeErr(w, http.StatusServiceUnavailable, errorDoc{Error: errDraining.Error()})
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, errorDoc{Error: ErrDraining.Error()})
 		return
-	case errors.Is(err, errShed):
+	case errors.Is(err, ErrShed):
 		retry := s.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeErr(w, http.StatusTooManyRequests, errorDoc{
@@ -927,6 +941,78 @@ func (s *Server) status(rec *jobRec) Status {
 		}
 	}
 	return st
+}
+
+// ---- extension API ----
+//
+// These exported hooks let sibling packages compose endpoints over the
+// admission queue without reaching into it — internal/sweep mounts
+// POST /v1/sweep this way (the handler lives there, not here, to keep
+// the dependency direction sweep → serve).
+
+// Handle mounts an additional handler on the daemon's mux. Call it
+// during setup, before the HTTP server starts serving; a pattern that
+// collides with a built-in route panics, like http.ServeMux does.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// Prepare validates req through the backend and resolves its
+// content-addressed identity without admitting anything.
+func (s *Server) Prepare(req *Request) (*Prepared, error) {
+	return s.backend.Prepare(req)
+}
+
+// Job is a handle on one submitted job for in-process callers: the same
+// waiter semantics a blocking HTTP client gets, without the transport.
+type Job struct {
+	s        *Server
+	rec      *jobRec
+	released atomic.Bool
+
+	// Cached and Coalesced report how admission resolved the submission.
+	Cached    bool
+	Coalesced bool
+}
+
+// Submit admits prep as a blocking submission: cache hit, coalescing
+// onto an identical in-flight job, or a fresh enqueue. The error is
+// ErrShed or ErrDraining. The caller holds a waiter registration and
+// must call Release exactly once, on every path.
+func (s *Server) Submit(prep *Prepared) (*Job, error) {
+	rec, cached, coalesced, err := s.admit(prep, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Job{s: s, rec: rec, Cached: cached, Coalesced: coalesced}, nil
+}
+
+// Done is closed when the job reaches its terminal state.
+func (j *Job) Done() <-chan struct{} { return j.rec.done }
+
+// Outcome returns the terminal outcome (nil until Done is closed).
+func (j *Job) Outcome() *Outcome {
+	j.rec.mu.Lock()
+	defer j.rec.mu.Unlock()
+	if j.rec.state != StateDone {
+		return nil
+	}
+	return j.rec.outcome
+}
+
+// Status snapshots the job as the polling endpoints would render it.
+func (j *Job) Status() Status { return j.s.status(j.rec) }
+
+// Release drops this caller's waiter registration. abandoned marks the
+// caller as gone without its result (client disconnect): if it was the
+// job's last interested waiter, the job is canceled, exactly as for an
+// HTTP long-poller. Safe to call once; extra calls are no-ops.
+func (j *Job) Release(abandoned bool) {
+	// A cache hit never registered a waiter: nothing to drop.
+	if j.released.Swap(true) || j.Cached {
+		return
+	}
+	j.s.dropWaiter(j.rec, abandoned)
 }
 
 // ---- small helpers ----

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -195,13 +196,20 @@ func TestBackpressureShedsWith429(t *testing.T) {
 	// ...two more fill the queue...
 	submit(t, ts, `{"experiment":"blocked","seed":2}`, false)
 	submit(t, ts, `{"experiment":"blocked","seed":3}`, false)
+	// Regression: with sub-second jobs the EWMA wall-clock is tiny; the
+	// Retry-After computed from it must still clamp to >= 1 second, or
+	// shed clients retry immediately and re-shed in a tight loop.
+	s.avgRunMS.Store(1)
 	// ...and the fourth is shed with explicit backpressure.
 	code, doc, hdr := submit(t, ts, `{"experiment":"blocked","seed":4}`, false)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("want 429, got %d (%v)", code, doc)
 	}
-	if hdr.Get("Retry-After") == "" || doc["retry_after_seconds"] == nil {
-		t.Errorf("429 lacks Retry-After: header %q doc %v", hdr.Get("Retry-After"), doc)
+	if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("429 Retry-After = %q, want an integer >= 1 even with a sub-second job EWMA", hdr.Get("Retry-After"))
+	}
+	if ra, ok := doc["retry_after_seconds"].(float64); !ok || ra < 1 {
+		t.Errorf("429 doc retry_after_seconds = %v, want >= 1", doc["retry_after_seconds"])
 	}
 	// Overload is reported honestly.
 	rcode, rdoc, _ := doJSON(t, http.MethodGet, ts.URL+"/readyz", "")

@@ -142,14 +142,7 @@ func Parse(name string, r io.Reader, opts Options) (*Trace, error) {
 	opts.setDefaults()
 	t := &Trace{Name: name, Format: opts.Format}
 
-	sc := bufio.NewScanner(r)
-	// The scanner's limit is max(cap(buf), MaxLineBytes): size the initial
-	// buffer below the bound so a small bound is actually enforced.
-	initial := 64 * 1024
-	if initial > opts.MaxLineBytes {
-		initial = opts.MaxLineBytes
-	}
-	sc.Buffer(make([]byte, initial), opts.MaxLineBytes)
+	br := bufio.NewReaderSize(r, 64*1024)
 
 	var (
 		lineNo    int
@@ -166,9 +159,29 @@ func Parse(name string, r io.Reader, opts Options) (*Trace, error) {
 		}
 	}
 
-	for sc.Scan() {
+	for {
+		rawLine, tooLong, rerr := readLine(br, opts.MaxLineBytes)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("tracefile: %s: %w", name, rerr)
+		}
 		lineNo++
-		line := bytes.TrimSuffix(sc.Bytes(), []byte("\r")) // CRLF input
+		if tooLong {
+			// The oversized line was consumed through its newline, so the
+			// stream — and the line count — stays in sync for whatever
+			// follows. (bufio.Scanner's ErrTooLong wedges mid-line instead,
+			// which both kills lenient mode and mis-numbers the error.)
+			t.Lines++
+			msg := fmt.Sprintf("line exceeds the %d-byte bound", opts.MaxLineBytes)
+			if !opts.Lenient {
+				return nil, fail(msg)
+			}
+			skip(msg)
+			continue
+		}
+		line := bytes.TrimSuffix(rawLine, []byte("\r")) // CRLF input
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) == 0 || trimmed[0] == '#' {
 			continue
@@ -221,18 +234,49 @@ func Parse(name string, r io.Reader, opts Options) (*Trace, error) {
 		}
 		t.Ops = append(t.Ops, op)
 	}
-	if err := sc.Err(); err != nil {
-		lineNo++
-		if err == bufio.ErrTooLong {
-			return nil, fail(fmt.Sprintf("line exceeds the %d-byte bound", opts.MaxLineBytes))
-		}
-		return nil, fmt.Errorf("tracefile: %s: %w", name, err)
-	}
 	if len(t.Ops) == 0 {
 		return nil, fmt.Errorf("tracefile: %s: no operations (%d payload lines, %d skipped)", name, t.Lines, t.Skipped)
 	}
 	t.Hash = opsHash(t.Ops)
 	return t, nil
+}
+
+// readLine returns the next line from br without its trailing '\n',
+// accumulating across internal buffer refills. A line longer than max
+// bytes is consumed through its newline and reported as tooLong with no
+// content, so the caller can skip it and every later line still carries
+// its true number. err is io.EOF only when no bytes remain at all.
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var (
+		buf   []byte
+		total int
+	)
+	for {
+		frag, rerr := br.ReadSlice('\n')
+		if rerr == nil {
+			frag = frag[:len(frag)-1] // drop the delimiter
+		}
+		total += len(frag)
+		if !tooLong {
+			buf = append(buf, frag...)
+			if len(buf) > max {
+				tooLong, buf = true, nil
+			}
+		}
+		switch rerr {
+		case nil:
+			return buf, tooLong, nil
+		case bufio.ErrBufferFull:
+			continue // mid-line: keep draining the same line
+		case io.EOF:
+			if total == 0 {
+				return nil, false, io.EOF
+			}
+			return buf, tooLong, nil // final line without a newline
+		default:
+			return nil, false, rerr
+		}
+	}
 }
 
 // sniff decides the format from the first payload line: NDJSON objects

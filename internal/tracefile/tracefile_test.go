@@ -229,6 +229,76 @@ func TestDiagLineNumbers(t *testing.T) {
 	}
 }
 
+// TestOversizedLineRecovery is the regression for the scanner-era bug:
+// bufio.Scanner cannot resume after ErrTooLong, so an oversized line used
+// to abort even lenient parses and left the reported line number drifting
+// from the real one. The reader must instead discard the oversized line
+// through its newline and keep numbering every later line correctly —
+// including a garbage line immediately after it.
+func TestOversizedLineRecovery(t *testing.T) {
+	long := "0x" + strings.Repeat("A", 400) + " READ 2"
+	in := "0x40 READ 1\n" + // line 1: good
+		long + "\n" + //         line 2: oversized
+		"garbage here\n" + //    line 3: malformed
+		"0x80 READ 5\n" //       line 4: good
+
+	t.Run("lenient-skips-both-with-true-line-numbers", func(t *testing.T) {
+		tr, err := Parse("oversize", strings.NewReader(in), Options{Lenient: true, MaxLineBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Ops) != 2 || tr.Ops[0].Line != 1 || tr.Ops[1].Line != 2 {
+			t.Fatalf("ops = %v, want lines 1 and 2 (0x40 and 0x80)", tr.Ops)
+		}
+		if tr.Skipped != 2 || len(tr.Diags) != 2 {
+			t.Fatalf("skipped=%d diags=%v, want 2 skips with 2 diagnostics", tr.Skipped, tr.Diags)
+		}
+		if tr.Diags[0].Line != 2 || !strings.Contains(tr.Diags[0].Msg, "128-byte bound") {
+			t.Errorf("oversized diag = %v, want line 2 mentioning the 128-byte bound", tr.Diags[0])
+		}
+		if tr.Diags[1].Line != 3 {
+			t.Errorf("garbage diag = %v, want line 3 (numbering drifted after the oversized line)", tr.Diags[1])
+		}
+		// Gap math must bridge the skipped lines: 0x80's cycle 5 follows
+		// 0x40's cycle 1 directly.
+		if tr.Ops[1].Gap != 4 {
+			t.Errorf("op[1].Gap = %d, want 4 (cycle 5 - cycle 1)", tr.Ops[1].Gap)
+		}
+	})
+
+	t.Run("strict-fails-at-the-oversized-line", func(t *testing.T) {
+		_, err := Parse("oversize", strings.NewReader(in), Options{MaxLineBytes: 128})
+		if err == nil || !strings.Contains(err.Error(), "line 2: line exceeds the 128-byte bound") {
+			t.Fatalf("err = %v, want a line-2 oversize failure", err)
+		}
+	})
+
+	t.Run("oversized-final-line-without-newline", func(t *testing.T) {
+		tr, err := Parse("tail", strings.NewReader("0x40 READ 1\n"+long),
+			Options{Lenient: true, MaxLineBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Ops) != 1 || tr.Skipped != 1 || tr.Diags[0].Line != 2 {
+			t.Fatalf("ops=%d skipped=%d diags=%v, want 1 op and a line-2 skip", len(tr.Ops), tr.Skipped, tr.Diags)
+		}
+	})
+
+	t.Run("oversized-first-line-then-sniffable", func(t *testing.T) {
+		tr, err := Parse("first", strings.NewReader(long+"\n"+`{"line":7}`+"\n"),
+			Options{Lenient: true, MaxLineBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Format != FormatNDJSON || len(tr.Ops) != 1 || tr.Ops[0].Line != 7 {
+			t.Fatalf("format=%v ops=%v, want NDJSON sniffed from line 2", tr.Format, tr.Ops)
+		}
+		if tr.Diags[0].Line != 1 {
+			t.Errorf("diag = %v, want line 1", tr.Diags[0])
+		}
+	})
+}
+
 // TestMaxDiagsBound checks the diagnostic list is bounded while the skip
 // counter keeps counting.
 func TestMaxDiagsBound(t *testing.T) {

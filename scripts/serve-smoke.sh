@@ -21,6 +21,12 @@ cleanup() {
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+# An untrapped SIGINT/SIGTERM kills the shell without running the EXIT
+# trap, orphaning the daemon; convert them into a normal exit so cleanup
+# always reaps it (128+signo keeps the conventional exit code).
+trap 'trap - INT; cleanup; exit 130' INT
+trap 'trap - TERM; cleanup; exit 143' TERM
+trap 'trap - HUP; cleanup; exit 129' HUP
 
 fail() {
     echo "serve-smoke: FAIL: $*" >&2

@@ -13,6 +13,10 @@ cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
+# An untrapped SIGINT/SIGTERM kills the shell without running the EXIT
+# trap; convert them into a normal exit so the temp dir is always removed.
+trap 'rm -rf "$workdir"; trap - INT; exit 130' INT
+trap 'rm -rf "$workdir"; trap - TERM; exit 143' TERM
 
 fail() {
     echo "trace-check: FAIL: $*" >&2
